@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the streaming
+// stack: FoV visibility sampling, fusion probability maps, VRA planning,
+// and the fluid link's reflow under concurrent transfers. These guard
+// against performance regressions — the client-side logic must stay far
+// cheaper than the 4-10 ms frame budget it models.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "abr/sperke_vra.h"
+#include "geo/visibility.h"
+#include "hmp/fusion.h"
+#include "hmp/head_trace.h"
+#include "media/video_model.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace sperke;
+
+std::shared_ptr<geo::TileGeometry> geometry_for(int rows, int cols) {
+  return std::make_shared<geo::TileGeometry>(
+      geo::make_projection("equirectangular"), geo::TileGrid(rows, cols));
+}
+
+void BM_VisibleTiles(benchmark::State& state) {
+  const auto geometry = geometry_for(static_cast<int>(state.range(0)),
+                                     static_cast<int>(state.range(1)));
+  const geo::Viewport viewport{100.0, 90.0};
+  double yaw = 0.0;
+  for (auto _ : state) {
+    yaw += 7.3;
+    benchmark::DoNotOptimize(
+        geometry->visible_tiles({yaw, 10.0, 0.0}, viewport));
+  }
+}
+BENCHMARK(BM_VisibleTiles)->Args({4, 6})->Args({8, 12});
+
+void BM_OosRings(benchmark::State& state) {
+  const auto geometry = geometry_for(8, 12);
+  const auto visible = geometry->visible_tiles({0.0, 0.0, 0.0}, {100.0, 90.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry->oos_rings(visible));
+  }
+}
+BENCHMARK(BM_OosRings);
+
+void BM_FusionProbabilities(benchmark::State& state) {
+  const auto geometry = geometry_for(4, 6);
+  hmp::FusionPredictor fusion(geometry, {100.0, 90.0},
+                              hmp::make_orientation_predictor("linear-regression"),
+                              nullptr, {});
+  for (int i = 0; i < 25; ++i) {
+    fusion.observe({sim::milliseconds(40 * i), {i * 1.0, 0.0, 0.0}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion.tile_probabilities(sim::seconds(1.0), 0));
+  }
+}
+BENCHMARK(BM_FusionProbabilities);
+
+void BM_PlanChunk(benchmark::State& state) {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.tile_rows = 4;
+  cfg.tile_cols = 6;
+  auto video = std::make_shared<media::VideoModel>(cfg);
+  abr::SperkeVra vra(video, abr::SperkeVraConfig{});
+  const auto fov = video->geometry().visible_tiles({0.0, 0.0, 0.0}, {100.0, 90.0});
+  std::vector<double> probs(static_cast<std::size_t>(video->tile_count()),
+                            1.0 / video->tile_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vra.plan_chunk(3, fov, probs, 15'000.0, sim::seconds(2.0), 2));
+  }
+}
+BENCHMARK(BM_PlanChunk);
+
+void BM_LinkReflowUnderLoad(benchmark::State& state) {
+  // Cost of running a full simulated second with N concurrent transfers
+  // churning on one link.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Link link(simulator,
+                   net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(50'000.0),
+                                   .rtt = sim::milliseconds(10)});
+    for (int i = 0; i < n; ++i) {
+      // Staggered small transfers keep the active set changing.
+      simulator.schedule_at(sim::milliseconds(i * 7), [&link] {
+        link.start_transfer(60'000, [&link](sim::Time) {
+          link.start_transfer(60'000, [](sim::Time) {});
+        });
+      });
+    }
+    simulator.run_until(sim::seconds(1.0));
+    benchmark::DoNotOptimize(link.bytes_delivered());
+  }
+}
+BENCHMARK(BM_LinkReflowUnderLoad)->Arg(8)->Arg(64);
+
+void BM_HeadTraceGeneration(benchmark::State& state) {
+  hmp::HeadTraceConfig cfg;
+  cfg.duration_s = 60.0;
+  cfg.attractors = hmp::default_attractors(60.0, 3);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(hmp::generate_head_trace(cfg));
+  }
+}
+BENCHMARK(BM_HeadTraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

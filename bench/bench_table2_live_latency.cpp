@@ -1,0 +1,66 @@
+// Experiment T2 — reproduces Table 2 of the paper: end-to-end latency of
+// live 360° broadcast on Facebook / Periscope / YouTube under five network
+// conditions (mean of 3 runs, like the paper's 3 experiments per cell).
+//
+// Paper values (seconds):
+//   condition          FB     Periscope  YouTube
+//   No limit           9.2    12.4       22.2
+//   2 Mbps up          11     22.3       22.3
+//   2 Mbps down        9.3    20         22.2
+//   0.5 Mbps up        22.2   53.4       31.5
+//   0.5 Mbps down      45.4   61.8       38.6
+#include <iostream>
+#include <vector>
+
+#include "live/broadcast.h"
+#include "live/platform.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sperke;
+using namespace sperke::live;
+
+double mean_latency(const PlatformProfile& platform, NetworkConditions network) {
+  RunningStats stats;
+  // Three runs with slightly different measurement windows, mirroring the
+  // paper's three repetitions per cell.
+  for (int run = 0; run < 3; ++run) {
+    LiveBroadcastSession::Config cfg;
+    cfg.platform = platform;
+    cfg.network = network;
+    cfg.measure_from = sim::seconds(40.0 + 5.0 * run);
+    cfg.measure_to = sim::seconds(140.0 + 5.0 * run);
+    const auto result = LiveBroadcastSession(cfg).run();
+    if (result.segments_displayed > 0) stats.add(result.mean_e2e_latency_s);
+  }
+  return stats.count() > 0 ? stats.mean() : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 2: E2E latency (seconds) under different network conditions\n"
+            << "(paper: FB 9.2/11/9.3/22.2/45.4, Periscope 12.4/22.3/20/53.4/61.8,\n"
+            << " YouTube 22.2/22.3/22.2/31.5/38.6)\n\n";
+  const std::vector<PlatformProfile> platforms = {
+      PlatformProfile::facebook(), PlatformProfile::periscope(),
+      PlatformProfile::youtube()};
+  TextTable table({"Upload BW", "Download BW", "Facebook", "Periscope", "YouTube"});
+  for (const auto& condition : table2_conditions()) {
+    std::vector<std::string> row;
+    auto fmt = [](double kbps) -> std::string {
+      if (kbps <= 0.0) return "No limit";
+      return TextTable::num(kbps / 1000.0, 1) + "Mbps";
+    };
+    row.push_back(fmt(condition.up_kbps));
+    row.push_back(fmt(condition.down_kbps));
+    for (const auto& platform : platforms) {
+      row.push_back(TextTable::num(mean_latency(platform, condition), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.str() << '\n';
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Live 360° broadcast walkthrough (§3.4): measure the end-to-end latency of
+// the three platform models under a chosen network condition, then show how
+// the paper's broadcaster-side *spatial fallback* responds as the uplink
+// collapses during a concert-style event.
+//
+//   $ ./live_broadcast [up_kbps] [down_kbps]   (0 = unconstrained)
+#include <cstdlib>
+#include <iostream>
+
+#include "live/broadcast.h"
+#include "live/platform.h"
+#include "live/upload_vra.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sperke;
+  using namespace sperke::live;
+
+  NetworkConditions network;
+  network.up_kbps = argc > 1 ? std::atof(argv[1]) : 0.0;
+  network.down_kbps = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+  std::cout << "Live 360 broadcast, condition: " << network.label() << "\n\n";
+  TextTable table({"Platform", "E2E latency s", "Displayed kbps",
+                   "Broadcaster drops", "Rebuffers", "Catch-up skips"});
+  for (const auto& platform : {PlatformProfile::facebook(),
+                               PlatformProfile::periscope(),
+                               PlatformProfile::youtube()}) {
+    LiveBroadcastSession::Config cfg;
+    cfg.platform = platform;
+    cfg.network = network;
+    const auto result = LiveBroadcastSession(cfg).run();
+    table.add_row({platform.name, TextTable::num(result.mean_e2e_latency_s, 1),
+                   TextTable::num(result.mean_displayed_kbps, 0),
+                   std::to_string(result.segments_dropped_at_broadcaster),
+                   std::to_string(result.viewer_rebuffer_events),
+                   std::to_string(result.viewer_catchup_skips)});
+  }
+  std::cout << table.str() << '\n';
+
+  // Broadcaster-side spatial fallback during an uplink collapse: the
+  // uploaded horizon shrinks before the quality does (concert: audience
+  // gaze concentrated within sigma = 45 deg of the stage).
+  std::cout << "Spatial fallback during an uplink collapse (target 4 Mbps, "
+               "stage interest sigma = 45 deg):\n";
+  SpatialFallbackPolicy spatial(4000.0, 120.0);
+  QualityAdaptivePolicy quality(4000.0, 250.0);
+  TextTable fb({"Uplink kbps", "Horizon deg", "Upload kbps",
+                "Viewer utility (spatial)", "Viewer utility (quality-drop)"});
+  for (double capacity : {4000.0, 2500.0, 1200.0, 600.0}) {
+    const auto d = spatial.decide(capacity);
+    fb.add_row({TextTable::num(capacity, 0), TextTable::num(d.horizon_deg, 0),
+                TextTable::num(d.upload_kbps, 0),
+                TextTable::num(expected_viewer_utility(d, 4000.0, 45.0), 3),
+                TextTable::num(
+                    expected_viewer_utility(quality.decide(capacity), 4000.0, 45.0),
+                    3)});
+  }
+  std::cout << fb.str();
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "abr/oos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sperke::abr {
+namespace {
+
+// Emit the fetches needed to hold tile `tile` of chunk `index` at quality
+// `q` under `encoding` (one AVC object, or SVC layers 0..q).
+void emit_tile(ChunkPlan& plan, geo::TileId tile, media::QualityLevel q,
+               media::Encoding encoding, SpatialClass spatial, double prob) {
+  const media::ChunkKey key{tile, plan.index};
+  if (encoding == media::Encoding::kAvc) {
+    plan.fetches.push_back({{key, media::Encoding::kAvc, q}, spatial, prob});
+  } else {
+    for (media::LayerIndex l = 0; l <= q; ++l) {
+      plan.fetches.push_back({{key, media::Encoding::kSvc, l}, spatial, prob});
+    }
+  }
+}
+
+}  // namespace
+
+OosSelector::OosSelector(OosConfig config) : config_(config) {
+  if (config_.budget_fraction < 0.0) {
+    throw std::invalid_argument("OosSelector: negative budget fraction");
+  }
+  if (config_.tiles_per_step <= 0) {
+    throw std::invalid_argument("OosSelector: tiles_per_step must be positive");
+  }
+  if (config_.first_quality_drop < 0) {
+    throw std::invalid_argument("OosSelector: negative quality drop");
+  }
+}
+
+void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
+                         const std::vector<geo::TileId>& fov_tiles,
+                         const std::vector<double>& probabilities,
+                         media::Encoding encoding) const {
+  if (static_cast<int>(probabilities.size()) != video.tile_count()) {
+    throw std::invalid_argument("OosSelector: probability size mismatch");
+  }
+  const std::int64_t fov_bytes = plan.total_bytes(video);
+
+  // Factor 2 (HMP accuracy): probability mass outside the predicted FoV.
+  double miss_mass = 1.0;
+  for (geo::TileId tile : fov_tiles) {
+    miss_mass -= probabilities[static_cast<std::size_t>(tile)];
+  }
+  miss_mass = std::clamp(miss_mass, 0.0, 1.0);
+  double budget = config_.budget_fraction * static_cast<double>(fov_bytes);
+  if (config_.accuracy_scaling) budget *= (1.0 + miss_mass);
+
+  // Candidates: every non-FoV tile, most probable first.
+  std::vector<char> in_fov(probabilities.size(), 0);
+  for (geo::TileId tile : fov_tiles) in_fov[static_cast<std::size_t>(tile)] = 1;
+  std::vector<geo::TileId> candidates;
+  for (geo::TileId tile = 0; tile < video.tile_count(); ++tile) {
+    if (!in_fov[static_cast<std::size_t>(tile)]) candidates.push_back(tile);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](geo::TileId a, geo::TileId b) {
+                     return probabilities[static_cast<std::size_t>(a)] >
+                            probabilities[static_cast<std::size_t>(b)];
+                   });
+
+  const double prob_max =
+      candidates.empty()
+          ? 1.0
+          : std::max(probabilities[static_cast<std::size_t>(candidates.front())],
+                     1e-12);
+
+  // Quality falls off with rank (or with probability directly): the
+  // further down the ranking — the further from the predicted FoV — the
+  // lower the quality (§3.1.1).
+  std::int64_t spent = 0;
+  int rank = 0;
+  for (geo::TileId tile : candidates) {
+    media::QualityLevel q;
+    if (config_.quality_policy == OosQualityPolicy::kProbabilityProportional) {
+      const double rel =
+          probabilities[static_cast<std::size_t>(tile)] / prob_max;
+      q = std::max<media::QualityLevel>(
+          config_.min_quality,
+          static_cast<media::QualityLevel>(
+              std::lround(rel * std::max(0, plan.fov_quality - 1))));
+    } else {
+      const int drop = config_.first_quality_drop + rank / config_.tiles_per_step;
+      q = std::max<media::QualityLevel>(config_.min_quality,
+                                        plan.fov_quality - drop);
+    }
+    const media::ChunkKey key{tile, plan.index};
+    const std::int64_t cost = (encoding == media::Encoding::kAvc)
+                                  ? video.avc_size_bytes(q, key)
+                                  : video.svc_cumulative_size_bytes(q, key);
+    if (spent + cost > static_cast<std::int64_t>(budget)) break;
+    spent += cost;
+    emit_tile(plan, tile, q, encoding, SpatialClass::kOos,
+              probabilities[static_cast<std::size_t>(tile)]);
+    ++rank;
+  }
+}
+
+}  // namespace sperke::abr

@@ -1,0 +1,58 @@
+#include "abr/qoe.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sperke::abr {
+
+QoeTracker::QoeTracker(QoeWeights weights) : weights_(weights) {}
+
+void QoeTracker::record_played_chunk(double viewport_utility, double blank_fraction) {
+  if (viewport_utility < 0.0 || viewport_utility > 1.0) {
+    throw std::invalid_argument("QoeTracker: utility out of [0,1]");
+  }
+  if (blank_fraction < 0.0 || blank_fraction > 1.0) {
+    throw std::invalid_argument("QoeTracker: blank fraction out of [0,1]");
+  }
+  ++acc_.chunks_played;
+  utility_sum_ += viewport_utility;
+  blank_sum_ += blank_fraction;
+  if (has_prev_utility_) {
+    acc_.switch_magnitude += std::abs(viewport_utility - prev_utility_);
+  }
+  prev_utility_ = viewport_utility;
+  has_prev_utility_ = true;
+}
+
+void QoeTracker::record_stall(sim::Duration length) {
+  if (length < sim::Duration{0}) throw std::invalid_argument("QoeTracker: negative stall");
+  acc_.stall_seconds += sim::to_seconds(length);
+  ++acc_.stall_events;
+}
+
+void QoeTracker::record_skip(int chunks) {
+  if (chunks < 0) throw std::invalid_argument("QoeTracker: negative skip");
+  acc_.skipped_chunks += chunks;
+}
+
+void QoeTracker::record_downloaded(std::int64_t bytes) {
+  acc_.bytes_downloaded += bytes;
+}
+
+void QoeTracker::record_wasted(std::int64_t bytes) { acc_.bytes_wasted += bytes; }
+
+QoeSummary QoeTracker::summary() const {
+  QoeSummary out = acc_;
+  if (out.chunks_played > 0) {
+    out.mean_viewport_utility = utility_sum_ / out.chunks_played;
+    out.blank_fraction_mean = blank_sum_ / out.chunks_played;
+  }
+  out.score = weights_.utility_weight * utility_sum_ -
+              weights_.stall_penalty_per_s * out.stall_seconds -
+              weights_.skip_penalty * out.skipped_chunks -
+              weights_.switch_penalty * out.switch_magnitude -
+              weights_.blank_penalty * blank_sum_;
+  return out;
+}
+
+}  // namespace sperke::abr

@@ -1,0 +1,115 @@
+// Regular (non-360°) video rate adaptation algorithms.
+//
+// Part one of the paper's VRA decomposition (§3.1.2): with perfect HMP,
+// FoV-guided 360° VRA reduces to regular VRA over *super chunks* (the
+// minimum tile set covering the known FoV, all at one quality). These are
+// the pluggable "regular VRA" engines:
+//   * ThroughputVra — FESTIVE-like [29]: pick the highest level sustainable
+//     at a safety-discounted throughput estimate.
+//   * BufferVra — BBA-like [28]: map buffer occupancy linearly onto the
+//     ladder between two reservoirs. (The paper notes this interacts poorly
+//     with short HMP windows — our benches can show exactly that.)
+//   * MpcVra — control-theoretic lite [44]: lookahead scoring of candidate
+//     levels balancing utility, switching and predicted rebuffering.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "media/quality_ladder.h"
+#include "sim/time.h"
+
+namespace sperke::abr {
+
+// Everything a regular VRA may consider when picking the next quality.
+struct VraContext {
+  // Cost of the next super chunk at each ladder level, in kbps of effective
+  // bitrate (bytes*8 / chunk duration). Index = quality level.
+  std::vector<double> level_kbps;
+  double estimated_kbps = 0.0;        // throughput estimate (0 = unknown)
+  sim::Duration buffer_level{0};      // media time buffered ahead of playhead
+  sim::Duration chunk_duration{sim::seconds(1.0)};
+  media::QualityLevel last_quality = 0;
+  // Per-level utility in [0,1] (usually ladder utilities).
+  std::vector<double> level_utility;
+};
+
+class RegularVra {
+ public:
+  virtual ~RegularVra() = default;
+  [[nodiscard]] virtual media::QualityLevel choose(const VraContext& ctx) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+class ThroughputVra final : public RegularVra {
+ public:
+  explicit ThroughputVra(double safety = 0.85);
+  [[nodiscard]] media::QualityLevel choose(const VraContext& ctx) const override;
+  [[nodiscard]] std::string_view name() const override { return "throughput"; }
+
+ private:
+  double safety_;
+};
+
+class BufferVra final : public RegularVra {
+ public:
+  // Below `reservoir` play the lowest level; above `cushion` the highest;
+  // linear in between.
+  BufferVra(sim::Duration reservoir = sim::seconds(5.0),
+            sim::Duration cushion = sim::seconds(15.0));
+  [[nodiscard]] media::QualityLevel choose(const VraContext& ctx) const override;
+  [[nodiscard]] std::string_view name() const override { return "buffer"; }
+
+ private:
+  sim::Duration reservoir_;
+  sim::Duration cushion_;
+};
+
+// BOLA-style Lyapunov buffer controller: pick the level maximizing
+//   (V * utility(q) + gamma - buffer_s) ... scaled by the level's size —
+// concretely argmax_q (V * (utility(q) + gp) - buffer_s) / size(q),
+// choosing 0 when every score is negative. Buffer-driven like BBA but with
+// a principled utility/size tradeoff; included as the fourth regular-VRA
+// baseline the 360° planner can sit on.
+class BolaVra final : public RegularVra {
+ public:
+  // `target_buffer_s` tunes V so the controller stabilizes around it.
+  explicit BolaVra(double target_buffer_s = 12.0, double gp = 5.0);
+  [[nodiscard]] media::QualityLevel choose(const VraContext& ctx) const override;
+  [[nodiscard]] std::string_view name() const override { return "bola"; }
+
+ private:
+  double target_buffer_s_;
+  double gp_;
+};
+
+// Pins every chunk to one ladder level. Not a real adaptation policy —
+// used by equal-quality comparisons (e.g. measuring FoV-guided bandwidth
+// savings at the *same* displayed quality, §2) and as an ablation control.
+class FixedVra final : public RegularVra {
+ public:
+  explicit FixedVra(media::QualityLevel level);
+  [[nodiscard]] media::QualityLevel choose(const VraContext& ctx) const override;
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+
+ private:
+  media::QualityLevel level_;
+};
+
+class MpcVra final : public RegularVra {
+ public:
+  explicit MpcVra(int lookahead_chunks = 3, double stall_penalty = 4.0,
+                  double switch_penalty = 1.0);
+  [[nodiscard]] media::QualityLevel choose(const VraContext& ctx) const override;
+  [[nodiscard]] std::string_view name() const override { return "mpc"; }
+
+ private:
+  int lookahead_;
+  double stall_penalty_;
+  double switch_penalty_;
+};
+
+[[nodiscard]] std::unique_ptr<RegularVra> make_regular_vra(std::string_view name);
+
+}  // namespace sperke::abr

@@ -1,0 +1,168 @@
+#include "abr/sperke_vra.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sperke::abr {
+
+std::string to_string(EncodingMode mode) {
+  switch (mode) {
+    case EncodingMode::kAvcNoUpgrade: return "avc-no-upgrade";
+    case EncodingMode::kAvcRefetch: return "avc-refetch";
+    case EncodingMode::kSvc: return "svc";
+    case EncodingMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+SperkeVra::SperkeVra(std::shared_ptr<const media::VideoModel> video,
+                     SperkeVraConfig config)
+    : video_(std::move(video)),
+      config_(std::move(config)),
+      regular_(make_regular_vra(config_.regular_vra)),
+      oos_(config_.oos) {
+  if (!video_) throw std::invalid_argument("SperkeVra: null video");
+}
+
+media::Encoding SperkeVra::fov_encoding() const {
+  // Only pure-SVC mode pays the layering tax on FoV tiles; hybrid treats
+  // them as "not likely to upgrade" and fetches the plain AVC copy.
+  return config_.mode == EncodingMode::kSvc ? media::Encoding::kSvc
+                                            : media::Encoding::kAvc;
+}
+
+media::Encoding SperkeVra::oos_encoding() const {
+  switch (config_.mode) {
+    case EncodingMode::kAvcNoUpgrade:
+    case EncodingMode::kAvcRefetch:
+      return media::Encoding::kAvc;
+    case EncodingMode::kSvc:
+    case EncodingMode::kHybrid:
+      return media::Encoding::kSvc;  // upgrade candidates stay layered
+  }
+  return media::Encoding::kAvc;
+}
+
+ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
+                                const std::vector<geo::TileId>& predicted_fov,
+                                const std::vector<double>& tile_probabilities,
+                                double estimated_kbps, sim::Duration buffer_level,
+                                media::QualityLevel last_quality) const {
+  if (predicted_fov.empty()) {
+    throw std::invalid_argument("plan_chunk: empty predicted FoV");
+  }
+  const auto& ladder = video_->ladder();
+  const double chunk_s = sim::to_seconds(video_->chunk_duration());
+
+  // Part 1: super-chunk cost per quality level -> regular VRA choice.
+  VraContext ctx;
+  ctx.estimated_kbps = estimated_kbps;
+  ctx.buffer_level = buffer_level;
+  ctx.chunk_duration = video_->chunk_duration();
+  ctx.last_quality = last_quality;
+  for (media::QualityLevel q = 0; q < ladder.levels(); ++q) {
+    std::int64_t bytes = 0;
+    for (geo::TileId tile : predicted_fov) {
+      const media::ChunkKey key{tile, index};
+      bytes += (fov_encoding() == media::Encoding::kSvc)
+                   ? video_->svc_cumulative_size_bytes(q, key)
+                   : video_->avc_size_bytes(q, key);
+    }
+    ctx.level_kbps.push_back(static_cast<double>(bytes) * 8.0 / chunk_s / 1000.0);
+    ctx.level_utility.push_back(ladder.utility(q));
+  }
+  const media::QualityLevel q_fov = regular_->choose(ctx);
+
+  ChunkPlan plan;
+  plan.index = index;
+  plan.fov_quality = q_fov;
+
+  for (geo::TileId tile : predicted_fov) {
+    const double prob = tile_probabilities.empty()
+                            ? 1.0
+                            : tile_probabilities[static_cast<std::size_t>(tile)];
+    const media::ChunkKey key{tile, index};
+    if (fov_encoding() == media::Encoding::kAvc) {
+      plan.fetches.push_back(
+          {{key, media::Encoding::kAvc, q_fov}, SpatialClass::kFov, prob});
+    } else {
+      for (media::LayerIndex l = 0; l <= q_fov; ++l) {
+        plan.fetches.push_back(
+            {{key, media::Encoding::kSvc, l}, SpatialClass::kFov, prob});
+      }
+    }
+  }
+
+  // Part 2: OOS margin.
+  if (!tile_probabilities.empty()) {
+    oos_.select(plan, *video_, predicted_fov, tile_probabilities, oos_encoding());
+  }
+  return plan;
+}
+
+SperkeVra::UpgradeDecision SperkeVra::consider_upgrade(
+    const media::ChunkKey& key, media::QualityLevel current,
+    media::QualityLevel svc_layer_base, media::QualityLevel target,
+    double visible_probability, sim::Duration time_to_deadline,
+    double estimated_kbps) const {
+  UpgradeDecision decision;
+  if (target <= current) return decision;
+  if (config_.mode == EncodingMode::kAvcNoUpgrade) return decision;
+  if (time_to_deadline <= sim::Duration{0}) return decision;
+  // Too early: HMP may still change; wait until inside the upgrade window.
+  if (time_to_deadline > config_.upgrade_window) return decision;
+  const double lift = visible_probability * video_->tile_count();
+  if (lift < config_.upgrade_prob_threshold) return decision;
+  const double gain = video_->ladder().utility(target) -
+                      video_->ladder().utility(std::max(current, 0));
+  if (lift * gain < config_.upgrade_min_benefit) return decision;
+
+  // Candidate paths: a delta stack on the buffered SVC base, and/or a full
+  // AVC refetch of the target quality.
+  std::vector<media::ChunkAddress> delta_fetches;
+  std::int64_t delta_bytes = 0;
+  for (media::LayerIndex l = svc_layer_base + 1; l <= target; ++l) {
+    delta_fetches.push_back({key, media::Encoding::kSvc, l});
+    delta_bytes += video_->svc_layer_size_bytes(l, key);
+  }
+  const std::int64_t refetch_bytes = video_->avc_size_bytes(target, key);
+
+  std::vector<media::ChunkAddress> fetches;
+  std::int64_t bytes = 0;
+  switch (config_.mode) {
+    case EncodingMode::kAvcRefetch:
+      fetches = {{key, media::Encoding::kAvc, target}};
+      bytes = refetch_bytes;
+      break;
+    case EncodingMode::kSvc:
+      fetches = std::move(delta_fetches);
+      bytes = delta_bytes;
+      break;
+    case EncodingMode::kHybrid:
+      // Whichever path is cheaper from the buffered state.
+      if (delta_bytes <= refetch_bytes) {
+        fetches = std::move(delta_fetches);
+        bytes = delta_bytes;
+      } else {
+        fetches = {{key, media::Encoding::kAvc, target}};
+        bytes = refetch_bytes;
+      }
+      break;
+    case EncodingMode::kAvcNoUpgrade:
+      return decision;  // unreachable; handled above
+  }
+  if (fetches.empty()) return decision;
+
+  // Feasibility: the bytes must arrive inside the safety-discounted slack.
+  if (estimated_kbps <= 0.0) return decision;
+  const double download_s = static_cast<double>(bytes) * 8.0 / (estimated_kbps * 1000.0);
+  if (download_s > config_.upgrade_safety * sim::to_seconds(time_to_deadline)) {
+    return decision;
+  }
+  decision.upgrade = true;
+  decision.fetches = std::move(fetches);
+  decision.bytes = bytes;
+  return decision;
+}
+
+}  // namespace sperke::abr

@@ -1,0 +1,99 @@
+#include "core/buffer.h"
+
+#include <stdexcept>
+
+namespace sperke::core {
+
+PlaybackBuffer::PlaybackBuffer(std::shared_ptr<const media::VideoModel> video)
+    : video_(std::move(video)) {
+  if (!video_) throw std::invalid_argument("PlaybackBuffer: null video");
+}
+
+void PlaybackBuffer::add(const media::ChunkAddress& address) {
+  Cell& cell = cells_[address.key];
+  if (!cell.objects.insert(address).second) return;  // duplicate
+  total_bytes_ += video_->size_bytes(address);
+  if (address.encoding == media::Encoding::kAvc) {
+    cell.best_avc = std::max(cell.best_avc, address.level);
+  } else {
+    cell.svc_layers.insert(address.level);
+  }
+}
+
+media::QualityLevel PlaybackBuffer::displayable_quality(
+    const media::ChunkKey& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return -1;
+  return std::max(it->second.best_avc, svc_contiguous_quality(key));
+}
+
+media::QualityLevel PlaybackBuffer::svc_contiguous_quality(
+    const media::ChunkKey& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return -1;
+  media::QualityLevel svc_quality = -1;
+  for (media::LayerIndex l = 0;; ++l) {
+    if (!it->second.svc_layers.contains(l)) break;
+    svc_quality = l;
+  }
+  return svc_quality;
+}
+
+bool PlaybackBuffer::contains(const media::ChunkAddress& address) const {
+  const auto it = cells_.find(address.key);
+  return it != cells_.end() && it->second.objects.contains(address);
+}
+
+std::int64_t PlaybackBuffer::cell_bytes(const media::ChunkKey& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return 0;
+  std::int64_t total = 0;
+  for (const auto& address : it->second.objects) {
+    total += video_->size_bytes(address);
+  }
+  return total;
+}
+
+std::int64_t PlaybackBuffer::cell_bytes_used(const media::ChunkKey& key,
+                                             media::QualityLevel shown) const {
+  if (shown < 0) return 0;
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return 0;
+  const Cell& cell = it->second;
+  // Prefer the interpretation that matches how `shown` was achieved.
+  std::int64_t used = 0;
+  if (cell.best_avc >= shown) {
+    used = video_->avc_size_bytes(shown, key);
+  } else {
+    for (media::LayerIndex l = 0; l <= shown; ++l) {
+      if (cell.svc_layers.contains(l)) {
+        used += video_->svc_layer_size_bytes(l, key);
+      }
+    }
+  }
+  return used;
+}
+
+void PlaybackBuffer::evict_before(media::ChunkIndex index) {
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->first.index < index) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int PlaybackBuffer::contiguous_chunks(media::ChunkIndex from,
+                                      const std::vector<geo::TileId>& tiles) const {
+  int count = 0;
+  for (media::ChunkIndex i = from; i < video_->chunk_count(); ++i) {
+    for (geo::TileId tile : tiles) {
+      if (!has_displayable({tile, i})) return count;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace sperke::core

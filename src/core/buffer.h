@@ -1,0 +1,75 @@
+// Client-side playback buffer: tracks, per (tile, chunk) cell, what has been
+// downloaded (the "Encoded Chunk Cache" of Figure 4) and what quality is
+// therefore displayable.
+//
+// AVC objects are self-contained: the displayable quality is the best copy
+// held. SVC layers compose: the displayable quality is the highest layer i
+// such that layers 0..i are all present (§3.1.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "media/chunk.h"
+#include "media/video_model.h"
+
+namespace sperke::core {
+
+class PlaybackBuffer {
+ public:
+  explicit PlaybackBuffer(std::shared_ptr<const media::VideoModel> video);
+
+  // Record a completed download. Duplicate adds are idempotent (bytes are
+  // only counted once per distinct address).
+  void add(const media::ChunkAddress& address);
+
+  // Highest quality that can be decoded for this cell, or -1 if nothing
+  // playable is buffered (SVC enhancement layers without the base do not
+  // count).
+  [[nodiscard]] media::QualityLevel displayable_quality(const media::ChunkKey& key) const;
+
+  [[nodiscard]] bool has_displayable(const media::ChunkKey& key) const {
+    return displayable_quality(key) >= 0;
+  }
+
+  // Highest contiguous SVC layer held (from 0), or -1: the base an
+  // incremental delta upgrade can build on (an AVC copy cannot).
+  [[nodiscard]] media::QualityLevel svc_contiguous_quality(
+      const media::ChunkKey& key) const;
+
+  [[nodiscard]] bool contains(const media::ChunkAddress& address) const;
+
+  // Total bytes downloaded into this cell.
+  [[nodiscard]] std::int64_t cell_bytes(const media::ChunkKey& key) const;
+
+  // Bytes of this cell that contribute to its displayed quality `shown`
+  // (the AVC copy of exactly that quality, or SVC layers 0..shown).
+  [[nodiscard]] std::int64_t cell_bytes_used(const media::ChunkKey& key,
+                                             media::QualityLevel shown) const;
+
+  // Drop all cells with chunk index < `index` (already played).
+  void evict_before(media::ChunkIndex index);
+
+  // Number of contiguous chunks starting at `from` for which every tile in
+  // `tiles` is displayable.
+  [[nodiscard]] int contiguous_chunks(media::ChunkIndex from,
+                                      const std::vector<geo::TileId>& tiles) const;
+
+  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Cell {
+    media::QualityLevel best_avc = -1;
+    std::set<media::LayerIndex> svc_layers;
+    std::set<media::ChunkAddress> objects;  // for idempotence + accounting
+  };
+
+  std::shared_ptr<const media::VideoModel> video_;
+  std::unordered_map<media::ChunkKey, Cell> cells_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace sperke::core

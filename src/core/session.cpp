@@ -1,0 +1,349 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace sperke::core {
+namespace {
+
+std::unique_ptr<hmp::OrientationPredictor> motion_for(const SessionConfig& config) {
+  return hmp::make_orientation_predictor(config.predictor);
+}
+
+}  // namespace
+
+StreamingSession::StreamingSession(sim::Simulator& simulator,
+                                   std::shared_ptr<const media::VideoModel> video,
+                                   ChunkTransport& transport,
+                                   const hmp::HeadTrace& head_trace,
+                                   SessionConfig config,
+                                   const hmp::ViewingHeatmap* crowd)
+    : simulator_(simulator),
+      video_(std::move(video)),
+      transport_(transport),
+      head_trace_(head_trace),
+      config_(std::move(config)),
+      fusion_(video_->geometry_ptr(), config_.viewport, motion_for(config_), crowd,
+              config_.context, config_.fusion),
+      buffer_(video_),
+      vra_(video_, config_.vra),
+      qoe_(config_.qoe) {
+  if (config_.prefetch_horizon_chunks < 1) {
+    throw std::invalid_argument("Session: prefetch horizon < 1");
+  }
+  if (config_.startup_chunks < 1) {
+    throw std::invalid_argument("Session: startup chunks < 1");
+  }
+  if (config_.head_sample_hz <= 0.0) {
+    throw std::invalid_argument("Session: bad head sample rate");
+  }
+}
+
+sim::Time StreamingSession::media_now() const {
+  const sim::Time base = video_->chunk_start_time(current_chunk_);
+  if (!playing_ || stalled_) return base;
+  return base + (simulator_.now() - chunk_play_started_);
+}
+
+sim::Time StreamingSession::deadline_of(media::ChunkIndex index) const {
+  const auto ahead = video_->chunk_duration() * (index - current_chunk_);
+  if (playing_ && !stalled_) return chunk_play_started_ + ahead;
+  return simulator_.now() + ahead;  // startup/stall: assume immediate resume
+}
+
+std::vector<geo::TileId> StreamingSession::all_tiles() const {
+  std::vector<geo::TileId> tiles(static_cast<std::size_t>(video_->tile_count()));
+  for (geo::TileId t = 0; t < video_->tile_count(); ++t) {
+    tiles[static_cast<std::size_t>(t)] = t;
+  }
+  return tiles;
+}
+
+void StreamingSession::start() {
+  if (started_) throw std::logic_error("Session already started");
+  started_ = true;
+  session_started_ = simulator_.now();
+  observe_head();  // prime the predictor with the initial pose
+  head_task_.emplace(simulator_, sim::seconds(1.0 / config_.head_sample_hz),
+                     [this] { observe_head(); });
+  if (config_.enable_upgrades && config_.planner == PlannerMode::kFovGuided) {
+    upgrade_task_.emplace(simulator_, config_.upgrade_scan_period,
+                          [this] { scan_upgrades(); });
+  }
+  maybe_plan();
+}
+
+void StreamingSession::observe_head() {
+  if (finished_) return;
+  const sim::Time t = media_now();
+  if (t <= last_observed_) return;  // content time frozen during stall
+  last_observed_ = t;
+  fusion_.observe({t, head_trace_.orientation_at(t)});
+}
+
+void StreamingSession::maybe_plan() {
+  if (finished_) return;
+  while (next_plan_ < video_->chunk_count() &&
+         next_plan_ < current_chunk_ + config_.prefetch_horizon_chunks) {
+    const media::ChunkIndex index = next_plan_;
+    const sim::Time deadline = deadline_of(index);
+    const sim::Duration horizon =
+        video_->chunk_start_time(index) - media_now();
+
+    std::vector<geo::TileId> fov;
+    std::vector<double> probs;
+    if (config_.planner == PlannerMode::kFovAgnostic) {
+      fov = all_tiles();  // whole panorama, no OOS concept
+    } else {
+      // Size the super chunk from the motion-predicted viewport, but pick
+      // the *tiles* from the fused probability map: at short horizons the
+      // map is motion-dominated (same tiles), at long horizons the crowd
+      // prior takes over, which is what makes deep prefetch viable (§3.2).
+      const geo::Orientation predicted = fusion_.predict_orientation(horizon);
+      const auto motion_fov =
+          video_->geometry().visible_tiles(predicted, config_.viewport);
+      probs = fusion_.tile_probabilities(horizon, index);
+      std::vector<geo::TileId> order(probs.size());
+      for (std::size_t i = 0; i < probs.size(); ++i) {
+        order[i] = static_cast<geo::TileId>(i);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](geo::TileId a, geo::TileId b) {
+        return probs[static_cast<std::size_t>(a)] > probs[static_cast<std::size_t>(b)];
+      });
+      order.resize(std::min(order.size(), motion_fov.size()));
+      fov = std::move(order);
+      std::sort(fov.begin(), fov.end());
+    }
+
+    const sim::Duration buffer_level =
+        video_->chunk_start_time(index) - media_now();
+    // Data budget: treat the remaining allowance, spread over the remaining
+    // chunks, as a second throughput ceiling for the regular VRA.
+    double effective_kbps = transport_.estimated_kbps();
+    if (config_.data_budget_bytes > 0) {
+      const std::int64_t spent = qoe_.summary().bytes_downloaded;
+      const std::int64_t remaining_bytes =
+          std::max<std::int64_t>(0, config_.data_budget_bytes - spent);
+      const int remaining_chunks = video_->chunk_count() - index;
+      const double budget_kbps =
+          static_cast<double>(remaining_bytes) * 8.0 /
+          std::max(1.0, remaining_chunks *
+                            sim::to_seconds(video_->chunk_duration())) /
+          1000.0;
+      effective_kbps = effective_kbps > 0.0
+                           ? std::min(effective_kbps, budget_kbps)
+                           : budget_kbps;
+    }
+    const abr::ChunkPlan plan =
+        vra_.plan_chunk(index, fov, probs, effective_kbps,
+                        buffer_level, last_fov_quality_);
+    plan_quality_[index] = plan.fov_quality;
+    last_fov_quality_ = plan.fov_quality;
+
+    for (const auto& fetch : plan.fetches) {
+      dispatch(fetch.address, fetch.spatial, deadline, false, false);
+    }
+    ++next_plan_;
+  }
+  attempt_start();
+}
+
+void StreamingSession::dispatch(const media::ChunkAddress& address,
+                                abr::SpatialClass spatial, sim::Time deadline,
+                                bool count_as_upgrade, bool count_as_correction) {
+  if (buffer_.contains(address) || in_flight_.contains(address)) return;
+  in_flight_.insert(address);
+  ++fetches_;
+  const bool urgent = (deadline - simulator_.now()) < config_.urgent_slack;
+  if (urgent) ++urgent_fetches_;
+  if (count_as_upgrade) ++upgrades_;
+  if (count_as_correction) ++late_corrections_;
+  const std::int64_t bytes = video_->size_bytes(address);
+  ChunkRequest request;
+  request.address = address;
+  request.bytes = bytes;
+  request.spatial = spatial;
+  request.urgent = urgent;
+  request.deadline = deadline;
+  request.on_done = [this, alive = alive_, address, bytes](sim::Time,
+                                                           bool delivered) {
+    if (!*alive) return;
+    in_flight_.erase(address);
+    if (delivered) on_fetch_done(address, bytes);
+  };
+  transport_.fetch(std::move(request));
+}
+
+void StreamingSession::on_fetch_done(const media::ChunkAddress& address,
+                                     std::int64_t bytes) {
+  qoe_.record_downloaded(bytes);
+  if (finished_ || address.key.index < current_chunk_ ||
+      (address.key.index == current_chunk_ && playing_ && !stalled_)) {
+    // Arrived after its chunk started playing: pure waste.
+    qoe_.record_wasted(bytes);
+  } else {
+    buffer_.add(address);
+  }
+  if (stalled_) try_resume_from_stall();
+  attempt_start();
+  maybe_plan();
+}
+
+void StreamingSession::attempt_start() {
+  if (playing_ || finished_ || !started_) return;
+  // Startup condition: the tiles visible at media time 0 are displayable
+  // for the first `startup_chunks` chunks.
+  const auto visible = video_->geometry().visible_tiles(
+      head_trace_.orientation_at(sim::kTimeZero), config_.viewport);
+  const int want = std::min<int>(config_.startup_chunks, video_->chunk_count());
+  if (buffer_.contiguous_chunks(0, visible) < want) return;
+  playing_ = true;
+  startup_done_ = simulator_.now();
+  chunk_play_started_ = simulator_.now();
+  play_chunk();
+}
+
+void StreamingSession::play_chunk() {
+  if (finished_) return;
+  const media::ChunkIndex index = current_chunk_;
+  const sim::Time media = video_->chunk_start_time(index);
+  const auto visible = video_->geometry().visible_tiles(
+      head_trace_.orientation_at(media), config_.viewport);
+
+  // Coverage check: every visible tile must be displayable.
+  std::vector<geo::TileId> missing;
+  for (geo::TileId tile : visible) {
+    if (!buffer_.has_displayable({tile, index})) missing.push_back(tile);
+  }
+  if (!missing.empty()) {
+    if (!stalled_) {
+      stalled_ = true;
+      stall_started_ = simulator_.now();
+    }
+    // Emergency fetch of the missing tiles at the base quality (Table 1's
+    // "urgent chunks": very short deadline after an HMP correction).
+    for (geo::TileId tile : missing) {
+      const media::ChunkKey key{tile, index};
+      const media::ChunkAddress address =
+          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
+           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
+              ? media::ChunkAddress{key, media::Encoding::kAvc, 0}
+              : media::ChunkAddress{key, media::Encoding::kSvc, 0};
+      dispatch(address, abr::SpatialClass::kFov, simulator_.now(), false, false);
+    }
+    return;  // resume via try_resume_from_stall()
+  }
+
+  if (stalled_) {
+    stalled_ = false;
+    qoe_.record_stall(simulator_.now() - stall_started_);
+    chunk_play_started_ = simulator_.now();
+  }
+
+  // Record the displayed viewport quality and byte usage.
+  double utility_sum = 0.0;
+  for (geo::TileId tile : visible) {
+    const media::ChunkKey key{tile, index};
+    const media::QualityLevel shown = buffer_.displayable_quality(key);
+    utility_sum += video_->ladder().utility(std::max(shown, 0));
+  }
+  const double viewport_utility =
+      visible.empty() ? 0.0 : utility_sum / static_cast<double>(visible.size());
+  qoe_.record_played_chunk(viewport_utility, 0.0);
+  utility_per_chunk_.push_back(viewport_utility);
+
+  // Waste accounting for every cell of this chunk.
+  std::vector<char> is_visible(static_cast<std::size_t>(video_->tile_count()), 0);
+  for (geo::TileId tile : visible) is_visible[static_cast<std::size_t>(tile)] = 1;
+  for (geo::TileId tile = 0; tile < video_->tile_count(); ++tile) {
+    const media::ChunkKey key{tile, index};
+    const std::int64_t held = buffer_.cell_bytes(key);
+    if (held == 0) continue;
+    std::int64_t used = 0;
+    if (is_visible[static_cast<std::size_t>(tile)]) {
+      used = buffer_.cell_bytes_used(key, buffer_.displayable_quality(key));
+    }
+    qoe_.record_wasted(held - used);
+  }
+  buffer_.evict_before(index + 1);
+
+  // Advance the playhead.
+  if (index + 1 >= video_->chunk_count()) {
+    simulator_.schedule_after(video_->chunk_duration(),
+                              [this, alive = alive_] {
+                                if (*alive) finish();
+                              });
+    return;
+  }
+  current_chunk_ = index + 1;
+  chunk_play_started_ += video_->chunk_duration();
+  maybe_plan();
+  simulator_.schedule_at(chunk_play_started_, [this, alive = alive_] {
+    if (*alive) play_chunk();
+  });
+}
+
+void StreamingSession::try_resume_from_stall() {
+  if (!stalled_ || finished_) return;
+  play_chunk();  // re-checks coverage; resumes when complete
+}
+
+void StreamingSession::scan_upgrades() {
+  if (finished_ || config_.planner != PlannerMode::kFovGuided) return;
+  const double est = transport_.estimated_kbps();
+  for (media::ChunkIndex index = current_chunk_ + (playing_ ? 1 : 0);
+       index < next_plan_; ++index) {
+    const sim::Time deadline = deadline_of(index);
+    const sim::Duration slack = deadline - simulator_.now();
+    if (slack <= sim::Duration{0}) continue;
+    const sim::Duration horizon = video_->chunk_start_time(index) - media_now();
+    const geo::Orientation predicted = fusion_.predict_orientation(horizon);
+    const auto visible =
+        video_->geometry().visible_tiles(predicted, config_.viewport);
+    const auto probs = fusion_.tile_probabilities(horizon, index);
+    const auto target_it = plan_quality_.find(index);
+    if (target_it == plan_quality_.end()) continue;
+    const media::QualityLevel target = target_it->second;
+    for (geo::TileId tile : visible) {
+      const media::ChunkKey key{tile, index};
+      const media::QualityLevel current = buffer_.displayable_quality(key);
+      if (current >= target) continue;
+      const auto decision = vra_.consider_upgrade(
+          key, current, buffer_.svc_contiguous_quality(key), target,
+          probs[static_cast<std::size_t>(tile)], slack, est);
+      if (!decision.upgrade) continue;
+      for (const auto& address : decision.fetches) {
+        dispatch(address, abr::SpatialClass::kFov, deadline,
+                 /*count_as_upgrade=*/current >= 0,
+                 /*count_as_correction=*/current < 0);
+      }
+    }
+  }
+}
+
+void StreamingSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  session_ended_ = simulator_.now();
+  if (head_task_) head_task_->stop();
+  if (upgrade_task_) upgrade_task_->stop();
+}
+
+SessionReport StreamingSession::report() const {
+  SessionReport report;
+  report.qoe = qoe_.summary();
+  report.startup_delay = startup_done_ - session_started_;
+  report.wall_duration =
+      (finished_ ? session_ended_ : simulator_.now()) - session_started_;
+  report.fetches = fetches_;
+  report.urgent_fetches = urgent_fetches_;
+  report.upgrades = upgrades_;
+  report.late_corrections = late_corrections_;
+  report.viewport_utility_per_chunk = utility_per_chunk_;
+  report.completed = finished_;
+  return report;
+}
+
+}  // namespace sperke::core

@@ -1,0 +1,148 @@
+// StreamingSession: the Sperke client (Figure 4), wired for on-demand 360°
+// streaming over a simulated network.
+//
+// Responsibilities per the figure:
+//   * head sensor sampling -> HMP fusion (hmp/fusion.h),
+//   * fetch scheduling driven by the 360° VRA (abr/sperke_vra.h),
+//   * the encoded-chunk cache (core/buffer.h),
+//   * playback with stall semantics and QoE accounting (abr/qoe.h),
+//   * runtime incremental upgrades of mispredicted tiles (§3.1.1).
+//
+// Head orientation is indexed by *content time* (as in public head-trace
+// datasets): a stall freezes both the playhead and the sensor stream.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abr/qoe.h"
+#include "abr/sperke_vra.h"
+#include "core/buffer.h"
+#include "core/transport.h"
+#include "hmp/fusion.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace sperke::core {
+
+enum class PlannerMode {
+  kFovGuided,    // tiles from HMP prediction + OOS margin (the Sperke way)
+  kFovAgnostic,  // always fetch the full panorama (YouTube/Facebook, §2)
+};
+
+struct SessionConfig {
+  PlannerMode planner = PlannerMode::kFovGuided;
+  abr::SperkeVraConfig vra;
+  geo::Viewport viewport{100.0, 90.0};
+  double head_sample_hz = 25.0;
+  // HMP is only trustworthy a short window ahead (§3.2), which bounds how
+  // far the planner runs ahead of the playhead.
+  int prefetch_horizon_chunks = 4;
+  int startup_chunks = 1;
+  // Below this deadline slack a fetch is dispatched as "urgent" (Table 1).
+  sim::Duration urgent_slack{sim::seconds(1.0)};
+  sim::Duration upgrade_scan_period{sim::milliseconds(250)};
+  bool enable_upgrades = true;
+  abr::QoeWeights qoe;
+  std::string predictor = "linear-regression";
+  hmp::FusionConfig fusion;
+  hmp::ViewingContext context;
+  // User-configured session data budget (§3.1.2's "bandwidth budget
+  // configured by the user", e.g. a cellular data cap). 0 = unlimited.
+  // As spending approaches the budget the planner caps quality
+  // progressively, so the video still finishes within the allowance.
+  std::int64_t data_budget_bytes = 0;
+};
+
+struct SessionReport {
+  abr::QoeSummary qoe;
+  sim::Duration startup_delay{0};
+  sim::Duration wall_duration{0};
+  int fetches = 0;
+  int urgent_fetches = 0;
+  int upgrades = 0;             // §3.1.1 incremental upgrades performed
+  int late_corrections = 0;     // tiles first fetched inside the window
+  std::vector<double> viewport_utility_per_chunk;
+  bool completed = false;
+};
+
+class StreamingSession {
+ public:
+  // `transport` and `head_trace` must outlive the session. `crowd` (may be
+  // null) provides the cross-user prior for HMP fusion.
+  StreamingSession(sim::Simulator& simulator,
+                   std::shared_ptr<const media::VideoModel> video,
+                   ChunkTransport& transport, const hmp::HeadTrace& head_trace,
+                   SessionConfig config,
+                   const hmp::ViewingHeatmap* crowd = nullptr);
+
+  // Schedule the session's activity; drive with simulator.run()/run_until().
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] SessionReport report() const;
+
+  [[nodiscard]] const PlaybackBuffer& buffer() const { return buffer_; }
+
+ private:
+  [[nodiscard]] sim::Time media_now() const;
+  [[nodiscard]] sim::Time deadline_of(media::ChunkIndex index) const;
+  [[nodiscard]] std::vector<geo::TileId> all_tiles() const;
+
+  void observe_head();
+  void maybe_plan();
+  void dispatch(const media::ChunkAddress& address, abr::SpatialClass spatial,
+                sim::Time deadline, bool count_as_upgrade, bool count_as_correction);
+  void on_fetch_done(const media::ChunkAddress& address, std::int64_t bytes);
+  void attempt_start();
+  void play_chunk();
+  void try_resume_from_stall();
+  void scan_upgrades();
+  void finish();
+
+  sim::Simulator& simulator_;
+  std::shared_ptr<const media::VideoModel> video_;
+  ChunkTransport& transport_;
+  const hmp::HeadTrace& head_trace_;
+  SessionConfig config_;
+  hmp::FusionPredictor fusion_;
+  PlaybackBuffer buffer_;
+  abr::SperkeVra vra_;
+  abr::QoeTracker qoe_;
+
+  // Playback state.
+  bool started_ = false;
+  bool playing_ = false;
+  bool stalled_ = false;
+  bool finished_ = false;
+  media::ChunkIndex current_chunk_ = 0;     // chunk being (or next to be) played
+  sim::Time chunk_play_started_{sim::kTimeZero};
+  sim::Time stall_started_{sim::kTimeZero};
+  sim::Time session_started_{sim::kTimeZero};
+  sim::Time session_ended_{sim::kTimeZero};
+  sim::Time startup_done_{sim::kTimeZero};
+
+  // Planning state.
+  media::ChunkIndex next_plan_ = 0;
+  media::QualityLevel last_fov_quality_ = 0;
+  std::map<media::ChunkIndex, media::QualityLevel> plan_quality_;
+  std::set<media::ChunkAddress> in_flight_;
+
+  // Counters.
+  int fetches_ = 0;
+  int urgent_fetches_ = 0;
+  int upgrades_ = 0;
+  int late_corrections_ = 0;
+  std::vector<double> utility_per_chunk_;
+  sim::Time last_observed_{sim::Duration{-1}};
+
+  std::optional<sim::PeriodicTask> head_task_;
+  std::optional<sim::PeriodicTask> upgrade_task_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::core

@@ -1,0 +1,79 @@
+// Transport abstraction between the streaming client and the network:
+// the client submits chunk requests tagged with the Table 1 priorities;
+// a transport delivers them over one link (SingleLinkTransport) or several
+// (mp::MultipathTransport).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "abr/plan.h"
+#include "media/chunk.h"
+#include "net/link.h"
+#include "net/throughput_estimator.h"
+#include "sim/time.h"
+
+namespace sperke::core {
+
+struct ChunkRequest {
+  media::ChunkAddress address;
+  std::int64_t bytes = 0;
+  abr::SpatialClass spatial = abr::SpatialClass::kFov;
+  bool urgent = false;                 // temporal priority (Table 1)
+  sim::Time deadline{sim::kTimeZero};  // playback deadline (wall clock)
+  // Called exactly once: delivered=true with the completion time, or
+  // delivered=false if the transport dropped/abandoned the request.
+  std::function<void(sim::Time, bool delivered)> on_done;
+};
+
+class ChunkTransport {
+ public:
+  virtual ~ChunkTransport() = default;
+
+  virtual void fetch(ChunkRequest request) = 0;
+
+  // Aggregate goodput estimate (kbps) for rate adaptation.
+  [[nodiscard]] virtual double estimated_kbps() const = 0;
+
+  // Requests accepted but not yet completed/dropped.
+  [[nodiscard]] virtual int in_flight() const = 0;
+
+  [[nodiscard]] virtual std::int64_t bytes_fetched() const = 0;
+};
+
+// Queued dispatch over a single net::Link with bounded concurrency.
+// Urgent requests jump the queue (ahead of non-urgent, behind other
+// urgent); ties keep FIFO order. Throughput is estimated aggregate-wise
+// across concurrent transfers (net::AggregateWindowEstimator).
+class SingleLinkTransport final : public ChunkTransport {
+ public:
+  // `link` must outlive the transport.
+  explicit SingleLinkTransport(net::Link& link, int max_concurrent = 4);
+
+  void fetch(ChunkRequest request) override;
+  [[nodiscard]] double estimated_kbps() const override;
+  [[nodiscard]] int in_flight() const override;
+  [[nodiscard]] std::int64_t bytes_fetched() const override { return bytes_fetched_; }
+
+ private:
+  void pump();
+
+  net::Link& link_;
+  int max_concurrent_;
+  net::AggregateWindowEstimator estimator_;
+  struct Pending {
+    ChunkRequest request;
+    std::uint64_t seq;
+  };
+  std::vector<Pending> queue_;
+  std::uint64_t next_seq_ = 0;
+  int active_ = 0;
+  std::int64_t bytes_fetched_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+ public:
+  ~SingleLinkTransport() override;
+};
+
+}  // namespace sperke::core

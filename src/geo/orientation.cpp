@@ -1,0 +1,53 @@
+#include "geo/orientation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sperke::geo {
+
+Orientation Orientation::normalized() const {
+  return Orientation{
+      .yaw_deg = wrap_deg180(yaw_deg),
+      .pitch_deg = std::clamp(pitch_deg, -90.0, 90.0),
+      .roll_deg = wrap_deg180(roll_deg),
+  };
+}
+
+Vec3 Orientation::direction() const {
+  return direction_from_lonlat(yaw_deg, pitch_deg);
+}
+
+Vec3 direction_from_lonlat(double lon_deg, double lat_deg) {
+  const double lon = deg_to_rad(lon_deg);
+  const double lat = deg_to_rad(std::clamp(lat_deg, -90.0, 90.0));
+  return Vec3{std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+              std::sin(lat)};
+}
+
+LonLat lonlat_from_direction(const Vec3& d) {
+  const Vec3 u = d.normalized();
+  const double lat = std::asin(std::clamp(u.z, -1.0, 1.0));
+  const double lon = std::atan2(u.y, u.x);
+  return LonLat{wrap_deg180(rad_to_deg(lon)), rad_to_deg(lat)};
+}
+
+double angular_distance_deg(const Orientation& a, const Orientation& b) {
+  return rad_to_deg(angle_between(a.direction(), b.direction()));
+}
+
+ViewBasis view_basis(const Orientation& o) {
+  const Vec3 forward = o.direction();
+  // World up; degenerate at the poles, fall back to world x-axis.
+  Vec3 world_up{0.0, 0.0, 1.0};
+  if (std::abs(forward.dot(world_up)) > 0.999) world_up = Vec3{1.0, 0.0, 0.0};
+  const Vec3 right = forward.cross(world_up).normalized();
+  const Vec3 up = right.cross(forward).normalized();
+  // Apply roll: rotate right/up about forward by roll degrees.
+  const double r = deg_to_rad(o.roll_deg);
+  const double c = std::cos(r), s = std::sin(r);
+  const Vec3 right_r = right * c + up * s;
+  const Vec3 up_r = up * c - right * s;
+  return ViewBasis{forward, right_r, up_r};
+}
+
+}  // namespace sperke::geo

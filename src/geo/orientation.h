@@ -1,0 +1,50 @@
+// Viewer head orientation (Figure 1 of the paper): yaw, pitch, roll in
+// degrees, plus conversions to/from view direction vectors.
+//
+// Conventions:
+//   yaw   — longitude of the view direction, [-180, 180), 0 = "front",
+//           positive to the viewer's left (east on the equirect panorama).
+//   pitch — latitude, [-90, 90], positive up.
+//   roll  — rotation about the view axis; affects the viewport's in-plane
+//           orientation but not the view direction itself.
+#pragma once
+
+#include "geo/vec.h"
+#include "util/math.h"
+
+namespace sperke::geo {
+
+struct Orientation {
+  double yaw_deg = 0.0;
+  double pitch_deg = 0.0;
+  double roll_deg = 0.0;
+
+  // Canonical form: yaw wrapped to [-180,180), pitch clamped to [-90,90].
+  [[nodiscard]] Orientation normalized() const;
+
+  // Unit view direction on the sphere (ignores roll).
+  [[nodiscard]] Vec3 direction() const;
+};
+
+// Direction vector for a (lon, lat) pair in degrees.
+[[nodiscard]] Vec3 direction_from_lonlat(double lon_deg, double lat_deg);
+
+// Inverse of direction(): (lon, lat) in degrees of a direction vector.
+struct LonLat {
+  double lon_deg = 0.0;
+  double lat_deg = 0.0;
+};
+[[nodiscard]] LonLat lonlat_from_direction(const Vec3& d);
+
+// Great-circle angular distance between two view directions, degrees [0,180].
+[[nodiscard]] double angular_distance_deg(const Orientation& a, const Orientation& b);
+
+// Orthonormal viewing basis {forward, right, up} honoring roll.
+struct ViewBasis {
+  Vec3 forward;
+  Vec3 right;
+  Vec3 up;
+};
+[[nodiscard]] ViewBasis view_basis(const Orientation& o);
+
+}  // namespace sperke::geo

@@ -1,0 +1,36 @@
+#include "geo/tile_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sperke::geo {
+
+TileId TileGrid::tile_at(Uv uv) const {
+  const double u = std::clamp(uv.u, 0.0, 1.0 - 1e-12);
+  const double v = std::clamp(uv.v, 0.0, 1.0 - 1e-12);
+  const int col = std::min(cols_ - 1, static_cast<int>(u * cols_));
+  const int row = std::min(rows_ - 1, static_cast<int>(v * rows_));
+  return tile_id(row, col);
+}
+
+Uv TileGrid::tile_center(TileId id) const {
+  check_id(id);
+  const int row = id / cols_;
+  const int col = id % cols_;
+  return Uv{(col + 0.5) / cols_, (row + 0.5) / rows_};
+}
+
+std::vector<TileId> TileGrid::neighbors(TileId id) const {
+  check_id(id);
+  const int row = id / cols_;
+  const int col = id % cols_;
+  std::vector<TileId> out;
+  out.reserve(4);
+  if (row > 0) out.push_back(tile_id(row - 1, col));
+  if (row + 1 < rows_) out.push_back(tile_id(row + 1, col));
+  out.push_back(tile_id(row, (col + cols_ - 1) % cols_));
+  if (cols_ > 1) out.push_back(tile_id(row, (col + 1) % cols_));
+  return out;
+}
+
+}  // namespace sperke::geo

@@ -1,0 +1,39 @@
+// Minimal 3D vector/quaternion math for spherical view geometry.
+#pragma once
+
+#include <cmath>
+
+namespace sperke::geo {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{1.0, 0.0, 0.0};
+  }
+};
+
+// Angle between two (not necessarily unit) vectors, in radians [0, pi].
+[[nodiscard]] inline double angle_between(const Vec3& a, const Vec3& b) {
+  const double na = a.norm(), nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  c = c > 1.0 ? 1.0 : (c < -1.0 ? -1.0 : c);
+  return std::acos(c);
+}
+
+}  // namespace sperke::geo

@@ -1,0 +1,125 @@
+#include "geo/visibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace sperke::geo {
+
+TileGeometry::TileGeometry(std::shared_ptr<const Projection> projection,
+                           TileGrid grid, int samples_per_axis)
+    : projection_(std::move(projection)),
+      grid_(grid),
+      samples_per_axis_(samples_per_axis) {
+  if (!projection_) throw std::invalid_argument("TileGeometry: null projection");
+  if (samples_per_axis_ < 2) throw std::invalid_argument("TileGeometry: samples_per_axis < 2");
+
+  // Precompute per-tile solid angle by sampling the sphere uniformly:
+  // stratified in longitude and in sin(latitude) (equal-area bands).
+  const int kLonSamples = 256;
+  const int kLatSamples = 128;
+  solid_angle_.assign(static_cast<std::size_t>(grid_.tile_count()), 0.0);
+  for (int i = 0; i < kLonSamples; ++i) {
+    const double lon = (i + 0.5) / kLonSamples * 360.0 - 180.0;
+    for (int j = 0; j < kLatSamples; ++j) {
+      const double z = (j + 0.5) / kLatSamples * 2.0 - 1.0;  // sin(lat)
+      const double lat = rad_to_deg(std::asin(z));
+      const Vec3 dir = direction_from_lonlat(lon, lat);
+      const TileId id = grid_.tile_at(projection_->uv_from_direction(dir));
+      solid_angle_[static_cast<std::size_t>(id)] += 1.0;
+    }
+  }
+  const double total = kLonSamples * static_cast<double>(kLatSamples);
+  for (double& f : solid_angle_) f /= total;
+
+  tile_centers_.reserve(static_cast<std::size_t>(grid_.tile_count()));
+  for (TileId id = 0; id < grid_.tile_count(); ++id) {
+    tile_centers_.push_back(projection_->direction_from_uv(grid_.tile_center(id)));
+  }
+}
+
+std::vector<TileId> TileGeometry::visible_tiles(const Orientation& view,
+                                                const Viewport& viewport) const {
+  const ViewBasis basis = view_basis(view.normalized());
+  const double half_w = deg_to_rad(viewport.width_deg) / 2.0;
+  const double half_h = deg_to_rad(viewport.height_deg) / 2.0;
+  const double tan_w = std::tan(half_w);
+  const double tan_h = std::tan(half_h);
+
+  std::vector<char> seen(static_cast<std::size_t>(grid_.tile_count()), 0);
+  const int n = samples_per_axis_;
+  for (int i = 0; i < n; ++i) {
+    const double a = (n == 1) ? 0.0 : (static_cast<double>(i) / (n - 1) * 2.0 - 1.0);
+    for (int j = 0; j < n; ++j) {
+      const double b = (n == 1) ? 0.0 : (static_cast<double>(j) / (n - 1) * 2.0 - 1.0);
+      const Vec3 dir = (basis.forward + basis.right * (a * tan_w) +
+                        basis.up * (b * tan_h))
+                           .normalized();
+      const TileId id = grid_.tile_at(projection_->uv_from_direction(dir));
+      seen[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+  std::vector<TileId> out;
+  for (TileId id = 0; id < grid_.tile_count(); ++id) {
+    if (seen[static_cast<std::size_t>(id)]) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<double> TileGeometry::tile_distances_deg(const Orientation& view) const {
+  const Vec3 dir = view.direction();
+  std::vector<double> out;
+  out.reserve(tile_centers_.size());
+  for (const Vec3& c : tile_centers_) {
+    out.push_back(rad_to_deg(angle_between(dir, c)));
+  }
+  return out;
+}
+
+std::vector<TileId> TileGeometry::tiles_by_distance(const Orientation& view) const {
+  const std::vector<double> dist = tile_distances_deg(view);
+  std::vector<TileId> order(static_cast<std::size_t>(grid_.tile_count()));
+  std::iota(order.begin(), order.end(), TileId{0});
+  std::stable_sort(order.begin(), order.end(), [&](TileId a, TileId b) {
+    return dist[static_cast<std::size_t>(a)] < dist[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> TileGeometry::oos_rings(const std::vector<TileId>& visible) const {
+  std::vector<int> ring(static_cast<std::size_t>(grid_.tile_count()), -1);
+  std::deque<TileId> frontier;
+  for (TileId id : visible) {
+    if (!grid_.contains(id)) throw std::out_of_range("oos_rings: bad TileId");
+    ring[static_cast<std::size_t>(id)] = 0;
+    frontier.push_back(id);
+  }
+  while (!frontier.empty()) {
+    const TileId cur = frontier.front();
+    frontier.pop_front();
+    const int next_ring = ring[static_cast<std::size_t>(cur)] + 1;
+    for (TileId nb : grid_.neighbors(cur)) {
+      auto& r = ring[static_cast<std::size_t>(nb)];
+      if (r < 0) {
+        r = next_ring;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  // Unreached tiles (possible only with an empty visible set) get a large ring.
+  for (auto& r : ring) {
+    if (r < 0) r = grid_.tile_count();
+  }
+  return ring;
+}
+
+Vec3 TileGeometry::tile_center_direction(TileId id) const {
+  if (!grid_.contains(id)) throw std::out_of_range("tile_center_direction: bad TileId");
+  return tile_centers_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace sperke::geo

@@ -1,0 +1,67 @@
+// FoV -> tile-set computation: the heart of FoV-guided streaming.
+//
+// TileGeometry binds a Projection and a TileGrid and answers the questions
+// the streaming stack keeps asking:
+//   * which tiles does this viewport cover? (visible set)
+//   * how far is a tile from the view center? (OOS ranking, §3.1.2)
+//   * what fraction of the sphere does a tile cover? (bandwidth weighting)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/orientation.h"
+#include "geo/projection.h"
+#include "geo/tile_grid.h"
+
+namespace sperke::geo {
+
+// Field of view of the headset/screen; fixed device parameters per §2.
+struct Viewport {
+  double width_deg = 100.0;   // horizontal extent
+  double height_deg = 90.0;   // vertical extent
+};
+
+class TileGeometry {
+ public:
+  // Takes shared ownership of the projection so sessions can share one.
+  TileGeometry(std::shared_ptr<const Projection> projection, TileGrid grid,
+               int samples_per_axis = 24);
+
+  [[nodiscard]] const Projection& projection() const { return *projection_; }
+  [[nodiscard]] const TileGrid& grid() const { return grid_; }
+
+  // Tiles intersected by the perspective viewport at the given orientation.
+  // Computed by sampling rays across the frustum; sorted, unique.
+  [[nodiscard]] std::vector<TileId> visible_tiles(const Orientation& view,
+                                                  const Viewport& viewport) const;
+
+  // Great-circle distance (degrees) from the view direction to each tile's
+  // center direction; index = TileId. Used to rank OOS tiles.
+  [[nodiscard]] std::vector<double> tile_distances_deg(const Orientation& view) const;
+
+  // All tiles ordered by increasing angular distance from the view center.
+  [[nodiscard]] std::vector<TileId> tiles_by_distance(const Orientation& view) const;
+
+  // BFS ring index per tile, 0 = inside `visible`, 1 = adjacent, etc.
+  // Horizontal adjacency wraps. Index = TileId.
+  [[nodiscard]] std::vector<int> oos_rings(const std::vector<TileId>& visible) const;
+
+  // Fraction of the sphere's solid angle covered by each tile (sums to ~1).
+  // Precomputed by uniform-on-sphere sampling at construction.
+  [[nodiscard]] const std::vector<double>& solid_angle_fractions() const {
+    return solid_angle_;
+  }
+
+  // Unit direction of a tile's center.
+  [[nodiscard]] Vec3 tile_center_direction(TileId id) const;
+
+ private:
+  std::shared_ptr<const Projection> projection_;
+  TileGrid grid_;
+  int samples_per_axis_;
+  std::vector<double> solid_angle_;
+  std::vector<Vec3> tile_centers_;
+};
+
+}  // namespace sperke::geo

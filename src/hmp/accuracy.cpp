@@ -1,0 +1,75 @@
+#include "hmp/accuracy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sperke::hmp {
+
+AccuracyReport evaluate_predictor(OrientationPredictor& predictor,
+                                  const HeadTrace& trace, sim::Duration horizon,
+                                  const geo::TileGeometry& geometry,
+                                  const geo::Viewport& viewport) {
+  if (horizon < sim::Duration{0}) throw std::invalid_argument("evaluate: negative horizon");
+  predictor.reset();
+  std::vector<double> errors;
+  double precision_sum = 0.0, recall_sum = 0.0;
+  int evals = 0;
+  for (const HeadSample& sample : trace.samples()) {
+    predictor.observe(sample);
+    const sim::Time target = sample.t + horizon;
+    if (target > trace.duration()) break;
+    const geo::Orientation predicted = predictor.predict(horizon);
+    const geo::Orientation actual = trace.orientation_at(target);
+    errors.push_back(geo::angular_distance_deg(predicted, actual));
+
+    const auto pred_tiles = geometry.visible_tiles(predicted, viewport);
+    const auto actual_tiles = geometry.visible_tiles(actual, viewport);
+    std::vector<geo::TileId> inter;
+    std::set_intersection(pred_tiles.begin(), pred_tiles.end(),
+                          actual_tiles.begin(), actual_tiles.end(),
+                          std::back_inserter(inter));
+    if (!pred_tiles.empty()) {
+      precision_sum += static_cast<double>(inter.size()) / pred_tiles.size();
+    }
+    if (!actual_tiles.empty()) {
+      recall_sum += static_cast<double>(inter.size()) / actual_tiles.size();
+    }
+    ++evals;
+  }
+  AccuracyReport report;
+  report.evaluations = evals;
+  if (evals > 0) {
+    report.mean_error_deg = mean_of(errors);
+    report.p90_error_deg = percentile(errors, 90.0);
+    report.tile_precision = precision_sum / evals;
+    report.tile_recall = recall_sum / evals;
+  }
+  return report;
+}
+
+double tile_hit_rate(std::span<const double> probabilities,
+                     std::span<const geo::TileId> actual_visible, int budget) {
+  if (budget <= 0) throw std::invalid_argument("tile_hit_rate: non-positive budget");
+  if (actual_visible.empty()) return 1.0;
+  std::vector<std::size_t> order(probabilities.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return probabilities[a] > probabilities[b];
+  });
+  const auto take = std::min<std::size_t>(order.size(), static_cast<std::size_t>(budget));
+  std::vector<char> chosen(probabilities.size(), 0);
+  for (std::size_t i = 0; i < take; ++i) chosen[order[i]] = 1;
+  int hits = 0;
+  for (geo::TileId tile : actual_visible) {
+    if (tile >= 0 && static_cast<std::size_t>(tile) < chosen.size() &&
+        chosen[static_cast<std::size_t>(tile)]) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual_visible.size());
+}
+
+}  // namespace sperke::hmp

@@ -1,0 +1,38 @@
+// Predictor evaluation: angular error and tile-level precision/recall at a
+// given prediction horizon, measured by replaying a head trace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/visibility.h"
+#include "hmp/head_trace.h"
+#include "hmp/predictor.h"
+
+namespace sperke::hmp {
+
+struct AccuracyReport {
+  double mean_error_deg = 0.0;   // great-circle error of the point prediction
+  double p90_error_deg = 0.0;
+  double tile_precision = 0.0;   // |predicted FoV ∩ actual FoV| / |predicted FoV|
+  double tile_recall = 0.0;      // |predicted FoV ∩ actual FoV| / |actual FoV|
+  int evaluations = 0;
+};
+
+// Replay `trace` through `predictor`: at every sample, predict `horizon`
+// ahead and compare with the trace's actual orientation/visible set.
+// Resets the predictor first.
+[[nodiscard]] AccuracyReport evaluate_predictor(OrientationPredictor& predictor,
+                                                const HeadTrace& trace,
+                                                sim::Duration horizon,
+                                                const geo::TileGeometry& geometry,
+                                                const geo::Viewport& viewport);
+
+// Fraction of the actually-visible tiles contained in the `budget` most
+// probable tiles of `probabilities` — how well a probability map covers the
+// true FoV when the player can afford to fetch `budget` tiles.
+[[nodiscard]] double tile_hit_rate(std::span<const double> probabilities,
+                                   std::span<const geo::TileId> actual_visible,
+                                   int budget);
+
+}  // namespace sperke::hmp

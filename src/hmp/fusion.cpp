@@ -1,0 +1,119 @@
+#include "hmp/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace sperke::hmp {
+
+FusionPredictor::FusionPredictor(std::shared_ptr<const geo::TileGeometry> geometry,
+                                 geo::Viewport viewport,
+                                 std::unique_ptr<OrientationPredictor> motion,
+                                 const ViewingHeatmap* crowd, ViewingContext context,
+                                 FusionConfig config)
+    : geometry_(std::move(geometry)),
+      viewport_(viewport),
+      motion_(std::move(motion)),
+      crowd_(crowd),
+      context_(context),
+      config_(config) {
+  if (!geometry_) throw std::invalid_argument("FusionPredictor: null geometry");
+  if (!motion_) throw std::invalid_argument("FusionPredictor: null motion predictor");
+  if (crowd_ != nullptr && crowd_->tile_count() != geometry_->grid().tile_count()) {
+    throw std::invalid_argument("FusionPredictor: heatmap/grid tile count mismatch");
+  }
+}
+
+void FusionPredictor::observe(const HeadSample& sample) {
+  motion_->observe(sample);
+  last_sample_ = sample;
+}
+
+geo::Orientation FusionPredictor::predict_orientation(sim::Duration horizon) const {
+  return motion_->predict(horizon);
+}
+
+std::vector<double> FusionPredictor::tile_probabilities(
+    sim::Duration horizon, media::ChunkIndex chunk) const {
+  const int n = geometry_->grid().tile_count();
+  std::vector<double> prob(static_cast<std::size_t>(n), 0.0);
+  const double h = std::max(sim::to_seconds(horizon), 0.0);
+
+  // (1) Motion component: Gaussian kernel (in angular distance) around the
+  // predicted view center, widened by the horizon-dependent error model.
+  const geo::Orientation predicted = motion_->predict(horizon);
+  // Engaged viewers wander less: scale error growth by (1.5 - engagement).
+  const double engagement = std::clamp(context_.engagement, 0.0, 1.0);
+  const double sigma =
+      config_.sigma_base_deg +
+      config_.sigma_growth_dps * (1.5 - engagement) * h;
+  // Tiles inside the viewport at the predicted center count fully; beyond
+  // the viewport edge the Gaussian tail takes over.
+  const double fov_radius =
+      std::min(viewport_.width_deg, viewport_.height_deg) / 2.0;
+  const auto dist = geometry_->tile_distances_deg(predicted);
+  std::vector<double> motion(static_cast<std::size_t>(n));
+  double motion_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double excess = std::max(0.0, dist[static_cast<std::size_t>(i)] - fov_radius);
+    motion[static_cast<std::size_t>(i)] =
+        std::exp(-(excess * excess) / (2.0 * sigma * sigma));
+    motion_total += motion[static_cast<std::size_t>(i)];
+  }
+  for (double& m : motion) m /= motion_total;
+
+  // (2) Crowd prior for this chunk, if available.
+  const bool have_crowd = crowd_ != nullptr && crowd_->total(chunk) > 0.0;
+  std::vector<double> crowd_prob;
+  if (have_crowd) crowd_prob = crowd_->probabilities(chunk);
+
+  // Blend: motion weight decays with horizon beyond the grace period.
+  const double w_motion_raw =
+      std::exp(-std::max(0.0, h - config_.motion_grace_s) / config_.motion_tau_s);
+  const double w_motion = have_crowd ? w_motion_raw : 1.0;
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    double p = w_motion * motion[s];
+    if (have_crowd) p += (1.0 - w_motion) * crowd_prob[s];
+    prob[s] = (1.0 - config_.uniform_floor) * p + config_.uniform_floor * uniform;
+  }
+
+  // (3) Context pruning: zero tiles that are unreachable within the horizon
+  // (speed bound) or outside the pose's yaw band.
+  if (last_sample_.has_value()) {
+    const geo::Orientation current = last_sample_->orientation;
+    const double fov_diag =
+        std::hypot(viewport_.width_deg, viewport_.height_deg) / 2.0;
+    const auto cur_dist = geometry_->tile_distances_deg(current);
+    for (int i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      if (context_.max_speed_dps.has_value()) {
+        const double reach = *context_.max_speed_dps * h + fov_diag;
+        if (cur_dist[s] > reach) prob[s] = 0.0;
+      }
+      if (context_.pose.has_value()) {
+        const auto ll = geo::lonlat_from_direction(geometry_->tile_center_direction(
+            static_cast<geo::TileId>(i)));
+        const double off = angle_diff_deg(ll.lon_deg, context_.home_yaw_deg);
+        const double band = pose_yaw_half_range_deg(*context_.pose) +
+                            viewport_.width_deg / 2.0;
+        if (std::abs(off) > band) prob[s] = 0.0;
+      }
+    }
+  }
+
+  // Renormalize (fall back to uniform if pruning removed everything).
+  double total = 0.0;
+  for (double p : prob) total += p;
+  if (total <= 0.0) {
+    std::fill(prob.begin(), prob.end(), uniform);
+  } else {
+    for (double& p : prob) p /= total;
+  }
+  return prob;
+}
+
+}  // namespace sperke::hmp

@@ -1,0 +1,127 @@
+#include "hmp/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/math.h"
+
+namespace sperke::hmp {
+
+void StaticPredictor::observe(const HeadSample& sample) {
+  last_ = sample;
+  primed_ = true;
+}
+
+geo::Orientation StaticPredictor::predict(sim::Duration) const {
+  return primed_ ? last_.orientation : geo::Orientation{};
+}
+
+void StaticPredictor::reset() { primed_ = false; }
+
+DeadReckoningPredictor::DeadReckoningPredictor(sim::Duration window,
+                                               double damping_tau_s)
+    : window_(window), damping_tau_s_(damping_tau_s) {
+  if (window <= sim::Duration{0}) throw std::invalid_argument("DeadReckoning: bad window");
+  if (damping_tau_s <= 0.0) throw std::invalid_argument("DeadReckoning: bad tau");
+}
+
+void DeadReckoningPredictor::observe(const HeadSample& sample) {
+  history_.push_back(sample);
+  while (history_.size() > 1 && history_.back().t - history_.front().t > window_) {
+    history_.pop_front();
+  }
+}
+
+geo::Orientation DeadReckoningPredictor::predict(sim::Duration horizon) const {
+  if (history_.empty()) return geo::Orientation{};
+  const HeadSample& last = history_.back();
+  if (history_.size() < 2) return last.orientation;
+  const HeadSample& first = history_.front();
+  const double span_s = sim::to_seconds(last.t - first.t);
+  if (span_s <= 0.0) return last.orientation;
+  const double vyaw =
+      angle_diff_deg(last.orientation.yaw_deg, first.orientation.yaw_deg) / span_s;
+  const double vpitch = (last.orientation.pitch_deg - first.orientation.pitch_deg) / span_s;
+  // Effective travel time with exponential damping of the velocity.
+  const double h = sim::to_seconds(horizon);
+  const double effective = damping_tau_s_ * (1.0 - std::exp(-h / damping_tau_s_));
+  geo::Orientation out = last.orientation;
+  out.yaw_deg = wrap_deg180(out.yaw_deg + vyaw * effective);
+  out.pitch_deg = std::clamp(out.pitch_deg + vpitch * effective, -90.0, 90.0);
+  return out;
+}
+
+void DeadReckoningPredictor::reset() { history_.clear(); }
+
+LinearRegressionPredictor::LinearRegressionPredictor(sim::Duration window)
+    : window_(window) {
+  if (window <= sim::Duration{0}) throw std::invalid_argument("LinearRegression: bad window");
+}
+
+void LinearRegressionPredictor::observe(const HeadSample& sample) {
+  if (history_.empty()) {
+    unwrapped_last_yaw_ = sample.orientation.yaw_deg;
+  } else {
+    unwrapped_last_yaw_ +=
+        angle_diff_deg(sample.orientation.yaw_deg,
+                       wrap_deg180(unwrapped_last_yaw_));
+  }
+  history_.push_back(sample);
+  unwrapped_yaws_.push_back(unwrapped_last_yaw_);
+  while (history_.size() > 1 && history_.back().t - history_.front().t > window_) {
+    history_.pop_front();
+    unwrapped_yaws_.pop_front();
+  }
+}
+
+geo::Orientation LinearRegressionPredictor::predict(sim::Duration horizon) const {
+  if (history_.empty()) return geo::Orientation{};
+  if (history_.size() < 3) return history_.back().orientation;
+
+  // Least-squares slope/intercept for yaw (unwrapped) and pitch vs time,
+  // with time measured from the last sample (so prediction is at t = h).
+  const sim::Time t0 = history_.back().t;
+  double sx = 0, sxx = 0, sy_yaw = 0, sxy_yaw = 0, sy_pitch = 0, sxy_pitch = 0;
+  const auto n = static_cast<double>(history_.size());
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const double x = sim::to_seconds(history_[i].t - t0);  // <= 0
+    sx += x;
+    sxx += x * x;
+    sy_yaw += unwrapped_yaws_[i];
+    sxy_yaw += x * unwrapped_yaws_[i];
+    sy_pitch += history_[i].orientation.pitch_deg;
+    sxy_pitch += x * history_[i].orientation.pitch_deg;
+  }
+  const double denom = n * sxx - sx * sx;
+  geo::Orientation out = history_.back().orientation;
+  if (std::abs(denom) < 1e-12) return out;
+  // Damp the extrapolation horizon: heads do not hold a velocity for
+  // seconds, so the fitted slope is only trusted for a bounded travel time.
+  constexpr double kDampingTauS = 0.8;
+  const double h =
+      kDampingTauS * (1.0 - std::exp(-sim::to_seconds(horizon) / kDampingTauS));
+  const double slope_yaw = (n * sxy_yaw - sx * sy_yaw) / denom;
+  const double icept_yaw = (sy_yaw - slope_yaw * sx) / n;
+  const double slope_pitch = (n * sxy_pitch - sx * sy_pitch) / denom;
+  const double icept_pitch = (sy_pitch - slope_pitch * sx) / n;
+  out.yaw_deg = wrap_deg180(icept_yaw + slope_yaw * h);
+  out.pitch_deg = std::clamp(icept_pitch + slope_pitch * h, -90.0, 90.0);
+  return out;
+}
+
+void LinearRegressionPredictor::reset() {
+  history_.clear();
+  unwrapped_yaws_.clear();
+}
+
+std::unique_ptr<OrientationPredictor> make_orientation_predictor(
+    std::string_view name) {
+  if (name == "static") return std::make_unique<StaticPredictor>();
+  if (name == "dead-reckoning") return std::make_unique<DeadReckoningPredictor>();
+  if (name == "linear-regression") return std::make_unique<LinearRegressionPredictor>();
+  throw std::invalid_argument("unknown predictor: " + std::string(name));
+}
+
+}  // namespace sperke::hmp

@@ -1,0 +1,87 @@
+// Point (single-orientation) head-movement predictors.
+//
+// These implement the "learning past head movement readings" family the
+// paper cites from [16,37]: accurate at sub-second horizons, degrading
+// quickly beyond. They are the motion component of the fusion predictor
+// (hmp/fusion.h); the crowd/context components live in heatmap.h/context.h.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string_view>
+
+#include "hmp/head_trace.h"
+
+namespace sperke::hmp {
+
+class OrientationPredictor {
+ public:
+  virtual ~OrientationPredictor() = default;
+
+  // Feed one sensor reading (must be non-decreasing in time).
+  virtual void observe(const HeadSample& sample) = 0;
+
+  // Predict the orientation `horizon` after the last observed sample.
+  // Returns the last observation if there is not enough history.
+  [[nodiscard]] virtual geo::Orientation predict(sim::Duration horizon) const = 0;
+
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+// Predicts no motion: the FoV stays where it is. The baseline every HMP
+// paper compares against.
+class StaticPredictor final : public OrientationPredictor {
+ public:
+  void observe(const HeadSample& sample) override;
+  [[nodiscard]] geo::Orientation predict(sim::Duration horizon) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+
+ private:
+  bool primed_ = false;
+  HeadSample last_;
+};
+
+// Constant-velocity extrapolation from the trailing window, with the
+// velocity damped toward zero for long horizons (heads do not spin
+// indefinitely).
+class DeadReckoningPredictor final : public OrientationPredictor {
+ public:
+  explicit DeadReckoningPredictor(sim::Duration window = sim::milliseconds(250),
+                                  double damping_tau_s = 0.7);
+
+  void observe(const HeadSample& sample) override;
+  [[nodiscard]] geo::Orientation predict(sim::Duration horizon) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "dead-reckoning"; }
+
+ private:
+  sim::Duration window_;
+  double damping_tau_s_;
+  std::deque<HeadSample> history_;
+};
+
+// Least-squares linear fit of (unwrapped) yaw and pitch over the trailing
+// window, evaluated at t + horizon — the approach of [16, 37].
+class LinearRegressionPredictor final : public OrientationPredictor {
+ public:
+  explicit LinearRegressionPredictor(sim::Duration window = sim::milliseconds(400));
+
+  void observe(const HeadSample& sample) override;
+  [[nodiscard]] geo::Orientation predict(sim::Duration horizon) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "linear-regression"; }
+
+ private:
+  sim::Duration window_;
+  std::deque<HeadSample> history_;
+  double unwrapped_last_yaw_ = 0.0;  // continuous yaw tracking across +-180
+  std::deque<double> unwrapped_yaws_;
+};
+
+[[nodiscard]] std::unique_ptr<OrientationPredictor> make_orientation_predictor(
+    std::string_view name);
+
+}  // namespace sperke::hmp

@@ -1,0 +1,43 @@
+#include "hmp/user_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sperke::hmp {
+
+UserModel::UserModel(double speed_percentile, double safety_margin)
+    : speed_percentile_(speed_percentile), safety_margin_(safety_margin) {
+  if (speed_percentile <= 0.0 || speed_percentile > 100.0) {
+    throw std::invalid_argument("UserModel: bad percentile");
+  }
+  if (safety_margin < 1.0) {
+    throw std::invalid_argument("UserModel: margin must be >= 1");
+  }
+}
+
+void UserModel::observe_trace(const HeadTrace& trace) {
+  const auto& samples = trace.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = sim::to_seconds(samples[i].t - samples[i - 1].t);
+    if (dt <= 0.0) continue;
+    speeds_dps_.push_back(geo::angular_distance_deg(samples[i - 1].orientation,
+                                                    samples[i].orientation) /
+                          dt);
+  }
+  ++traces_;
+}
+
+std::optional<double> UserModel::speed_bound_dps() const {
+  if (speeds_dps_.empty()) return std::nullopt;
+  return percentile(speeds_dps_, speed_percentile_) * safety_margin_;
+}
+
+ViewingContext UserModel::context() const {
+  ViewingContext out;
+  if (const auto bound = speed_bound_dps()) out.max_speed_dps = *bound;
+  return out;
+}
+
+}  // namespace sperke::hmp

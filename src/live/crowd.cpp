@@ -1,0 +1,67 @@
+#include "live/crowd.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sperke::live {
+
+LiveCrowdHmp::LiveCrowdHmp(int tile_count, media::ChunkIndex chunk_count)
+    : tile_count_(tile_count), chunk_count_(chunk_count) {
+  if (tile_count <= 0 || chunk_count <= 0) {
+    throw std::invalid_argument("LiveCrowdHmp: non-positive dims");
+  }
+  events_.resize(static_cast<std::size_t>(chunk_count));
+}
+
+void LiveCrowdHmp::record(media::ChunkIndex chunk,
+                          std::span<const geo::TileId> visible, sim::Time when) {
+  if (chunk < 0 || chunk >= chunk_count_) {
+    throw std::out_of_range("LiveCrowdHmp: chunk out of range");
+  }
+  for (geo::TileId tile : visible) {
+    if (tile < 0 || tile >= tile_count_) {
+      throw std::out_of_range("LiveCrowdHmp: tile out of range");
+    }
+  }
+  Event event;
+  event.when = when;
+  event.tiles.assign(visible.begin(), visible.end());
+  auto& list = events_[static_cast<std::size_t>(chunk)];
+  // Records usually arrive in time order; keep the list sorted regardless.
+  const auto pos = std::upper_bound(
+      list.begin(), list.end(), when,
+      [](sim::Time value, const Event& e) { return value < e.when; });
+  list.insert(pos, std::move(event));
+}
+
+std::vector<double> LiveCrowdHmp::probabilities(media::ChunkIndex chunk,
+                                                sim::Time when) const {
+  if (chunk < 0 || chunk >= chunk_count_) {
+    throw std::out_of_range("LiveCrowdHmp: chunk out of range");
+  }
+  std::vector<double> counts(static_cast<std::size_t>(tile_count_), 1.0);  // Laplace
+  double total = static_cast<double>(tile_count_);
+  for (const Event& event : events_[static_cast<std::size_t>(chunk)]) {
+    if (event.when > when) break;
+    for (geo::TileId tile : event.tiles) {
+      counts[static_cast<std::size_t>(tile)] += 1.0;
+      total += 1.0;
+    }
+  }
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+int LiveCrowdHmp::observations(media::ChunkIndex chunk, sim::Time when) const {
+  if (chunk < 0 || chunk >= chunk_count_) {
+    throw std::out_of_range("LiveCrowdHmp: chunk out of range");
+  }
+  int n = 0;
+  for (const Event& event : events_[static_cast<std::size_t>(chunk)]) {
+    if (event.when > when) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sperke::live

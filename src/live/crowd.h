@@ -1,0 +1,52 @@
+// Crowd-sourced HMP for live 360° video (§3.4.2).
+//
+// Viewers of the same live stream experience very different E2E latencies
+// (Table 2); a viewer who is N seconds behind the live edge can use the
+// head movements that *low-latency* viewers already performed on the exact
+// content they are about to watch. LiveCrowdHmp is the time-aware heatmap:
+// every record is stamped with the wall time it became knowable, and
+// queries only see records from the past.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/tile_grid.h"
+#include "media/chunk.h"
+#include "sim/time.h"
+
+namespace sperke::live {
+
+class LiveCrowdHmp {
+ public:
+  LiveCrowdHmp(int tile_count, media::ChunkIndex chunk_count);
+
+  // A viewer displayed `visible` tiles of `chunk`; knowable from `when`
+  // (their display time plus the reporting delay).
+  void record(media::ChunkIndex chunk, std::span<const geo::TileId> visible,
+              sim::Time when);
+
+  // Laplace-smoothed tile probabilities for `chunk`, using only records
+  // with timestamp <= `when`. Sums to 1.
+  [[nodiscard]] std::vector<double> probabilities(media::ChunkIndex chunk,
+                                                  sim::Time when) const;
+
+  // Number of view records usable at `when`.
+  [[nodiscard]] int observations(media::ChunkIndex chunk, sim::Time when) const;
+
+  [[nodiscard]] int tile_count() const { return tile_count_; }
+  [[nodiscard]] media::ChunkIndex chunk_count() const { return chunk_count_; }
+
+ private:
+  struct Event {
+    sim::Time when{sim::kTimeZero};
+    std::vector<geo::TileId> tiles;
+  };
+
+  int tile_count_;
+  media::ChunkIndex chunk_count_;
+  std::vector<std::vector<Event>> events_;  // per chunk, time-ordered
+};
+
+}  // namespace sperke::live

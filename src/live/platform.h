@@ -1,0 +1,68 @@
+// Commercial live-360° platform models (§3.4.1).
+//
+// Substitutes for the Facebook / YouTube / Periscope production backends
+// (DESIGN.md §4): each profile encodes the *protocol structure* the paper
+// measured — RTMP upload everywhere, DASH pull on Facebook/YouTube, RTMP
+// push on Periscope, no upload rate adaptation, server-side transcoding to
+// a ladder — plus buffering parameters calibrated so the unconstrained row
+// of Table 2 lands near the measured base latencies (9.2 / 12.4 / 22.2 s).
+// The constrained rows are then *predicted* by the pipeline mechanics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sperke::live {
+
+enum class Delivery {
+  kDashPull,  // viewer polls an MPD and fetches segments over HTTPS
+  kRtmpPush,  // server pushes the stream to the viewer
+};
+
+struct PlatformProfile {
+  std::string name;
+
+  // Broadcaster side (upload path, RTMP over TCP). The stream is uploaded
+  // continuously at upload_kbps; the encoder keeps at most
+  // broadcaster_queue_mbits of unsent data before dropping new segments.
+  double upload_kbps = 4000.0;        // fixed: no upload rate adaptation
+  double segment_s = 2.0;             // packaging granularity
+  double broadcaster_queue_mbits = 8.0;
+
+  // Ingest server.
+  sim::Duration transcode_delay{sim::seconds(2.0)};
+  std::vector<double> ladder_kbps;    // download ladder (e.g. 720p/1080p)
+
+  // Distribution / viewer player.
+  Delivery delivery = Delivery::kDashPull;
+  sim::Duration mpd_poll_period{sim::seconds(1.0)};
+  int viewer_buffer_segments = 2;     // buffered before playback starts
+  // Push fan-out backlog (RTMP push): segments queued for a slow viewer
+  // before the server starts dropping (frame-drop behaviour).
+  int push_max_backlog = 7;
+  // Pull viewers jump to the live edge when they fall further behind than
+  // this ("skip to live"); 0 disables catch-up.
+  double viewer_max_behind_s = 0.0;
+  // Viewers start with an optimistic throughput estimate (their last
+  // session on a good network), the source of switch-down transients.
+  double initial_downlink_estimate_kbps = 6000.0;
+
+  [[nodiscard]] static PlatformProfile facebook();
+  [[nodiscard]] static PlatformProfile youtube();
+  [[nodiscard]] static PlatformProfile periscope();
+};
+
+// One row of Table 2's network-condition axis. 0 = unconstrained.
+struct NetworkConditions {
+  double up_kbps = 0.0;
+  double down_kbps = 0.0;
+
+  [[nodiscard]] std::string label() const;
+};
+
+// The five rows of Table 2, in paper order.
+[[nodiscard]] std::vector<NetworkConditions> table2_conditions();
+
+}  // namespace sperke::live

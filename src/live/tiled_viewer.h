@@ -1,0 +1,123 @@
+// Tiled FoV-guided *live* viewing (§3.4.2's endpoint): the Sperke VOD
+// machinery applied to a live stream, where chunks appear at the ingest
+// edge as the event unfolds and playback deadlines are wall-clock-hard —
+// a chunk that is not ready when its deadline arrives is skipped (or shown
+// with blank tiles), never rebuffered.
+//
+// Several TiledLiveSession instances can share one simulator, one video
+// (the live content) and one LiveCrowdHmp: low-latency viewers' displayed
+// tiles become, in wall-clock order, the crowd prior that high-latency
+// viewers use for FoV-guided prefetch — the paper's crowd-sourced live HMP
+// made end-to-end.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "abr/qoe.h"
+#include "abr/sperke_vra.h"
+#include "core/buffer.h"
+#include "core/transport.h"
+#include "hmp/fusion.h"
+#include "live/crowd.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace sperke::live {
+
+struct TiledLiveConfig {
+  // The viewer plays chunk i at wall time chunk_start(i) + e2e_target.
+  // Must leave room for ingest_delay plus at least one chunk of fetching.
+  double e2e_target_s = 8.0;
+  // Capture + upload + transcode pipeline: chunk i becomes fetchable at
+  // wall time chunk_end(i) + ingest_delay.
+  sim::Duration ingest_delay{sim::seconds(3.0)};
+  geo::Viewport viewport{100.0, 90.0};
+  abr::SperkeVraConfig vra;
+  std::string predictor = "linear-regression";
+  double head_sample_hz = 25.0;
+  sim::Duration upgrade_scan_period{sim::milliseconds(250)};
+  bool enable_upgrades = true;
+  // Blend weight of the live crowd prior mirrors hmp::FusionConfig.
+  double crowd_tau_s = 1.5;
+  double crowd_grace_s = 0.5;
+  // Delay before this viewer's own displayed tiles reach the crowd map.
+  sim::Duration crowd_report_delay{sim::milliseconds(300)};
+  abr::QoeWeights qoe;
+};
+
+struct TiledLiveReport {
+  abr::QoeSummary qoe;
+  int chunks_played = 0;      // displayed (possibly with blanks)
+  int chunks_skipped = 0;     // nothing displayable at the deadline
+  double mean_blank_fraction = 0.0;
+  int fetches = 0;
+  int upgrades = 0;
+  bool finished = false;
+};
+
+class TiledLiveSession {
+ public:
+  // `crowd` (optional) is both read (prefetch prior) and written (this
+  // viewer's displayed tiles, after crowd_report_delay). All referenced
+  // objects must outlive the session.
+  TiledLiveSession(sim::Simulator& simulator,
+                   std::shared_ptr<const media::VideoModel> video,
+                   core::ChunkTransport& transport,
+                   const hmp::HeadTrace& head_trace, TiledLiveConfig config,
+                   LiveCrowdHmp* crowd = nullptr);
+
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] TiledLiveReport report() const;
+
+ private:
+  [[nodiscard]] sim::Time availability_of(media::ChunkIndex index) const;
+  [[nodiscard]] sim::Time deadline_of(media::ChunkIndex index) const;
+  [[nodiscard]] sim::Time content_now() const;
+
+  void observe_head();
+  [[nodiscard]] std::vector<double> fused_probabilities(media::ChunkIndex index,
+                                                        sim::Duration horizon) const;
+  void plan_chunk(media::ChunkIndex index);
+  void dispatch(const media::ChunkAddress& address, abr::SpatialClass spatial,
+                sim::Time deadline, bool is_upgrade);
+  void play_chunk(media::ChunkIndex index);
+  void scan_upgrades();
+  void finish();
+
+  sim::Simulator& simulator_;
+  std::shared_ptr<const media::VideoModel> video_;
+  core::ChunkTransport& transport_;
+  const hmp::HeadTrace& head_trace_;
+  TiledLiveConfig config_;
+  LiveCrowdHmp* crowd_;
+  hmp::FusionPredictor fusion_;
+  core::PlaybackBuffer buffer_;
+  abr::SperkeVra vra_;
+  abr::QoeTracker qoe_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  media::ChunkIndex next_play_ = 0;
+  media::QualityLevel last_fov_quality_ = 0;
+  std::map<media::ChunkIndex, media::QualityLevel> plan_quality_;
+  std::set<media::ChunkAddress> in_flight_;
+  sim::Time last_observed_{sim::Duration{-1}};
+
+  int chunks_played_ = 0;
+  int chunks_skipped_ = 0;
+  double blank_sum_ = 0.0;
+  int fetches_ = 0;
+  int upgrades_ = 0;
+
+  std::optional<sim::PeriodicTask> head_task_;
+  std::optional<sim::PeriodicTask> upgrade_task_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::live

@@ -1,0 +1,88 @@
+// Broadcaster-side upload rate adaptation for live 360° (§3.4.2).
+//
+// When the uplink degrades, the measured platforms simply stall or drop
+// frames (no adaptation). The paper proposes two smarter options, and this
+// module implements all three for comparison:
+//   * FixedQualityPolicy    — the status quo: full 360°, fixed bitrate;
+//   * QualityAdaptivePolicy — full 360°, bitrate squeezed into capacity;
+//   * SpatialFallbackPolicy — the paper's novel option: keep pixel quality
+//     constant and shrink the uploaded *horizon* (e.g. 360° -> 180°),
+//     exploiting that for concerts/sports the horizon of interest is
+//     narrower than 360°.
+//
+// The expected-viewer-utility helper scores a decision against a viewer
+// population whose gaze concentrates around the event center (Gaussian in
+// yaw): out-of-horizon views see nothing; in-horizon views see quality
+// proportional to per-degree bitrate density.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+namespace sperke::live {
+
+struct UploadDecision {
+  double horizon_deg = 360.0;  // uploaded yaw span, centered on the event
+  double upload_kbps = 4000.0;
+};
+
+class UploadPolicy {
+ public:
+  virtual ~UploadPolicy() = default;
+  // Decide the next segment's horizon and bitrate from the current uplink
+  // capacity estimate.
+  [[nodiscard]] virtual UploadDecision decide(double capacity_kbps) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+class FixedQualityPolicy final : public UploadPolicy {
+ public:
+  explicit FixedQualityPolicy(double target_kbps);
+  [[nodiscard]] UploadDecision decide(double capacity_kbps) const override;
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+
+ private:
+  double target_kbps_;
+};
+
+class QualityAdaptivePolicy final : public UploadPolicy {
+ public:
+  QualityAdaptivePolicy(double target_kbps, double min_kbps, double safety = 0.9);
+  [[nodiscard]] UploadDecision decide(double capacity_kbps) const override;
+  [[nodiscard]] std::string_view name() const override { return "quality-adaptive"; }
+
+ private:
+  double target_kbps_;
+  double min_kbps_;
+  double safety_;
+};
+
+class SpatialFallbackPolicy final : public UploadPolicy {
+ public:
+  // `min_horizon_deg` is the lower bound of the span (§3.4.2: "wider than
+  // the concert's stage"), obtained from broadcaster hints / crowd HMP.
+  SpatialFallbackPolicy(double target_kbps, double min_horizon_deg,
+                        double safety = 0.9);
+  [[nodiscard]] UploadDecision decide(double capacity_kbps) const override;
+  [[nodiscard]] std::string_view name() const override { return "spatial-fallback"; }
+
+ private:
+  double target_kbps_;
+  double min_horizon_deg_;
+  double safety_;
+};
+
+// P(viewer gaze falls inside the uploaded horizon), gaze yaw ~ N(0, sigma).
+[[nodiscard]] double horizon_coverage_probability(double horizon_deg,
+                                                  double interest_sigma_deg);
+
+// Perceived quality in [0,1] of a per-degree bitrate density, relative to
+// the full-quality target density (logarithmic, floor at 1/16th density).
+[[nodiscard]] double density_utility(double kbps_per_deg, double target_kbps_per_deg);
+
+// Expected viewer utility of a decision: coverage x in-horizon quality.
+[[nodiscard]] double expected_viewer_utility(const UploadDecision& decision,
+                                             double target_kbps,
+                                             double interest_sigma_deg);
+
+}  // namespace sperke::live

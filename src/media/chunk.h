@@ -1,0 +1,56 @@
+// Chunk addressing, exactly the paper's Figure 2 model: a panoramic video is
+// encoded at multiple qualities, each quality is spatially cut into tiles,
+// and each tile is temporally cut into chunks. The smallest downloadable
+// unit is C(q, l, t): quality level q, tile l, chunk start time t.
+//
+// With SVC (§3.1.1) the quality axis becomes *layers*: one base layer plus
+// enhancement layers, where playing at layer i requires layers 0..i.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "geo/tile_grid.h"
+
+namespace sperke::media {
+
+using QualityLevel = std::int32_t;  // 0 = lowest playable quality
+using LayerIndex = std::int32_t;    // 0 = SVC base layer
+using ChunkIndex = std::int32_t;    // temporal index: start time = index * chunk_duration
+
+// Spatial-temporal coordinate of a chunk (the "cell" of Figure 2, without
+// the quality axis).
+struct ChunkKey {
+  geo::TileId tile = 0;
+  ChunkIndex index = 0;
+
+  friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
+};
+
+enum class Encoding : std::uint8_t {
+  kAvc,  // conventional single-layer encoding: one full bitstream per quality
+  kSvc,  // scalable layered encoding: base + enhancement layers
+};
+
+// A concrete downloadable object.
+//  * Encoding::kAvc  — the complete chunk at quality `level`.
+//  * Encoding::kSvc  — the single layer `level` of the chunk (the delta).
+struct ChunkAddress {
+  ChunkKey key;
+  Encoding encoding = Encoding::kAvc;
+  std::int32_t level = 0;
+
+  friend auto operator<=>(const ChunkAddress&, const ChunkAddress&) = default;
+};
+
+}  // namespace sperke::media
+
+template <>
+struct std::hash<sperke::media::ChunkKey> {
+  std::size_t operator()(const sperke::media::ChunkKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tile)) << 32) |
+        static_cast<std::uint32_t>(k.index));
+  }
+};

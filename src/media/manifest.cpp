@@ -1,0 +1,27 @@
+#include "media/manifest.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sperke::media {
+
+Manifest::Manifest(std::shared_ptr<const VideoModel> model)
+    : model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("Manifest: null video model");
+}
+
+std::string Manifest::describe() const {
+  const auto& cfg = model_->config();
+  std::ostringstream os;
+  os << "360 video: " << cfg.duration_s << " s, " << cfg.projection
+     << " projection, " << cfg.tile_rows << "x" << cfg.tile_cols << " tiles, "
+     << model_->chunk_count() << " chunks of " << cfg.chunk_duration_s << " s\n";
+  os << "quality ladder (panorama kbps):";
+  for (QualityLevel q = 0; q < ladder().levels(); ++q) {
+    os << ' ' << ladder().panorama_kbps(q);
+  }
+  os << "\nSVC overhead: " << cfg.svc_overhead * 100.0 << "%\n";
+  return os.str();
+}
+
+}  // namespace sperke::media

@@ -1,0 +1,37 @@
+// DASH-style manifest (MPD analogue): everything a client may know about a
+// video before fetching chunks — ladder, tiling, chunking, per-chunk sizes.
+//
+// In a deployed system this arrives as an MPD plus segment indexes; here it
+// is a read-only view over the server's VideoModel, which carries exactly
+// that metadata.
+#pragma once
+
+#include <memory>
+
+#include "media/video_model.h"
+
+namespace sperke::media {
+
+class Manifest {
+ public:
+  explicit Manifest(std::shared_ptr<const VideoModel> model);
+
+  [[nodiscard]] const VideoModel& video() const { return *model_; }
+  [[nodiscard]] const QualityLadder& ladder() const { return model_->ladder(); }
+  [[nodiscard]] const geo::TileGeometry& geometry() const { return model_->geometry(); }
+  [[nodiscard]] int tile_count() const { return model_->tile_count(); }
+  [[nodiscard]] ChunkIndex chunk_count() const { return model_->chunk_count(); }
+  [[nodiscard]] sim::Duration chunk_duration() const { return model_->chunk_duration(); }
+
+  [[nodiscard]] std::int64_t size_bytes(const ChunkAddress& address) const {
+    return model_->size_bytes(address);
+  }
+
+  // Human-readable summary of the content organization (Figure 2).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::shared_ptr<const VideoModel> model_;
+};
+
+}  // namespace sperke::media

@@ -1,0 +1,117 @@
+#include "media/video_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sperke::media {
+
+VideoModel::VideoModel(VideoModelConfig config) : config_(std::move(config)) {
+  if (config_.duration_s <= 0.0) throw std::invalid_argument("VideoModel: duration <= 0");
+  if (config_.chunk_duration_s <= 0.0) {
+    throw std::invalid_argument("VideoModel: chunk duration <= 0");
+  }
+  if (config_.svc_overhead < 0.0) throw std::invalid_argument("VideoModel: negative SVC overhead");
+  if (config_.complexity_rho < 0.0 || config_.complexity_rho >= 1.0) {
+    throw std::invalid_argument("VideoModel: complexity_rho must be in [0,1)");
+  }
+  if (config_.area_mix < 0.0 || config_.area_mix > 1.0) {
+    throw std::invalid_argument("VideoModel: area_mix must be in [0,1]");
+  }
+
+  geometry_ = std::make_shared<geo::TileGeometry>(
+      geo::make_projection(config_.projection),
+      geo::TileGrid(config_.tile_rows, config_.tile_cols));
+  chunk_count_ = static_cast<ChunkIndex>(
+      std::ceil(config_.duration_s / config_.chunk_duration_s));
+
+  // Tile share of panorama bits: blend of uniform plane area (pixels) and
+  // solid angle (how much scene the tile actually covers).
+  const auto& omega = geometry_->solid_angle_fractions();
+  const double uniform = 1.0 / static_cast<double>(tile_count());
+  tile_shares_.reserve(omega.size());
+  double total = 0.0;
+  for (double w : omega) {
+    const double share = (1.0 - config_.area_mix) * uniform + config_.area_mix * w;
+    tile_shares_.push_back(share);
+    total += share;
+  }
+  for (double& s : tile_shares_) s /= total;
+
+  // Per-tile AR(1) complexity process in the log domain.
+  Rng rng(config_.seed);
+  complexity_.resize(static_cast<std::size_t>(tile_count()));
+  const double sigma = config_.complexity_sigma;
+  const double rho = config_.complexity_rho;
+  const double innovation = sigma * std::sqrt(1.0 - rho * rho);
+  for (auto& series : complexity_) {
+    series.reserve(static_cast<std::size_t>(chunk_count_));
+    double log_c = rng.normal(0.0, sigma);
+    for (ChunkIndex t = 0; t < chunk_count_; ++t) {
+      series.push_back(std::exp(log_c));
+      log_c = rho * log_c + rng.normal(0.0, innovation);
+    }
+  }
+}
+
+sim::Time VideoModel::chunk_start_time(ChunkIndex index) const {
+  return sim::seconds(config_.chunk_duration_s * index);
+}
+
+ChunkIndex VideoModel::chunk_at_time(sim::Time t) const {
+  const auto idx = static_cast<ChunkIndex>(sim::to_seconds(t) / config_.chunk_duration_s);
+  return std::clamp(idx, ChunkIndex{0}, chunk_count_ - 1);
+}
+
+void VideoModel::check_key(const ChunkKey& key) const {
+  if (key.tile < 0 || key.tile >= tile_count()) {
+    throw std::out_of_range("VideoModel: tile out of range");
+  }
+  if (key.index < 0 || key.index >= chunk_count_) {
+    throw std::out_of_range("VideoModel: chunk index out of range");
+  }
+}
+
+double VideoModel::complexity(const ChunkKey& key) const {
+  check_key(key);
+  return complexity_[static_cast<std::size_t>(key.tile)]
+                    [static_cast<std::size_t>(key.index)];
+}
+
+std::int64_t VideoModel::avc_size_bytes(QualityLevel q, const ChunkKey& key) const {
+  check_key(key);
+  if (!ladder().valid_level(q)) throw std::out_of_range("VideoModel: bad quality level");
+  const double bits = ladder().panorama_kbps(q) * 1000.0 * config_.chunk_duration_s;
+  const double tile_bits = bits * tile_shares_[static_cast<std::size_t>(key.tile)] *
+                           complexity(key);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(tile_bits / 8.0));
+}
+
+std::int64_t VideoModel::svc_cumulative_size_bytes(QualityLevel q,
+                                                   const ChunkKey& key) const {
+  const double factor = 1.0 + config_.svc_overhead;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             static_cast<double>(avc_size_bytes(q, key)) * factor));
+}
+
+std::int64_t VideoModel::svc_layer_size_bytes(LayerIndex layer,
+                                              const ChunkKey& key) const {
+  if (layer == 0) return svc_cumulative_size_bytes(0, key);
+  return svc_cumulative_size_bytes(layer, key) -
+         svc_cumulative_size_bytes(layer - 1, key);
+}
+
+std::int64_t VideoModel::size_bytes(const ChunkAddress& address) const {
+  switch (address.encoding) {
+    case Encoding::kAvc:
+      return avc_size_bytes(address.level, address.key);
+    case Encoding::kSvc:
+      return svc_layer_size_bytes(address.level, address.key);
+  }
+  throw std::logic_error("VideoModel: unknown encoding");
+}
+
+}  // namespace sperke::media

@@ -1,0 +1,242 @@
+#include "mp/multipath.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sperke::mp {
+namespace {
+
+// Static path quality used by the content-aware policy: usable rate
+// (capacity tempered by the Mathis cap), discounted by latency.
+double quality_of(const net::Link& link) {
+  const double rate = std::min(link.capacity_kbps_now(), link.mathis_cap_kbps());
+  const double rtt_penalty = 1.0 + sim::to_seconds(link.rtt()) * 5.0;
+  return rate / rtt_penalty;
+}
+
+}  // namespace
+
+std::size_t MinRttScheduler::pick(const core::ChunkRequest& request,
+                                  const std::vector<PathState>& paths) {
+  (void)request;  // content-agnostic by definition
+  // Earliest-available path: smallest drain time of the queued bytes.
+  std::size_t best = 0;
+  double best_drain = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const double rate =
+        std::max(paths[i].estimated_kbps,
+                 std::min(paths[i].link->capacity_kbps_now(),
+                          paths[i].link->mathis_cap_kbps()));
+    const double drain =
+        rate > 0.0
+            ? static_cast<double>(paths[i].queued_bytes) * 8.0 / (rate * 1000.0) +
+                  sim::to_seconds(paths[i].link->rtt())
+            : std::numeric_limits<double>::infinity();
+    if (drain < best_drain) {
+      best_drain = drain;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t RoundRobinScheduler::pick(const core::ChunkRequest& request,
+                                      const std::vector<PathState>& paths) {
+  (void)request;
+  const std::size_t pick = next_ % paths.size();
+  ++next_;
+  return pick;
+}
+
+std::size_t SinglePathScheduler::pick(const core::ChunkRequest& request,
+                                      const std::vector<PathState>& paths) {
+  (void)request;
+  if (index_ >= paths.size()) throw std::out_of_range("SinglePathScheduler: bad index");
+  return index_;
+}
+
+namespace {
+
+// Earliest-available path by queue drain time (the aggregation choice).
+std::size_t earliest_available(const std::vector<PathState>& paths) {
+  std::size_t best = 0;
+  double best_drain = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const double rate = std::max(paths[i].estimated_kbps, paths[i].quality_score);
+    const double drain =
+        rate > 0.0
+            ? static_cast<double>(paths[i].queued_bytes) * 8.0 / (rate * 1000.0) +
+                  sim::to_seconds(paths[i].link->rtt())
+            : std::numeric_limits<double>::infinity();
+    if (drain < best_drain) {
+      best_drain = drain;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t ContentAwareScheduler::pick(const core::ChunkRequest& request,
+                                        const std::vector<PathState>& paths) {
+  // Strategic assignment (§3.3):
+  //  * urgent chunks ride the single best path — lowest delivery risk;
+  //  * regular FoV chunks aggregate across all paths (earliest available),
+  //    still with reliable delivery;
+  //  * OOS prefetch is sacrificed to the worst path, best-effort, so it
+  //    can never delay FoV traffic.
+  std::size_t best = 0, worst = 0;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    if (paths[i].quality_score > paths[best].quality_score) best = i;
+    if (paths[i].quality_score < paths[worst].quality_score) worst = i;
+  }
+  const PriorityClass priority = classify(request);
+  if (priority.temporal == TemporalClass::kUrgent) return best;
+  if (priority.spatial == abr::SpatialClass::kFov) {
+    return earliest_available(paths);
+  }
+  return worst;
+}
+
+bool ContentAwareScheduler::best_effort(const core::ChunkRequest& request) const {
+  // OOS prefetches are delivered best-effort: if they cannot make their
+  // deadline they are dropped instead of delaying later chunks (§3.3).
+  return request.spatial == abr::SpatialClass::kOos && !request.urgent;
+}
+
+std::unique_ptr<PathScheduler> make_path_scheduler(std::string_view name) {
+  if (name == "minrtt") return std::make_unique<MinRttScheduler>();
+  if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
+  if (name == "content-aware") return std::make_unique<ContentAwareScheduler>();
+  throw std::invalid_argument("unknown path scheduler: " + std::string(name));
+}
+
+MultipathTransport::MultipathTransport(sim::Simulator& simulator,
+                                       std::vector<net::Link*> links,
+                                       std::unique_ptr<PathScheduler> scheduler,
+                                       int max_concurrent_per_path)
+    : simulator_(simulator),
+      scheduler_(std::move(scheduler)),
+      max_concurrent_per_path_(max_concurrent_per_path) {
+  if (links.empty()) throw std::invalid_argument("MultipathTransport: no links");
+  if (!scheduler_) throw std::invalid_argument("MultipathTransport: null scheduler");
+  if (max_concurrent_per_path_ < 1) {
+    throw std::invalid_argument("MultipathTransport: max_concurrent < 1");
+  }
+  for (net::Link* link : links) {
+    if (link == nullptr) throw std::invalid_argument("MultipathTransport: null link");
+    Path path;
+    path.link = link;
+    paths_.push_back(std::move(path));
+  }
+  stats_.bytes_per_path.assign(paths_.size(), 0);
+  stats_.requests_per_path.assign(paths_.size(), 0);
+}
+
+MultipathTransport::~MultipathTransport() { *alive_ = false; }
+
+std::vector<PathState> MultipathTransport::snapshot() const {
+  std::vector<PathState> out;
+  out.reserve(paths_.size());
+  for (const Path& path : paths_) {
+    PathState state;
+    state.link = path.link;
+    state.estimated_kbps = path.estimator.estimate_kbps();
+    state.queued_bytes = path.in_flight_bytes;
+    for (const Pending& p : path.queue) state.queued_bytes += p.request.bytes;
+    state.queued_requests = path.active + static_cast<int>(path.queue.size());
+    state.quality_score = quality_of(*path.link);
+    out.push_back(state);
+  }
+  return out;
+}
+
+void MultipathTransport::fetch(core::ChunkRequest request) {
+  if (request.bytes <= 0) throw std::invalid_argument("fetch: non-positive bytes");
+  const PriorityClass priority = classify(request);
+  ++stats_.class_counts[static_cast<std::size_t>(rank(priority))];
+  const std::size_t index = scheduler_->pick(request, snapshot());
+  if (index >= paths_.size()) throw std::out_of_range("scheduler picked bad path");
+  ++stats_.requests_per_path[index];
+  Pending pending;
+  pending.best_effort = scheduler_->best_effort(request);
+  pending.request = std::move(request);
+  pending.seq = next_seq_++;
+  paths_[index].queue.push_back(std::move(pending));
+  pump(index);
+}
+
+void MultipathTransport::pump(std::size_t path_index) {
+  Path& path = paths_[path_index];
+  while (path.active < max_concurrent_per_path_ && !path.queue.empty()) {
+    // Highest priority first (rank ascending), FIFO within a rank.
+    auto best = path.queue.begin();
+    for (auto it = std::next(path.queue.begin()); it != path.queue.end(); ++it) {
+      const int r_it = rank(classify(it->request));
+      const int r_best = rank(classify(best->request));
+      if (r_it < r_best || (r_it == r_best && it->seq < best->seq)) best = it;
+    }
+    Pending pending = std::move(*best);
+    path.queue.erase(best);
+
+    // Best-effort requests that already blew their deadline are dropped
+    // before wasting path capacity.
+    if (pending.best_effort && pending.request.deadline <= simulator_.now()) {
+      ++stats_.dropped_best_effort;
+      if (pending.request.on_done) pending.request.on_done(simulator_.now(), false);
+      continue;
+    }
+
+    ++path.active;
+    path.in_flight_bytes += pending.request.bytes;
+    const sim::Time started = simulator_.now();
+    const std::int64_t bytes = pending.request.bytes;
+    // Stream weights mirror the Table 1 ranking within a path.
+    const double weight =
+        (pending.request.urgent ? 4.0 : 1.0) *
+        (pending.request.spatial == abr::SpatialClass::kFov ? 2.0 : 1.0);
+    auto holder = std::make_shared<Pending>(std::move(pending));
+    path.link->start_transfer(
+        bytes,
+        [this, alive = alive_, path_index, holder, started,
+         bytes](sim::Time finished) {
+          if (!*alive) return;
+          Path& p = paths_[path_index];
+          --p.active;
+          p.in_flight_bytes -= bytes;
+          // Aggregate-wise goodput from the start of data flow.
+          p.estimator.record(started + p.link->rtt(), finished, bytes);
+          bytes_fetched_ += bytes;
+          stats_.bytes_per_path[path_index] += bytes;
+          if (holder->request.on_done) holder->request.on_done(finished, true);
+          pump(path_index);
+        },
+        weight);
+  }
+}
+
+double MultipathTransport::estimated_kbps() const {
+  // Aggregate: sum of per-path estimates, falling back to link capacity for
+  // paths that have not carried traffic yet.
+  double total = 0.0;
+  for (const Path& path : paths_) {
+    const double est = path.estimator.estimate_kbps();
+    total += est > 0.0 ? est
+                       : std::min(path.link->capacity_kbps_now(),
+                                  path.link->mathis_cap_kbps());
+  }
+  return total;
+}
+
+int MultipathTransport::in_flight() const {
+  int total = 0;
+  for (const Path& path : paths_) {
+    total += path.active + static_cast<int>(path.queue.size());
+  }
+  return total;
+}
+
+}  // namespace sperke::mp

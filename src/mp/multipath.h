@@ -1,0 +1,146 @@
+// Multipath streaming support (§3.3).
+//
+// A MultipathTransport runs one queue per network path (e.g. WiFi + LTE);
+// paths are fully decoupled, so there is no cross-path head-of-line
+// blocking by construction (the transport-layer benefit the paper notes).
+// The pluggable PathScheduler decides which path serves each request:
+//
+//   * MinRttScheduler    — content-agnostic splitting: earliest-available
+//                          path by queue drain time (the MPTCP baseline);
+//   * RoundRobinScheduler— naive alternation;
+//   * SinglePathScheduler— pin everything to one path;
+//   * ContentAwareScheduler — the paper's proposal: FoV/urgent chunks ride
+//                          the best path with reliable delivery; OOS chunks
+//                          ride the secondary path *best-effort* — if an
+//                          OOS chunk misses its deadline it is dropped
+//                          rather than allowed to clog the path.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/transport.h"
+#include "mp/priority.h"
+#include "net/link.h"
+#include "net/throughput_estimator.h"
+#include "sim/simulator.h"
+
+namespace sperke::mp {
+
+// Live view of one path, offered to the scheduler.
+struct PathState {
+  const net::Link* link = nullptr;
+  double estimated_kbps = 0.0;   // per-path goodput estimate
+  std::int64_t queued_bytes = 0; // waiting + in-flight bytes
+  int queued_requests = 0;
+  // Static quality score: higher is better (bandwidth-, loss-, rtt-aware).
+  double quality_score = 0.0;
+};
+
+class PathScheduler {
+ public:
+  virtual ~PathScheduler() = default;
+  // Return the index of the path that should carry `request`.
+  [[nodiscard]] virtual std::size_t pick(const core::ChunkRequest& request,
+                                         const std::vector<PathState>& paths) = 0;
+  // Should this request be treated best-effort (droppable at deadline)?
+  [[nodiscard]] virtual bool best_effort(const core::ChunkRequest& request) const {
+    (void)request;
+    return false;
+  }
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+class MinRttScheduler final : public PathScheduler {
+ public:
+  [[nodiscard]] std::size_t pick(const core::ChunkRequest& request,
+                                 const std::vector<PathState>& paths) override;
+  [[nodiscard]] std::string_view name() const override { return "minrtt"; }
+};
+
+class RoundRobinScheduler final : public PathScheduler {
+ public:
+  [[nodiscard]] std::size_t pick(const core::ChunkRequest& request,
+                                 const std::vector<PathState>& paths) override;
+  [[nodiscard]] std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class SinglePathScheduler final : public PathScheduler {
+ public:
+  explicit SinglePathScheduler(std::size_t path_index) : index_(path_index) {}
+  [[nodiscard]] std::size_t pick(const core::ChunkRequest& request,
+                                 const std::vector<PathState>& paths) override;
+  [[nodiscard]] std::string_view name() const override { return "single-path"; }
+
+ private:
+  std::size_t index_;
+};
+
+class ContentAwareScheduler final : public PathScheduler {
+ public:
+  [[nodiscard]] std::size_t pick(const core::ChunkRequest& request,
+                                 const std::vector<PathState>& paths) override;
+  [[nodiscard]] bool best_effort(const core::ChunkRequest& request) const override;
+  [[nodiscard]] std::string_view name() const override { return "content-aware"; }
+};
+
+[[nodiscard]] std::unique_ptr<PathScheduler> make_path_scheduler(std::string_view name);
+
+struct MultipathStats {
+  std::vector<std::int64_t> bytes_per_path;
+  std::vector<int> requests_per_path;
+  int dropped_best_effort = 0;
+  // Table 1 accounting: requests observed per priority class, indexed by
+  // rank() (0..3).
+  std::array<int, 4> class_counts{};
+};
+
+class MultipathTransport final : public core::ChunkTransport {
+ public:
+  // Links must outlive the transport; all links must share one simulator.
+  MultipathTransport(sim::Simulator& simulator, std::vector<net::Link*> links,
+                     std::unique_ptr<PathScheduler> scheduler,
+                     int max_concurrent_per_path = 2);
+  ~MultipathTransport() override;
+
+  void fetch(core::ChunkRequest request) override;
+  [[nodiscard]] double estimated_kbps() const override;
+  [[nodiscard]] int in_flight() const override;
+  [[nodiscard]] std::int64_t bytes_fetched() const override { return bytes_fetched_; }
+
+  [[nodiscard]] const MultipathStats& stats() const { return stats_; }
+  [[nodiscard]] const PathScheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  struct Pending {
+    core::ChunkRequest request;
+    std::uint64_t seq = 0;
+    bool best_effort = false;
+  };
+  struct Path {
+    net::Link* link = nullptr;
+    net::AggregateWindowEstimator estimator;
+    std::vector<Pending> queue;
+    int active = 0;
+    std::int64_t in_flight_bytes = 0;
+  };
+
+  [[nodiscard]] std::vector<PathState> snapshot() const;
+  void pump(std::size_t path_index);
+
+  sim::Simulator& simulator_;
+  std::vector<Path> paths_;
+  std::unique_ptr<PathScheduler> scheduler_;
+  int max_concurrent_per_path_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t bytes_fetched_ = 0;
+  MultipathStats stats_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::mp

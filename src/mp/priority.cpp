@@ -1,0 +1,26 @@
+#include "mp/priority.h"
+
+namespace sperke::mp {
+
+PriorityClass classify(const core::ChunkRequest& request) {
+  return PriorityClass{
+      .spatial = request.spatial,
+      .temporal = request.urgent ? TemporalClass::kUrgent : TemporalClass::kRegular,
+  };
+}
+
+int rank(const PriorityClass& priority) {
+  const int temporal = priority.temporal == TemporalClass::kUrgent ? 0 : 1;
+  const int spatial = priority.spatial == abr::SpatialClass::kFov ? 0 : 1;
+  return temporal * 2 + spatial;
+}
+
+std::string to_string(const PriorityClass& priority) {
+  std::string out =
+      priority.spatial == abr::SpatialClass::kFov ? "FoV" : "OOS";
+  out += '/';
+  out += priority.temporal == TemporalClass::kUrgent ? "urgent" : "regular";
+  return out;
+}
+
+}  // namespace sperke::mp

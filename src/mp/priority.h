@@ -1,0 +1,33 @@
+// The paper's Table 1: spatial priority (FoV > OOS) and temporal priority
+// (urgent > regular) of tiled 360° video chunks, as first-class values the
+// multipath scheduler dispatches on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "abr/plan.h"
+#include "core/transport.h"
+
+namespace sperke::mp {
+
+enum class TemporalClass : std::uint8_t {
+  kUrgent,   // very short playback deadline (e.g. after an HMP correction)
+  kRegular,  // normal prefetch
+};
+
+struct PriorityClass {
+  abr::SpatialClass spatial = abr::SpatialClass::kFov;
+  TemporalClass temporal = TemporalClass::kRegular;
+
+  friend bool operator==(const PriorityClass&, const PriorityClass&) = default;
+};
+
+[[nodiscard]] PriorityClass classify(const core::ChunkRequest& request);
+
+// Dispatch rank, 0 = most important: urgent-FoV, urgent-OOS, FoV, OOS.
+[[nodiscard]] int rank(const PriorityClass& priority);
+
+[[nodiscard]] std::string to_string(const PriorityClass& priority);
+
+}  // namespace sperke::mp

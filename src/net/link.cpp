@@ -1,0 +1,203 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace sperke::net {
+namespace {
+
+constexpr double kMssBytes = 1460.0;
+constexpr double kMathisConstant = 1.22;
+// A transfer is complete when less than half a byte remains (absorbs
+// floating-point drift in the fluid model).
+constexpr double kCompleteEpsilonBytes = 0.5;
+
+}  // namespace
+
+Link::Link(sim::Simulator& simulator, LinkConfig config)
+    : simulator_(simulator), config_(std::move(config)) {
+  if (config_.rtt < sim::Duration{0}) throw std::invalid_argument("Link: negative RTT");
+  if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
+    throw std::invalid_argument("Link: loss_rate must be in [0,1)");
+  }
+  last_update_ = simulator_.now();
+}
+
+Link::~Link() { *alive_ = false; }
+
+double Link::capacity_kbps_now() const {
+  return config_.bandwidth.kbps_at(simulator_.now());
+}
+
+double Link::mathis_cap_kbps() const {
+  if (config_.loss_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  const double rtt_s = std::max(sim::to_seconds(config_.rtt), 1e-4);
+  const double bps =
+      kMathisConstant * kMssBytes * 8.0 / (rtt_s * std::sqrt(config_.loss_rate));
+  return bps / 1000.0;
+}
+
+int Link::active_transfers() const {
+  int n = 0;
+  for (const auto& [id, t] : transfers_) {
+    if (t.active) ++n;
+  }
+  return n;
+}
+
+double Link::transfer_rate_kbps(TransferId id) const {
+  const auto it = transfers_.find(id);
+  return it != transfers_.end() && it->second.active ? it->second.rate_bps / 1000.0
+                                                     : 0.0;
+}
+
+std::int64_t Link::transfer_remaining_bytes(TransferId id) const {
+  const auto it = transfers_.find(id);
+  return it != transfers_.end()
+             ? static_cast<std::int64_t>(std::ceil(it->second.remaining_bytes))
+             : 0;
+}
+
+TransferId Link::start_transfer(std::int64_t bytes,
+                                std::function<void(sim::Time)> on_complete,
+                                double weight) {
+  if (bytes <= 0) throw std::invalid_argument("Link: transfer of non-positive size");
+  if (weight <= 0.0) throw std::invalid_argument("Link: non-positive weight");
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.remaining_bytes = static_cast<double>(bytes);
+  t.total_bytes = bytes;
+  t.weight = weight;
+  t.on_complete = std::move(on_complete);
+  transfers_.emplace(id, std::move(t));
+  // First byte flows one RTT after the request is issued.
+  simulator_.schedule_after(config_.rtt, [this, id, alive = alive_] {
+    if (!*alive) return;
+    const auto it = transfers_.find(id);
+    if (it == transfers_.end()) return;  // cancelled during warmup
+    advance();
+    it->second.active = true;
+    reflow();
+  });
+  return id;
+}
+
+bool Link::cancel(TransferId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) return false;
+  advance();
+  transfers_.erase(it);
+  reflow();
+  return true;
+}
+
+void Link::advance() {
+  const sim::Time now = simulator_.now();
+  const double dt = sim::to_seconds(now - last_update_);
+  if (dt > 0.0) {
+    for (auto& [id, t] : transfers_) {
+      if (!t.active || t.rate_bps <= 0.0) continue;
+      const double delivered =
+          std::min(t.remaining_bytes, t.rate_bps / 8.0 * dt);
+      t.remaining_bytes -= delivered;
+      const auto inc = static_cast<std::int64_t>(std::llround(delivered));
+      t.counted_bytes += inc;
+      bytes_delivered_ += inc;
+    }
+  }
+  last_update_ = now;
+}
+
+void Link::reflow() {
+  // Weighted water-filling: capacity splits proportionally to transfer
+  // weights, each transfer individually Mathis-capped; capacity a capped
+  // transfer cannot use redistributes among the rest.
+  const double capacity_bps = capacity_kbps_now() * 1000.0;
+  const double cap_bps = mathis_cap_kbps() * 1000.0;
+  for (auto& [id, t] : transfers_) t.rate_bps = 0.0;
+  std::vector<Transfer*> unallocated;
+  for (auto& [id, t] : transfers_) {
+    if (t.active) unallocated.push_back(&t);
+  }
+  double remaining_capacity = capacity_bps;
+  bool someone_capped = true;
+  while (!unallocated.empty() && someone_capped && remaining_capacity > 0.0) {
+    someone_capped = false;
+    double total_weight = 0.0;
+    for (Transfer* t : unallocated) total_weight += t->weight;
+    for (auto it = unallocated.begin(); it != unallocated.end();) {
+      const double share =
+          remaining_capacity * (*it)->weight / total_weight;
+      if (share >= cap_bps) {
+        (*it)->rate_bps = cap_bps;
+        remaining_capacity -= cap_bps;
+        it = unallocated.erase(it);
+        someone_capped = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!unallocated.empty() && remaining_capacity > 0.0) {
+    double total_weight = 0.0;
+    for (Transfer* t : unallocated) total_weight += t->weight;
+    for (Transfer* t : unallocated) {
+      t->rate_bps = remaining_capacity * t->weight / total_weight;
+    }
+  }
+
+  // Next wake-up: earliest completion or bandwidth-trace step.
+  sim::Time next = sim::Time{std::numeric_limits<std::int64_t>::max()};
+  for (const auto& [id, t] : transfers_) {
+    if (!t.active || t.rate_bps <= 0.0) continue;
+    const double secs = std::max(t.remaining_bytes, 0.0) * 8.0 / t.rate_bps;
+    // Round *up* to at least one microsecond: rounding a sub-tick
+    // completion down to zero would respawn this event at the same
+    // instant forever.
+    sim::Duration wait = sim::seconds(secs);
+    if (wait <= sim::Duration{0}) wait = sim::Duration{1};
+    next = std::min(next, simulator_.now() + wait);
+  }
+  if (const auto change = config_.bandwidth.next_change_after(simulator_.now())) {
+    next = std::min(next, *change);
+  }
+  if (wakeup_armed_) {
+    simulator_.cancel(wakeup_);
+    wakeup_armed_ = false;
+  }
+  if (next != sim::Time{std::numeric_limits<std::int64_t>::max()}) {
+    wakeup_ = simulator_.schedule_at(next, [this, alive = alive_] {
+      if (!*alive) return;
+      wakeup_armed_ = false;
+      on_wakeup();
+    });
+    wakeup_armed_ = true;
+  }
+}
+
+void Link::on_wakeup() {
+  advance();
+  // Collect completions before reflowing so freed capacity redistributes.
+  std::vector<std::function<void(sim::Time)>> callbacks;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->second.active && it->second.remaining_bytes <= kCompleteEpsilonBytes) {
+      // Square up the fluid rounding: a completed transfer delivered
+      // exactly its size, no matter how the increments rounded.
+      bytes_delivered_ += it->second.total_bytes - it->second.counted_bytes;
+      callbacks.push_back(std::move(it->second.on_complete));
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reflow();
+  const sim::Time now = simulator_.now();
+  for (auto& cb : callbacks) {
+    if (cb) cb(now);
+  }
+}
+
+}  // namespace sperke::net

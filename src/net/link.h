@@ -1,0 +1,100 @@
+// Fluid-flow network link.
+//
+// Substitutes for a packet-level TCP path (DESIGN.md §4): concurrent
+// transfers share the link's time-varying capacity by max-min fair
+// water-filling, each transfer additionally capped by a Mathis-style
+// loss/RTT throughput ceiling (rate <= 1.22*MSS/(RTT*sqrt(p))). A transfer
+// delivers its first byte one RTT after it starts (request + ramp), then
+// progresses at its allocated rate; completions and bandwidth-trace steps
+// are simulation events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/bandwidth_trace.h"
+#include "sim/simulator.h"
+
+namespace sperke::net {
+
+using TransferId = std::uint64_t;
+
+struct LinkConfig {
+  std::string name = "link";
+  BandwidthTrace bandwidth = BandwidthTrace::constant(10'000.0);
+  sim::Duration rtt = sim::milliseconds(40);
+  double loss_rate = 0.0;  // [0,1); enters via the Mathis throughput cap
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& simulator, LinkConfig config);
+  ~Link();
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Begin transferring `bytes`; `on_complete` fires (once) at completion.
+  // `weight` sets the transfer's share of the link under contention
+  // (HTTP/2-style stream priority): a weight-2 transfer receives twice the
+  // bandwidth of a weight-1 transfer while both are active.
+  TransferId start_transfer(std::int64_t bytes,
+                            std::function<void(sim::Time)> on_complete,
+                            double weight = 1.0);
+
+  // Abort a pending/in-flight transfer. Bytes already delivered still count
+  // toward bytes_delivered(). Returns false if already finished/cancelled.
+  bool cancel(TransferId id);
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] sim::Duration rtt() const { return config_.rtt; }
+  [[nodiscard]] double loss_rate() const { return config_.loss_rate; }
+
+  // Capacity of the link right now (kbps) per the bandwidth trace.
+  [[nodiscard]] double capacity_kbps_now() const;
+
+  // Per-transfer Mathis ceiling (kbps); infinity when loss_rate == 0.
+  [[nodiscard]] double mathis_cap_kbps() const;
+
+  [[nodiscard]] int active_transfers() const;
+  [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
+
+  // Current allocated rate of a transfer in kbps (0 while in RTT warmup or
+  // if the id is unknown).
+  [[nodiscard]] double transfer_rate_kbps(TransferId id) const;
+
+  // Remaining bytes of an in-flight transfer (0 if unknown/done).
+  [[nodiscard]] std::int64_t transfer_remaining_bytes(TransferId id) const;
+
+ private:
+  struct Transfer {
+    double remaining_bytes = 0.0;
+    std::int64_t total_bytes = 0;
+    std::int64_t counted_bytes = 0;  // already added to bytes_delivered_
+    double rate_bps = 0.0;
+    double weight = 1.0;
+    bool active = false;  // false while waiting out the initial RTT
+    std::function<void(sim::Time)> on_complete;
+  };
+
+  // Move all active transfers forward to now() at their current rates.
+  void advance();
+  // Recompute fair-share rates and (re)schedule the next wake-up event.
+  void reflow();
+  void on_wakeup();
+
+  sim::Simulator& simulator_;
+  LinkConfig config_;
+  std::map<TransferId, Transfer> transfers_;
+  TransferId next_id_ = 1;
+  sim::Time last_update_ = sim::kTimeZero;
+  sim::EventId wakeup_{};
+  bool wakeup_armed_ = false;
+  std::int64_t bytes_delivered_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::net

@@ -1,0 +1,38 @@
+#include "player/decoder_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sperke::player {
+
+double analytic_fps(const DecoderModelConfig& config, const PipelineConfig& pipeline,
+                    int tiles_per_frame) {
+  if (tiles_per_frame < 1) throw std::invalid_argument("analytic_fps: no tiles");
+  const double render_frame_ms =
+      tiles_per_frame * config.render_ms_per_tile + config.compose_ms;
+
+  double fps;
+  if (pipeline.frame_cache && pipeline.parallel_decoders) {
+    // Async pipeline: the cache lets every hardware decoder work ahead
+    // across frames, so decode throughput is pool-wide (all decoders busy),
+    // and decode/render overlap — the slower stage binds.
+    const double decode_ms = effective_decode_ms(config, config.hardware_decoders);
+    const double decode_fps =
+        1000.0 * config.hardware_decoders / (tiles_per_frame * decode_ms);
+    const double render_fps = 1000.0 / render_frame_ms;
+    fps = std::min(decode_fps, render_fps);
+  } else {
+    // Synchronous: each frame pays its decode latency then its render cost.
+    const int decoders = pipeline.parallel_decoders
+                             ? std::min(config.hardware_decoders, tiles_per_frame)
+                             : 1;
+    const double decode_ms = effective_decode_ms(config, decoders);
+    const double waves =
+        std::ceil(static_cast<double>(tiles_per_frame) / decoders);
+    const double decode_frame_ms = waves * decode_ms;
+    fps = 1000.0 / (decode_frame_ms + render_frame_ms);
+  }
+  return std::min(fps, config.display_cap_fps);
+}
+
+}  // namespace sperke::player

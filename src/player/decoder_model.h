@@ -1,0 +1,52 @@
+// Decoder/render service-time model — the substitute for SGS7 hardware
+// (DESIGN.md §4).
+//
+// Calibration: constants are *fitted* to the paper's Figure 5 measurements
+// (2K video, 2x4 tiles, 8 parallel H.264 decoders on a Samsung Galaxy S7):
+//   config 1  render all tiles, no optimization          ~11 FPS
+//   config 2  all tiles, parallel decoders + frame cache ~53 FPS
+//   config 3  FoV tiles only, optimized                  ~120 FPS (display cap)
+// The model explains them structurally: per-tile decode time grows when
+// more hardware decoders contend for the memory bus; without the decoded
+// frame cache, decode and render serialize per frame; with it they
+// pipeline, so throughput is the max of the stage rates; FoV-only rendering
+// cuts the per-frame tile count.
+#pragma once
+
+#include <stdexcept>
+
+namespace sperke::player {
+
+struct DecoderModelConfig {
+  int hardware_decoders = 8;
+  double base_decode_ms_per_tile = 8.5;   // one decoder active, 2K / 2x4 tile
+  double decoder_contention = 1.225;      // slowdown factor at full occupancy
+  double render_ms_per_tile = 1.2;        // GL draw of one decoded tile
+  double compose_ms = 2.0;                // projection + composition per frame
+  double display_cap_fps = 120.0;         // panel refresh ceiling
+};
+
+// Per-tile decode latency when `active` of the pool's decoders are busy.
+[[nodiscard]] inline double effective_decode_ms(const DecoderModelConfig& config,
+                                                int active) {
+  if (active < 1) throw std::invalid_argument("effective_decode_ms: active < 1");
+  const double occupancy =
+      static_cast<double>(active) / static_cast<double>(config.hardware_decoders);
+  return config.base_decode_ms_per_tile * (1.0 + config.decoder_contention * occupancy);
+}
+
+// Which of the §3.5 optimizations are on.
+struct PipelineConfig {
+  bool parallel_decoders = true;  // use all hardware decoders via a scheduler
+  bool frame_cache = true;        // decoded-frame cache -> async pipelining
+  bool fov_only = false;          // render only tiles in the current FoV
+};
+
+// Closed-form steady-state FPS of the pipeline.
+//  `tiles_per_frame` — tiles decoded & rendered each frame (all tiles, or
+//  the FoV subset when fov_only).
+[[nodiscard]] double analytic_fps(const DecoderModelConfig& config,
+                                  const PipelineConfig& pipeline,
+                                  int tiles_per_frame);
+
+}  // namespace sperke::player

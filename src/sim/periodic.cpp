@@ -1,0 +1,37 @@
+#include "sim/periodic.h"
+
+#include <stdexcept>
+
+namespace sperke::sim {
+
+PeriodicTask::PeriodicTask(Simulator& simulator, Duration period,
+                           std::function<void()> fn)
+    : PeriodicTask(simulator, simulator.now() + period, period, std::move(fn)) {}
+
+PeriodicTask::PeriodicTask(Simulator& simulator, Time start, Duration period,
+                           std::function<void()> fn)
+    : simulator_(simulator), period_(period), fn_(std::move(fn)) {
+  if (period_ <= Duration{0}) throw std::invalid_argument("PeriodicTask: period must be positive");
+  arm(start);
+}
+
+PeriodicTask::~PeriodicTask() {
+  *alive_ = false;
+  stop();
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(pending_);
+}
+
+void PeriodicTask::arm(Time at) {
+  pending_ = simulator_.schedule_at(at, [this, alive = alive_] {
+    if (!*alive || !running_) return;
+    fn_();
+    if (*alive && running_) arm(simulator_.now() + period_);
+  });
+}
+
+}  // namespace sperke::sim

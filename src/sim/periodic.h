@@ -1,0 +1,38 @@
+// Periodic task helper: re-arms itself on the simulator until stopped.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace sperke::sim {
+
+// Runs `fn` every `period` starting at `start` (default: one period from
+// now). Stops when stop() is called or when the owner is destroyed.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, Duration period, std::function<void()> fn);
+  PeriodicTask(Simulator& simulator, Time start, Duration period,
+               std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(Time at);
+
+  Simulator& simulator_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = true;
+  // Guards against the callback firing after destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace sperke::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  const EventId id{std::max(at, now_), next_seq_++};
+  queue_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, Duration{0}), std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.erase(id) > 0; }
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    if (it->first.at > deadline) break;
+    now_ = it->first.at;
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    ++executed_;
+    fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    now_ = it->first.at;
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    ++executed_;
+    fn();
+  }
+}
+
+void Simulator::clear() { queue_.clear(); }
+
+}  // namespace sperke::sim

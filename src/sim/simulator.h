@@ -1,0 +1,64 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded and deterministic: events scheduled for the same instant
+// fire in scheduling order. Everything in Sperke — network transfers,
+// playback deadlines, head-movement sampling, live broadcast pipelines —
+// is driven by one Simulator instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace sperke::sim {
+
+// Handle for a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  Time at{kTimeZero};
+  std::uint64_t seq = 0;
+
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (clamped to now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  // Schedule `fn` to run `delay` from now (negative delays clamp to now()).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  // Cancel a pending event. Returns false if it already fired or was
+  // cancelled before.
+  bool cancel(EventId id);
+
+  // Run events until the queue empties or `deadline` passes. The clock ends
+  // at min(deadline, last event time); with no events it jumps to deadline.
+  void run_until(Time deadline);
+
+  // Run until the event queue is empty.
+  void run();
+
+  // Drop every pending event (the clock keeps its value).
+  void clear();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  Time now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::map<EventId, std::function<void()>> queue_;
+};
+
+}  // namespace sperke::sim

@@ -1,0 +1,88 @@
+#include "util/csv.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sperke {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (!cell.empty()) throw std::runtime_error("CSV: quote inside unquoted cell");
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = false;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("CSV: unterminated quoted cell");
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace sperke

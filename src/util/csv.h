@@ -1,0 +1,28 @@
+// Minimal CSV writing/reading for exporting bench series and loading traces.
+// Handles quoting of cells containing commas, quotes or newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sperke {
+
+class CsvWriter {
+ public:
+  // Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+// Parses CSV text into rows of cells. Supports quoted cells with embedded
+// commas/quotes/newlines. Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace sperke

@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace sperke {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  std::clog << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace sperke

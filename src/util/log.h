@@ -1,0 +1,32 @@
+// Lightweight leveled logging. Off (Warn) by default so simulations stay
+// quiet; examples and debugging sessions can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace sperke {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// Emit a message at the given level (already formatted).
+void log_message(LogLevel level, std::string_view msg);
+
+// Stream-concatenating log call: log(LogLevel::Info, "fetched ", n, " chunks").
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_message(level, os.str());
+}
+
+#define SPERKE_LOG_INFO(...) ::sperke::log(::sperke::LogLevel::Info, __VA_ARGS__)
+#define SPERKE_LOG_DEBUG(...) ::sperke::log(::sperke::LogLevel::Debug, __VA_ARGS__)
+#define SPERKE_LOG_WARN(...) ::sperke::log(::sperke::LogLevel::Warn, __VA_ARGS__)
+
+}  // namespace sperke

@@ -1,0 +1,39 @@
+// Small statistics helpers used by QoE accounting and bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace sperke {
+
+// Incrementally accumulates count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Percentile with linear interpolation; p in [0,100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+[[nodiscard]] double mean_of(std::span<const double> values);
+[[nodiscard]] double stddev_of(std::span<const double> values);
+
+}  // namespace sperke

@@ -1,0 +1,28 @@
+// Aligned plain-text tables: used by bench binaries to print rows in the
+// same shape as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sperke {
+
+// Builds a left-aligned text table with a header row and a separator.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; it must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sperke

@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "abr/oos.h"
+#include "abr/qoe.h"
+#include "abr/regular_vra.h"
+#include "abr/sperke_vra.h"
+
+namespace sperke::abr {
+namespace {
+
+std::shared_ptr<media::VideoModel> make_video() {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.chunk_duration_s = 1.0;
+  cfg.tile_rows = 4;
+  cfg.tile_cols = 6;
+  cfg.seed = 5;
+  return std::make_shared<media::VideoModel>(cfg);
+}
+
+VraContext context_with(double est_kbps, double buffer_s,
+                        media::QualityLevel last = 0) {
+  VraContext ctx;
+  ctx.level_kbps = {1000.0, 2500.0, 5000.0, 10000.0, 20000.0};
+  ctx.level_utility = {0.0, 0.25, 0.5, 0.75, 1.0};
+  ctx.estimated_kbps = est_kbps;
+  ctx.buffer_level = sim::seconds(buffer_s);
+  ctx.last_quality = last;
+  return ctx;
+}
+
+TEST(QoeTracker, AggregatesScore) {
+  QoeTracker tracker;
+  tracker.record_played_chunk(0.8, 0.0);
+  tracker.record_played_chunk(0.6, 0.1);
+  tracker.record_stall(sim::seconds(2.0));
+  tracker.record_skip(1);
+  tracker.record_downloaded(1000);
+  tracker.record_wasted(100);
+  const QoeSummary s = tracker.summary();
+  EXPECT_EQ(s.chunks_played, 2);
+  EXPECT_NEAR(s.mean_viewport_utility, 0.7, 1e-9);
+  EXPECT_NEAR(s.stall_seconds, 2.0, 1e-9);
+  EXPECT_EQ(s.stall_events, 1);
+  EXPECT_EQ(s.skipped_chunks, 1);
+  EXPECT_NEAR(s.switch_magnitude, 0.2, 1e-9);
+  EXPECT_NEAR(s.blank_fraction_mean, 0.05, 1e-9);
+  EXPECT_EQ(s.bytes_downloaded, 1000);
+  EXPECT_EQ(s.bytes_wasted, 100);
+  // score = 1.4 - 4*2 - 2*1 - 1*0.2 - 4*0.1
+  EXPECT_NEAR(s.score, 1.4 - 8.0 - 2.0 - 0.2 - 0.4, 1e-9);
+}
+
+TEST(QoeTracker, RejectsBadInputs) {
+  QoeTracker tracker;
+  EXPECT_THROW(tracker.record_played_chunk(1.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(tracker.record_played_chunk(0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(tracker.record_stall(sim::Duration{-1}), std::invalid_argument);
+  EXPECT_THROW(tracker.record_skip(-1), std::invalid_argument);
+}
+
+TEST(ThroughputVra, PicksSustainableLevel) {
+  ThroughputVra vra(0.85);
+  EXPECT_EQ(vra.choose(context_with(12000.0, 10.0)), 3);  // 0.85*12000 >= 10000
+  EXPECT_EQ(vra.choose(context_with(3000.0, 10.0)), 1);
+  EXPECT_EQ(vra.choose(context_with(500.0, 10.0)), 0);
+  EXPECT_EQ(vra.choose(context_with(0.0, 10.0)), 0);  // unknown throughput
+}
+
+TEST(ThroughputVra, RejectsBadSafety) {
+  EXPECT_THROW(ThroughputVra(0.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputVra(1.5), std::invalid_argument);
+}
+
+TEST(BufferVra, MapsBufferToLadder) {
+  BufferVra vra(sim::seconds(5.0), sim::seconds(15.0));
+  EXPECT_EQ(vra.choose(context_with(9999.0, 2.0)), 0);   // below reservoir
+  EXPECT_EQ(vra.choose(context_with(9999.0, 20.0)), 4);  // above cushion
+  EXPECT_EQ(vra.choose(context_with(9999.0, 10.0)), 2);  // midpoint
+}
+
+TEST(BufferVra, RejectsBadReservoirs) {
+  EXPECT_THROW(BufferVra(sim::seconds(5.0), sim::seconds(5.0)), std::invalid_argument);
+}
+
+TEST(MpcVra, HighBandwidthPicksHigh) {
+  MpcVra vra;
+  EXPECT_GE(vra.choose(context_with(40000.0, 8.0, 4)), 3);
+}
+
+TEST(MpcVra, LowBufferIsConservative) {
+  MpcVra vra;
+  const auto starved = vra.choose(context_with(10000.0, 0.3, 0));
+  const auto healthy = vra.choose(context_with(10000.0, 12.0, 0));
+  EXPECT_LE(starved, healthy);
+}
+
+TEST(MpcVra, SwitchPenaltyDampsJumps) {
+  MpcVra damped(3, 4.0, /*switch_penalty=*/50.0);
+  // Huge switching penalty: stick near the last quality.
+  EXPECT_EQ(damped.choose(context_with(40000.0, 10.0, 1)), 1);
+}
+
+TEST(RegularVraFactory, MakesAllKinds) {
+  EXPECT_EQ(make_regular_vra("throughput")->name(), "throughput");
+  EXPECT_EQ(make_regular_vra("buffer")->name(), "buffer");
+  EXPECT_EQ(make_regular_vra("mpc")->name(), "mpc");
+  EXPECT_EQ(make_regular_vra("bola")->name(), "bola");
+  EXPECT_EQ(make_regular_vra("fixed-2")->name(), "fixed");
+  EXPECT_THROW((void)make_regular_vra("festive2"), std::invalid_argument);
+}
+
+TEST(BolaVra, QualityRisesWithBuffer) {
+  BolaVra vra(12.0);
+  const auto starved = vra.choose(context_with(0.0, 0.5));
+  const auto mid = vra.choose(context_with(0.0, 8.0));
+  const auto full = vra.choose(context_with(0.0, 14.0));
+  EXPECT_EQ(starved, 0);
+  EXPECT_GE(mid, starved);
+  EXPECT_GE(full, mid);
+  EXPECT_EQ(full, 4);  // beyond the control region -> top
+}
+
+TEST(BolaVra, IgnoresThroughputEstimate) {
+  BolaVra vra;
+  EXPECT_EQ(vra.choose(context_with(1e9, 0.5)), vra.choose(context_with(0.0, 0.5)));
+}
+
+TEST(BolaVra, RejectsBadParameters) {
+  EXPECT_THROW(BolaVra(0.0), std::invalid_argument);
+  EXPECT_THROW(BolaVra(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(FixedVra, ClampsToLadderTop) {
+  FixedVra vra(99);
+  EXPECT_EQ(vra.choose(context_with(0.0, 0.0)), 4);
+  EXPECT_THROW(FixedVra(-1), std::invalid_argument);
+}
+
+class OosTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<media::VideoModel> video = make_video();
+
+  ChunkPlan fov_plan(media::QualityLevel q, const std::vector<geo::TileId>& fov) {
+    ChunkPlan plan;
+    plan.index = 0;
+    plan.fov_quality = q;
+    for (geo::TileId tile : fov) {
+      plan.fetches.push_back(
+          {{{tile, 0}, media::Encoding::kAvc, q}, SpatialClass::kFov, 0.2});
+    }
+    return plan;
+  }
+
+  std::vector<double> uniform_probs() {
+    return std::vector<double>(static_cast<std::size_t>(video->tile_count()),
+                               1.0 / video->tile_count());
+  }
+};
+
+TEST_F(OosTest, AddsOosTilesWithinBudget) {
+  OosSelector selector({.budget_fraction = 0.5});
+  auto plan = fov_plan(3, {0, 1, 6, 7});
+  const auto fov_bytes = plan.total_bytes(*video);
+  selector.select(plan, *video, {0, 1, 6, 7}, uniform_probs(), media::Encoding::kAvc);
+  std::int64_t oos_bytes = 0;
+  int oos_count = 0;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kOos) {
+      oos_bytes += video->size_bytes(f.address);
+      ++oos_count;
+    }
+  }
+  EXPECT_GT(oos_count, 0);
+  // accuracy_scaling with uniform probs roughly doubles the 0.5 budget.
+  EXPECT_LE(oos_bytes, fov_bytes);
+}
+
+TEST_F(OosTest, ZeroBudgetAddsNothing) {
+  OosSelector selector({.budget_fraction = 0.0, .accuracy_scaling = false});
+  auto plan = fov_plan(3, {0, 1});
+  const auto before = plan.fetches.size();
+  selector.select(plan, *video, {0, 1}, uniform_probs(), media::Encoding::kAvc);
+  EXPECT_EQ(plan.fetches.size(), before);
+}
+
+TEST_F(OosTest, HigherProbabilityTilesChosenFirst) {
+  OosSelector selector({.budget_fraction = 1.5, .accuracy_scaling = false});
+  auto plan = fov_plan(2, {0});
+  auto probs = uniform_probs();
+  probs[5] = 0.9;  // one clearly-hot tile
+  selector.select(plan, *video, {0}, probs, media::Encoding::kAvc);
+  // The hottest candidate must be the first OOS fetch emitted.
+  std::optional<geo::TileId> first_oos;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kOos && !first_oos.has_value()) {
+      first_oos = f.address.key.tile;
+    }
+  }
+  ASSERT_TRUE(first_oos.has_value());
+  EXPECT_EQ(*first_oos, 5);
+}
+
+TEST_F(OosTest, QualityFallsWithRank) {
+  OosSelector selector({.budget_fraction = 3.0, .accuracy_scaling = false,
+                        .first_quality_drop = 1, .tiles_per_step = 2});
+  auto plan = fov_plan(4, {0});
+  selector.select(plan, *video, {0}, uniform_probs(), media::Encoding::kAvc);
+  media::QualityLevel first_oos = -1, last_oos = 99;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial != SpatialClass::kOos) continue;
+    if (first_oos < 0) first_oos = f.address.level;
+    last_oos = f.address.level;
+  }
+  ASSERT_GE(first_oos, 0);
+  EXPECT_EQ(first_oos, 3);         // fov 4 - drop 1
+  EXPECT_LT(last_oos, first_oos);  // rank decay kicked in
+}
+
+TEST_F(OosTest, SvcEncodingEmitsLayerStacks) {
+  OosSelector selector({.budget_fraction = 2.0, .accuracy_scaling = false,
+                        .first_quality_drop = 1});
+  auto plan = fov_plan(2, {0});
+  selector.select(plan, *video, {0}, uniform_probs(), media::Encoding::kSvc);
+  // OOS tiles at quality 1 appear as layers 0 and 1.
+  int layer0 = 0, layer1 = 0;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial != SpatialClass::kOos) continue;
+    EXPECT_EQ(f.address.encoding, media::Encoding::kSvc);
+    if (f.address.level == 0) ++layer0;
+    if (f.address.level == 1) ++layer1;
+  }
+  EXPECT_GT(layer0, 0);
+  EXPECT_EQ(layer0, layer1);
+}
+
+TEST_F(OosTest, ProbabilityProportionalTracksProbabilities) {
+  OosSelector selector({.budget_fraction = 3.0, .accuracy_scaling = false,
+                        .quality_policy = OosQualityPolicy::kProbabilityProportional});
+  auto plan = fov_plan(4, {0});
+  auto probs = uniform_probs();
+  probs[5] = 0.5;   // hot
+  probs[10] = 0.25; // warm
+  selector.select(plan, *video, {0}, probs, media::Encoding::kAvc);
+  std::map<geo::TileId, media::QualityLevel> chosen;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kOos) chosen[f.address.key.tile] = f.address.level;
+  }
+  ASSERT_TRUE(chosen.contains(5));
+  ASSERT_TRUE(chosen.contains(10));
+  // Hot tile gets fov_quality-1 = 3; half-probability tile about half that;
+  // uniform-probability tiles land at the floor.
+  EXPECT_EQ(chosen[5], 3);
+  EXPECT_LT(chosen[10], chosen[5]);
+  EXPECT_GT(chosen[10], 0);
+  bool found_cold = false;
+  for (const auto& [tile, q] : chosen) {
+    if (tile != 5 && tile != 10) {
+      EXPECT_LE(q, 1) << "tile " << tile;
+      found_cold = true;
+    }
+  }
+  EXPECT_TRUE(found_cold);
+}
+
+TEST_F(OosTest, RejectsBadConfigAndInput) {
+  EXPECT_THROW(OosSelector({.budget_fraction = -1.0}), std::invalid_argument);
+  EXPECT_THROW(OosSelector({.tiles_per_step = 0}), std::invalid_argument);
+  OosSelector ok;
+  auto plan = fov_plan(1, {0});
+  std::vector<double> wrong_size(3, 0.1);
+  EXPECT_THROW(ok.select(plan, *video, {0}, wrong_size, media::Encoding::kAvc),
+               std::invalid_argument);
+}
+
+class SperkeVraTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<media::VideoModel> video = make_video();
+
+  SperkeVra make(EncodingMode mode) {
+    SperkeVraConfig cfg;
+    cfg.mode = mode;
+    return SperkeVra(video, cfg);
+  }
+
+  std::vector<double> probs_for(const std::vector<geo::TileId>& fov) {
+    std::vector<double> probs(static_cast<std::size_t>(video->tile_count()), 0.01);
+    for (geo::TileId tile : fov) probs[static_cast<std::size_t>(tile)] = 0.2;
+    double sum = 0.0;
+    for (double p : probs) sum += p;
+    for (double& p : probs) p /= sum;
+    return probs;
+  }
+};
+
+TEST_F(SperkeVraTest, PlanCoversFovAtChosenQuality) {
+  auto vra = make(EncodingMode::kAvcRefetch);
+  const std::vector<geo::TileId> fov{7, 8, 9, 13, 14, 15};
+  const auto plan = vra.plan_chunk(2, fov, probs_for(fov), 20'000.0,
+                                   sim::seconds(3.0), 0);
+  EXPECT_EQ(plan.index, 2);
+  std::set<geo::TileId> planned_fov;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kFov) {
+      planned_fov.insert(f.address.key.tile);
+      EXPECT_EQ(f.address.level, plan.fov_quality);
+    }
+  }
+  for (geo::TileId tile : fov) EXPECT_TRUE(planned_fov.contains(tile));
+}
+
+TEST_F(SperkeVraTest, SvcModeEmitsLayersZeroThroughQ) {
+  auto vra = make(EncodingMode::kSvc);
+  const std::vector<geo::TileId> fov{7, 8};
+  const auto plan =
+      vra.plan_chunk(0, fov, probs_for(fov), 50'000.0, sim::seconds(5.0), 0);
+  ASSERT_GT(plan.fov_quality, 0);
+  std::map<geo::TileId, std::set<media::LayerIndex>> layers;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kFov) {
+      EXPECT_EQ(f.address.encoding, media::Encoding::kSvc);
+      layers[f.address.key.tile].insert(f.address.level);
+    }
+  }
+  for (geo::TileId tile : fov) {
+    EXPECT_EQ(static_cast<int>(layers[tile].size()), plan.fov_quality + 1);
+    EXPECT_TRUE(layers[tile].contains(0));
+  }
+}
+
+TEST_F(SperkeVraTest, HigherBandwidthRaisesQuality) {
+  auto vra = make(EncodingMode::kSvc);
+  const std::vector<geo::TileId> fov{7, 8, 9};
+  const auto slow =
+      vra.plan_chunk(0, fov, probs_for(fov), 2'000.0, sim::seconds(3.0), 0);
+  const auto fast =
+      vra.plan_chunk(0, fov, probs_for(fov), 60'000.0, sim::seconds(3.0), 0);
+  EXPECT_GT(fast.fov_quality, slow.fov_quality);
+}
+
+TEST_F(SperkeVraTest, HybridFovIsAvcOosIsSvc) {
+  // §3.1.2 hybrid: FoV tiles are unlikely to upgrade -> AVC (no layering
+  // overhead); OOS tiles are the upgrade candidates -> SVC.
+  SperkeVraConfig cfg;
+  cfg.mode = EncodingMode::kHybrid;
+  cfg.oos.budget_fraction = 1.0;
+  SperkeVra vra(video, cfg);
+  const std::vector<geo::TileId> fov{7, 8};
+  const auto plan =
+      vra.plan_chunk(0, fov, probs_for(fov), 30'000.0, sim::seconds(3.0), 0);
+  bool saw_oos = false;
+  for (const auto& f : plan.fetches) {
+    if (f.spatial == SpatialClass::kFov) {
+      EXPECT_EQ(f.address.encoding, media::Encoding::kAvc);
+    } else {
+      EXPECT_EQ(f.address.encoding, media::Encoding::kSvc);
+      saw_oos = true;
+    }
+  }
+  EXPECT_TRUE(saw_oos);
+}
+
+TEST_F(SperkeVraTest, HybridUpgradePicksCheaperPath) {
+  SperkeVraConfig cfg;
+  cfg.mode = EncodingMode::kHybrid;
+  SperkeVra vra(video, cfg);
+  const media::ChunkKey key{7, 3};
+  // Cell holds only an AVC copy (svc base -1): a full delta stack costs
+  // more than the AVC refetch, so refetch wins.
+  auto d = vra.consider_upgrade(key, 0, -1, 2, 0.9, sim::seconds(2.0), 50'000.0);
+  ASSERT_TRUE(d.upgrade);
+  ASSERT_EQ(d.fetches.size(), 1u);
+  EXPECT_EQ(d.fetches[0].encoding, media::Encoding::kAvc);
+  // Cell holds SVC layers 0..1: the single remaining delta is cheaper.
+  d = vra.consider_upgrade(key, 1, 1, 2, 0.9, sim::seconds(2.0), 50'000.0);
+  ASSERT_TRUE(d.upgrade);
+  ASSERT_EQ(d.fetches.size(), 1u);
+  EXPECT_EQ(d.fetches[0].encoding, media::Encoding::kSvc);
+  EXPECT_EQ(d.fetches[0].level, 2);
+}
+
+TEST_F(SperkeVraTest, UpgradeRequiresWindowAndProbability) {
+  auto vra = make(EncodingMode::kSvc);
+  const media::ChunkKey key{7, 3};
+  // Too early (outside the upgrade window): refuse.
+  auto d = vra.consider_upgrade(key, 0, 0, 2, 0.9, sim::seconds(10.0), 50'000.0);
+  EXPECT_FALSE(d.upgrade);
+  // Inside the window with good probability: upgrade with the deltas only.
+  d = vra.consider_upgrade(key, 0, 0, 2, 0.9, sim::seconds(2.0), 50'000.0);
+  EXPECT_TRUE(d.upgrade);
+  ASSERT_EQ(d.fetches.size(), 2u);
+  EXPECT_EQ(d.fetches[0].level, 1);
+  EXPECT_EQ(d.fetches[1].level, 2);
+  EXPECT_EQ(d.bytes, video->svc_layer_size_bytes(1, key) +
+                         video->svc_layer_size_bytes(2, key));
+  // Low probability: refuse.
+  d = vra.consider_upgrade(key, 0, 0, 2, 0.05, sim::seconds(2.0), 50'000.0);
+  EXPECT_FALSE(d.upgrade);
+}
+
+TEST_F(SperkeVraTest, UpgradeRespectsDeadlineFeasibility) {
+  auto vra = make(EncodingMode::kSvc);
+  const media::ChunkKey key{7, 3};
+  // Bandwidth far too low to ship the delta in time.
+  const auto d = vra.consider_upgrade(key, 0, 0, 4, 0.9, sim::milliseconds(200), 50.0);
+  EXPECT_FALSE(d.upgrade);
+}
+
+TEST_F(SperkeVraTest, AvcRefetchRedownloadsWholeChunk) {
+  auto vra = make(EncodingMode::kAvcRefetch);
+  const media::ChunkKey key{7, 3};
+  const auto d = vra.consider_upgrade(key, 0, 0, 2, 0.9, sim::seconds(2.0), 50'000.0);
+  ASSERT_TRUE(d.upgrade);
+  ASSERT_EQ(d.fetches.size(), 1u);
+  EXPECT_EQ(d.fetches[0].encoding, media::Encoding::kAvc);
+  EXPECT_EQ(d.bytes, video->avc_size_bytes(2, key));
+  // The refetch is strictly bigger than the SVC delta would have been.
+  EXPECT_GT(d.bytes, video->svc_layer_size_bytes(1, key) +
+                         video->svc_layer_size_bytes(2, key));
+}
+
+TEST_F(SperkeVraTest, NoUpgradeModeNeverUpgrades) {
+  auto vra = make(EncodingMode::kAvcNoUpgrade);
+  const auto d =
+      vra.consider_upgrade({7, 3}, 0, 0, 2, 0.9, sim::seconds(2.0), 50'000.0);
+  EXPECT_FALSE(d.upgrade);
+}
+
+TEST_F(SperkeVraTest, LateFetchFromNothingUsesFullStack) {
+  auto vra = make(EncodingMode::kSvc);
+  const media::ChunkKey key{7, 3};
+  const auto d = vra.consider_upgrade(key, -1, -1, 1, 0.9, sim::seconds(2.0), 50'000.0);
+  ASSERT_TRUE(d.upgrade);
+  ASSERT_EQ(d.fetches.size(), 2u);  // layers 0 and 1
+  EXPECT_EQ(d.fetches[0].level, 0);
+}
+
+TEST_F(SperkeVraTest, EmptyFovThrows) {
+  auto vra = make(EncodingMode::kSvc);
+  EXPECT_THROW(
+      (void)vra.plan_chunk(0, {}, {}, 10'000.0, sim::seconds(1.0), 0),
+      std::invalid_argument);
+}
+
+TEST(EncodingModeNames, AllDistinct) {
+  EXPECT_EQ(to_string(EncodingMode::kSvc), "svc");
+  EXPECT_EQ(to_string(EncodingMode::kHybrid), "hybrid");
+  EXPECT_EQ(to_string(EncodingMode::kAvcRefetch), "avc-refetch");
+  EXPECT_EQ(to_string(EncodingMode::kAvcNoUpgrade), "avc-no-upgrade");
+}
+
+}  // namespace
+}  // namespace sperke::abr

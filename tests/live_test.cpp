@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "live/broadcast.h"
+#include "live/crowd.h"
+#include "live/platform.h"
+#include "live/upload_vra.h"
+
+namespace sperke::live {
+namespace {
+
+LiveBroadcastSession::Config config_for(const PlatformProfile& platform,
+                                        NetworkConditions network) {
+  LiveBroadcastSession::Config cfg;
+  cfg.platform = platform;
+  cfg.network = network;
+  return cfg;
+}
+
+TEST(Platform, ProfilesAreDistinct) {
+  const auto fb = PlatformProfile::facebook();
+  const auto yt = PlatformProfile::youtube();
+  const auto ps = PlatformProfile::periscope();
+  EXPECT_EQ(fb.delivery, Delivery::kDashPull);
+  EXPECT_EQ(yt.delivery, Delivery::kDashPull);
+  EXPECT_EQ(ps.delivery, Delivery::kRtmpPush);
+  EXPECT_EQ(fb.ladder_kbps.size(), 2u);   // 720p/1080p
+  EXPECT_EQ(yt.ladder_kbps.size(), 6u);   // 144p..1080p
+  EXPECT_GT(yt.segment_s, fb.segment_s);
+}
+
+TEST(Platform, Table2HasFiveConditions) {
+  const auto conditions = table2_conditions();
+  ASSERT_EQ(conditions.size(), 5u);
+  EXPECT_EQ(conditions[0].label(), "No limit up / No limit down");
+  EXPECT_EQ(conditions[3].up_kbps, 500.0);
+  EXPECT_EQ(conditions[4].down_kbps, 500.0);
+}
+
+TEST(LiveBroadcast, UnconstrainedBaseLatencyOrdering) {
+  // Table 2 row 1: Facebook < Periscope < YouTube.
+  const auto fb =
+      LiveBroadcastSession(config_for(PlatformProfile::facebook(), {})).run();
+  const auto ps =
+      LiveBroadcastSession(config_for(PlatformProfile::periscope(), {})).run();
+  const auto yt =
+      LiveBroadcastSession(config_for(PlatformProfile::youtube(), {})).run();
+  ASSERT_GT(fb.segments_displayed, 10);
+  ASSERT_GT(ps.segments_displayed, 10);
+  ASSERT_GT(yt.segments_displayed, 10);
+  EXPECT_LT(fb.mean_e2e_latency_s, ps.mean_e2e_latency_s);
+  EXPECT_LT(ps.mean_e2e_latency_s, yt.mean_e2e_latency_s);
+  // Base latencies are non-trivial (several seconds) even unconstrained.
+  EXPECT_GT(fb.mean_e2e_latency_s, 3.0);
+}
+
+TEST(LiveBroadcast, UplinkThrottlingInflatesLatency) {
+  const auto base =
+      LiveBroadcastSession(config_for(PlatformProfile::facebook(), {})).run();
+  const auto constrained = LiveBroadcastSession(
+                               config_for(PlatformProfile::facebook(),
+                                          {.up_kbps = 500.0, .down_kbps = 0.0}))
+                               .run();
+  EXPECT_GT(constrained.mean_e2e_latency_s, base.mean_e2e_latency_s + 1.0);
+  // The fixed-bitrate broadcaster must drop segments at 0.5 Mbps.
+  EXPECT_GT(constrained.segments_dropped_at_broadcaster, 0);
+}
+
+TEST(LiveBroadcast, MildUplinkThrottleInflatesLessThanSevere) {
+  const auto mild = LiveBroadcastSession(
+                        config_for(PlatformProfile::facebook(),
+                                   {.up_kbps = 2000.0, .down_kbps = 0.0}))
+                        .run();
+  const auto severe = LiveBroadcastSession(
+                          config_for(PlatformProfile::facebook(),
+                                     {.up_kbps = 500.0, .down_kbps = 0.0}))
+                          .run();
+  EXPECT_LT(mild.mean_e2e_latency_s, severe.mean_e2e_latency_s);
+}
+
+TEST(LiveBroadcast, DownlinkThrottlingTriggersRateAdaptation) {
+  const auto constrained = LiveBroadcastSession(
+                               config_for(PlatformProfile::facebook(),
+                                          {.up_kbps = 0.0, .down_kbps = 2000.0}))
+                               .run();
+  ASSERT_GT(constrained.segments_displayed, 5);
+  // DASH adaptation must settle on the 1.5 Mbps rung (1080p needs 4 Mbps).
+  EXPECT_LT(constrained.mean_displayed_kbps, 4000.0);
+}
+
+TEST(LiveBroadcast, SevereDownlinkInflatesLatency) {
+  const auto base =
+      LiveBroadcastSession(config_for(PlatformProfile::facebook(), {})).run();
+  const auto constrained = LiveBroadcastSession(
+                               config_for(PlatformProfile::facebook(),
+                                          {.up_kbps = 0.0, .down_kbps = 500.0}))
+                               .run();
+  // 0.5 Mbps cannot even carry the lowest Facebook rung in real time.
+  EXPECT_GT(constrained.mean_e2e_latency_s, base.mean_e2e_latency_s * 2.0);
+}
+
+TEST(LiveBroadcast, RejectsBadConfig) {
+  auto cfg = config_for(PlatformProfile::facebook(), {});
+  cfg.platform.ladder_kbps.clear();
+  EXPECT_THROW(LiveBroadcastSession{cfg}, std::invalid_argument);
+  cfg = config_for(PlatformProfile::facebook(), {});
+  cfg.platform.segment_s = 0.0;
+  EXPECT_THROW(LiveBroadcastSession{cfg}, std::invalid_argument);
+}
+
+TEST(LiveBroadcast, UploadPolicyPreventsBroadcasterDrops) {
+  // A 4 Mbps feed over a 1 Mbps uplink: without adaptation the encoder
+  // must drop; with spatial fallback it fits by shrinking the horizon.
+  auto cfg = config_for(PlatformProfile::facebook(),
+                        {.up_kbps = 1000.0, .down_kbps = 0.0});
+  cfg.platform.upload_kbps = 4000.0;
+  const auto fixed = LiveBroadcastSession(cfg).run();
+  EXPECT_GT(fixed.segments_dropped_at_broadcaster, 0);
+  EXPECT_DOUBLE_EQ(fixed.mean_uploaded_horizon_deg, 360.0);
+
+  SpatialFallbackPolicy policy(4000.0, 120.0);
+  cfg.upload_policy = &policy;
+  const auto adapted = LiveBroadcastSession(cfg).run();
+  EXPECT_EQ(adapted.segments_dropped_at_broadcaster, 0);
+  EXPECT_LT(adapted.mean_uploaded_horizon_deg, 360.0);
+  EXPECT_LT(adapted.mean_e2e_latency_s, fixed.mean_e2e_latency_s);
+}
+
+TEST(UploadVra, FixedPolicyIgnoresCapacity) {
+  FixedQualityPolicy policy(4000.0);
+  const auto d = policy.decide(100.0);
+  EXPECT_DOUBLE_EQ(d.horizon_deg, 360.0);
+  EXPECT_DOUBLE_EQ(d.upload_kbps, 4000.0);
+}
+
+TEST(UploadVra, QualityAdaptiveSqueezesBitrate) {
+  QualityAdaptivePolicy policy(4000.0, 500.0);
+  EXPECT_DOUBLE_EQ(policy.decide(50'000.0).upload_kbps, 4000.0);  // capped at target
+  const auto d = policy.decide(2000.0);
+  EXPECT_DOUBLE_EQ(d.horizon_deg, 360.0);
+  EXPECT_NEAR(d.upload_kbps, 1800.0, 1e-9);
+  EXPECT_DOUBLE_EQ(policy.decide(100.0).upload_kbps, 500.0);  // floor
+}
+
+TEST(UploadVra, SpatialFallbackShrinksHorizonNotQuality) {
+  SpatialFallbackPolicy policy(4000.0, 120.0);
+  const auto full = policy.decide(50'000.0);
+  EXPECT_DOUBLE_EQ(full.horizon_deg, 360.0);
+  const auto half = policy.decide(2000.0);
+  EXPECT_NEAR(half.horizon_deg, 162.0, 1.0);  // 360*1800/4000
+  // Per-degree density preserved at the target.
+  EXPECT_NEAR(half.upload_kbps / half.horizon_deg, 4000.0 / 360.0, 1e-6);
+  // Floor: never narrower than the stage.
+  const auto tiny = policy.decide(300.0);
+  EXPECT_DOUBLE_EQ(tiny.horizon_deg, 120.0);
+}
+
+TEST(UploadVra, CoverageProbabilityBehaves) {
+  EXPECT_DOUBLE_EQ(horizon_coverage_probability(360.0, 40.0), 1.0);
+  EXPECT_NEAR(horizon_coverage_probability(80.0, 40.0), 0.6827, 0.01);  // +-1 sigma
+  EXPECT_GT(horizon_coverage_probability(180.0, 40.0),
+            horizon_coverage_probability(90.0, 40.0));
+  EXPECT_DOUBLE_EQ(horizon_coverage_probability(0.0, 40.0), 0.0);
+}
+
+TEST(UploadVra, DensityUtilityMonotone) {
+  const double target = 4000.0 / 360.0;
+  EXPECT_DOUBLE_EQ(density_utility(target, target), 1.0);
+  EXPECT_GT(density_utility(target, target), density_utility(target / 2.0, target));
+  EXPECT_DOUBLE_EQ(density_utility(target / 32.0, target), 0.0);
+}
+
+TEST(UploadVra, SpatialFallbackBeatsQualityDropOnNarrowInterest) {
+  // Concert scenario: gaze concentrated (sigma 40 deg); uplink at 1.5 Mbps.
+  const double target = 4000.0;
+  const double sigma = 40.0;
+  QualityAdaptivePolicy quality(target, 250.0);
+  SpatialFallbackPolicy spatial(target, 120.0);
+  const double u_quality =
+      expected_viewer_utility(quality.decide(1500.0), target, sigma);
+  const double u_spatial =
+      expected_viewer_utility(spatial.decide(1500.0), target, sigma);
+  EXPECT_GT(u_spatial, u_quality);
+}
+
+TEST(UploadVra, QualityDropWinsWhenInterestIsEverywhere) {
+  // Wide interest (sigma 170 deg): cutting the horizon loses viewers.
+  const double target = 4000.0;
+  QualityAdaptivePolicy quality(target, 250.0);
+  SpatialFallbackPolicy spatial(target, 120.0);
+  const double u_quality =
+      expected_viewer_utility(quality.decide(2500.0), target, 170.0);
+  const double u_spatial =
+      expected_viewer_utility(spatial.decide(2500.0), target, 170.0);
+  EXPECT_GT(u_quality, u_spatial);
+}
+
+TEST(UploadVra, RejectsBadParameters) {
+  EXPECT_THROW(FixedQualityPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(QualityAdaptivePolicy(1000.0, 2000.0), std::invalid_argument);
+  EXPECT_THROW(SpatialFallbackPolicy(1000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SpatialFallbackPolicy(1000.0, 400.0), std::invalid_argument);
+}
+
+TEST(LiveCrowdHmp, TimeGatedVisibility) {
+  LiveCrowdHmp crowd(8, 10);
+  const std::vector<geo::TileId> tiles{3};
+  crowd.record(2, tiles, sim::seconds(10.0));
+  EXPECT_EQ(crowd.observations(2, sim::seconds(5.0)), 0);
+  EXPECT_EQ(crowd.observations(2, sim::seconds(10.0)), 1);
+  const auto early = crowd.probabilities(2, sim::seconds(5.0));
+  const auto late = crowd.probabilities(2, sim::seconds(15.0));
+  EXPECT_NEAR(early[3], 1.0 / 8.0, 1e-9);  // uniform before the record lands
+  EXPECT_GT(late[3], early[3]);
+}
+
+TEST(LiveCrowdHmp, ProbabilitiesSumToOne) {
+  LiveCrowdHmp crowd(8, 4);
+  const std::vector<geo::TileId> tiles{0, 1, 2};
+  crowd.record(0, tiles, sim::seconds(1.0));
+  crowd.record(0, tiles, sim::seconds(2.0));
+  const auto probs = crowd.probabilities(0, sim::seconds(3.0));
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LiveCrowdHmp, OutOfOrderRecordsSort) {
+  LiveCrowdHmp crowd(4, 2);
+  const std::vector<geo::TileId> a{0};
+  const std::vector<geo::TileId> b{1};
+  crowd.record(0, a, sim::seconds(10.0));
+  crowd.record(0, b, sim::seconds(5.0));
+  EXPECT_EQ(crowd.observations(0, sim::seconds(6.0)), 1);
+  EXPECT_EQ(crowd.observations(0, sim::seconds(11.0)), 2);
+}
+
+TEST(LiveCrowdHmp, RangeChecks) {
+  LiveCrowdHmp crowd(4, 2);
+  const std::vector<geo::TileId> bad{9};
+  EXPECT_THROW(crowd.record(0, bad, sim::kTimeZero), std::out_of_range);
+  const std::vector<geo::TileId> ok{0};
+  EXPECT_THROW(crowd.record(5, ok, sim::kTimeZero), std::out_of_range);
+  EXPECT_THROW((void)crowd.probabilities(-1, sim::kTimeZero), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sperke::live

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "media/content_store.h"
+#include "media/manifest.h"
+#include "media/mpd.h"
+#include "media/quality_ladder.h"
+#include "media/video_model.h"
+
+namespace sperke::media {
+namespace {
+
+VideoModelConfig small_config() {
+  VideoModelConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.chunk_duration_s = 1.0;
+  cfg.tile_rows = 2;
+  cfg.tile_cols = 4;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(QualityLadder, RejectsBadLadders) {
+  EXPECT_THROW(QualityLadder({}), std::invalid_argument);
+  EXPECT_THROW(QualityLadder({1000.0, 1000.0}), std::invalid_argument);
+  EXPECT_THROW(QualityLadder({1000.0, 500.0}), std::invalid_argument);
+  EXPECT_THROW(QualityLadder({-1.0}), std::invalid_argument);
+}
+
+TEST(QualityLadder, UtilityNormalizedAndMonotone) {
+  const auto ladder = QualityLadder::default_ladder();
+  EXPECT_DOUBLE_EQ(ladder.utility(0), 0.0);
+  EXPECT_DOUBLE_EQ(ladder.utility(ladder.max_level()), 1.0);
+  for (QualityLevel q = 1; q < ladder.levels(); ++q) {
+    EXPECT_GT(ladder.utility(q), ladder.utility(q - 1));
+  }
+}
+
+TEST(QualityLadder, LevelForKbps) {
+  const QualityLadder ladder({1000.0, 2000.0, 4000.0});
+  EXPECT_EQ(ladder.level_for_kbps(500.0), 0);   // below base: still level 0
+  EXPECT_EQ(ladder.level_for_kbps(1000.0), 0);
+  EXPECT_EQ(ladder.level_for_kbps(2500.0), 1);
+  EXPECT_EQ(ladder.level_for_kbps(9999.0), 2);
+}
+
+TEST(QualityLadder, BadLevelThrows) {
+  const auto ladder = QualityLadder::default_ladder();
+  EXPECT_THROW((void)ladder.panorama_kbps(-1), std::out_of_range);
+  EXPECT_THROW((void)ladder.utility(ladder.levels()), std::out_of_range);
+}
+
+TEST(VideoModel, ChunkCountAndTimes) {
+  const VideoModel vm(small_config());
+  EXPECT_EQ(vm.chunk_count(), 10);
+  EXPECT_EQ(vm.chunk_start_time(3), sim::seconds(3.0));
+  EXPECT_EQ(vm.chunk_at_time(sim::seconds(3.5)), 3);
+  EXPECT_EQ(vm.chunk_at_time(sim::seconds(99.0)), 9);  // clamped
+}
+
+TEST(VideoModel, RejectsBadConfig) {
+  auto cfg = small_config();
+  cfg.duration_s = 0.0;
+  EXPECT_THROW((void)VideoModel(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.svc_overhead = -0.1;
+  EXPECT_THROW((void)VideoModel(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.complexity_rho = 1.0;
+  EXPECT_THROW((void)VideoModel(cfg), std::invalid_argument);
+}
+
+TEST(VideoModel, TileSharesSumToOne) {
+  const VideoModel vm(small_config());
+  double sum = 0.0;
+  for (double s : vm.tile_shares()) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VideoModel, SizesIncreaseWithQuality) {
+  const VideoModel vm(small_config());
+  const ChunkKey key{0, 0};
+  for (QualityLevel q = 1; q < vm.ladder().levels(); ++q) {
+    EXPECT_GT(vm.avc_size_bytes(q, key), vm.avc_size_bytes(q - 1, key));
+  }
+}
+
+TEST(VideoModel, PanoramaBytesMatchLadderBitrate) {
+  // Summing all tiles at one quality for one chunk should be close to the
+  // ladder bitrate x chunk duration (complexity averages to ~1 over cells).
+  auto cfg = small_config();
+  cfg.complexity_sigma = 0.0;  // deterministic: exact match expected
+  const VideoModel vm(cfg);
+  const QualityLevel q = 2;
+  std::int64_t total = 0;
+  for (geo::TileId tile = 0; tile < vm.tile_count(); ++tile) {
+    total += vm.avc_size_bytes(q, {tile, 0});
+  }
+  const double expected = vm.ladder().panorama_kbps(q) * 1000.0 / 8.0;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.01);
+}
+
+TEST(VideoModel, SvcLayersSumToCumulative) {
+  const VideoModel vm(small_config());
+  for (geo::TileId tile = 0; tile < vm.tile_count(); ++tile) {
+    const ChunkKey key{tile, 2};
+    std::int64_t layered = 0;
+    for (LayerIndex l = 0; l <= 3; ++l) {
+      layered += vm.svc_layer_size_bytes(l, key);
+    }
+    EXPECT_EQ(layered, vm.svc_cumulative_size_bytes(3, key));
+  }
+}
+
+TEST(VideoModel, SvcCarriesConfiguredOverhead) {
+  auto cfg = small_config();
+  cfg.svc_overhead = 0.2;
+  const VideoModel vm(cfg);
+  const ChunkKey key{1, 1};
+  const auto avc = vm.avc_size_bytes(4, key);
+  const auto svc = vm.svc_cumulative_size_bytes(4, key);
+  EXPECT_NEAR(static_cast<double>(svc) / static_cast<double>(avc), 1.2, 0.01);
+}
+
+TEST(VideoModel, SvcLayerSizesArePositive) {
+  const VideoModel vm(small_config());
+  for (LayerIndex l = 0; l < vm.ladder().levels(); ++l) {
+    EXPECT_GT(vm.svc_layer_size_bytes(l, {0, 0}), 0);
+  }
+}
+
+TEST(VideoModel, ComplexityIsTemporallyCorrelated) {
+  auto cfg = small_config();
+  cfg.duration_s = 200.0;
+  cfg.complexity_rho = 0.9;
+  const VideoModel vm(cfg);
+  // Lag-1 autocorrelation of the per-chunk complexity should be positive
+  // and substantial for rho = 0.9.
+  double num = 0.0, den = 0.0, mean = 0.0;
+  const int n = vm.chunk_count();
+  for (int t = 0; t < n; ++t) mean += vm.complexity({0, t});
+  mean /= n;
+  for (int t = 0; t + 1 < n; ++t) {
+    num += (vm.complexity({0, t}) - mean) * (vm.complexity({0, t + 1}) - mean);
+  }
+  for (int t = 0; t < n; ++t) {
+    den += (vm.complexity({0, t}) - mean) * (vm.complexity({0, t}) - mean);
+  }
+  EXPECT_GT(num / den, 0.5);
+}
+
+TEST(VideoModel, SameSeedSameSizes) {
+  const VideoModel a(small_config());
+  const VideoModel b(small_config());
+  for (geo::TileId tile = 0; tile < a.tile_count(); ++tile) {
+    EXPECT_EQ(a.avc_size_bytes(2, {tile, 5}), b.avc_size_bytes(2, {tile, 5}));
+  }
+}
+
+TEST(VideoModel, OutOfRangeKeyThrows) {
+  const VideoModel vm(small_config());
+  EXPECT_THROW((void)vm.avc_size_bytes(0, {-1, 0}), std::out_of_range);
+  EXPECT_THROW((void)vm.avc_size_bytes(0, {0, 100}), std::out_of_range);
+  EXPECT_THROW((void)vm.avc_size_bytes(99, {0, 0}), std::out_of_range);
+}
+
+TEST(VideoModel, SizeBytesDispatchesOnEncoding) {
+  const VideoModel vm(small_config());
+  const ChunkKey key{3, 4};
+  EXPECT_EQ(vm.size_bytes({key, Encoding::kAvc, 2}), vm.avc_size_bytes(2, key));
+  EXPECT_EQ(vm.size_bytes({key, Encoding::kSvc, 2}), vm.svc_layer_size_bytes(2, key));
+}
+
+TEST(Manifest, ExposesModelMetadata) {
+  auto model = std::make_shared<VideoModel>(small_config());
+  const Manifest m(model);
+  EXPECT_EQ(m.tile_count(), 8);
+  EXPECT_EQ(m.chunk_count(), 10);
+  EXPECT_EQ(m.chunk_duration(), sim::seconds(1.0));
+  EXPECT_FALSE(m.describe().empty());
+}
+
+TEST(Manifest, NullModelThrows) {
+  EXPECT_THROW(Manifest(nullptr), std::invalid_argument);
+}
+
+TEST(ContentStore, ServesAndAccounts) {
+  auto model = std::make_shared<VideoModel>(small_config());
+  ContentStore store(model);
+  const ChunkAddress addr{{0, 0}, Encoding::kAvc, 1};
+  const auto size = store.serve(addr);
+  EXPECT_EQ(size, model->size_bytes(addr));
+  EXPECT_EQ(store.bytes_served(), size);
+  EXPECT_EQ(store.requests_served(), 1);
+}
+
+TEST(ContentStore, VersioningCostsMoreThanTiling) {
+  // The paper's §2 tradeoff: versioning with 88 versions dwarfs tiled storage.
+  auto model = std::make_shared<VideoModel>(small_config());
+  const ContentStore store(model);
+  const auto tiling = store.storage_bytes_tiling(/*with_svc=*/true);
+  const auto versioning = store.storage_bytes_versioning(88);
+  EXPECT_GT(versioning, tiling * 10);
+}
+
+TEST(ContentStore, TilingWithSvcCostsMoreThanWithout) {
+  auto model = std::make_shared<VideoModel>(small_config());
+  const ContentStore store(model);
+  EXPECT_GT(store.storage_bytes_tiling(true), store.storage_bytes_tiling(false));
+}
+
+TEST(Mpd, RoundTripReconstructsIdenticalVideo) {
+  auto cfg = small_config();
+  cfg.projection = "cubemap";
+  cfg.tile_cols = 6;  // cubemap atlas wants cols % 3 == 0
+  cfg.svc_overhead = 0.17;
+  const std::string mpd = write_mpd(cfg);
+  const VideoModelConfig restored = parse_mpd(mpd);
+  const VideoModel a(cfg);
+  const VideoModel b(restored);
+  ASSERT_EQ(a.tile_count(), b.tile_count());
+  ASSERT_EQ(a.chunk_count(), b.chunk_count());
+  for (geo::TileId tile = 0; tile < a.tile_count(); tile += 3) {
+    for (media::ChunkIndex t = 0; t < a.chunk_count(); t += 2) {
+      EXPECT_EQ(a.avc_size_bytes(2, {tile, t}), b.avc_size_bytes(2, {tile, t}));
+      EXPECT_EQ(a.svc_layer_size_bytes(1, {tile, t}),
+                b.svc_layer_size_bytes(1, {tile, t}));
+    }
+  }
+}
+
+TEST(Mpd, WriterEmitsAllRepresentations) {
+  const auto cfg = small_config();
+  const std::string mpd = write_mpd(cfg);
+  std::size_t count = 0, pos = 0;
+  while ((pos = mpd.find("<Representation", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(cfg.ladder.levels()));
+}
+
+TEST(Mpd, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_mpd(""), std::runtime_error);
+  EXPECT_THROW((void)parse_mpd("<NotMPD/>"), std::runtime_error);
+  EXPECT_THROW((void)parse_mpd("<MPD duration=\"10\"></MPD>"), std::runtime_error);
+  // Missing required attribute.
+  EXPECT_THROW(
+      (void)parse_mpd("<MPD duration=\"10\"><Representation kbps=\"1\"/></MPD>"),
+      std::runtime_error);
+  // Non-numeric attribute.
+  const auto good = write_mpd(small_config());
+  std::string bad = good;
+  bad.replace(bad.find("duration=\""), 12, "duration=\"xx");
+  EXPECT_THROW((void)parse_mpd(bad), std::runtime_error);
+  // Mismatched closing tag.
+  EXPECT_THROW((void)parse_mpd("<MPD duration=\"1\"></MPX>"), std::runtime_error);
+  // Trailing garbage.
+  EXPECT_THROW((void)parse_mpd(good + "extra"), std::runtime_error);
+}
+
+TEST(Mpd, ToleratesWhitespaceVariants) {
+  const std::string mpd =
+      "  <MPD   duration=\"10\" chunkDuration=\"1\" projection=\"equirectangular\""
+      " tileRows=\"2\" tileCols=\"4\" svcOverhead=\"0.1\" complexitySigma=\"0.2\""
+      " complexityRho=\"0.5\" areaMix=\"0.5\" seed=\"3\" >\n"
+      "   <Representation   kbps=\"1000\" />\n"
+      "   <Representation kbps=\"2000\"/>\n"
+      "  </MPD>  ";
+  const auto cfg = parse_mpd(mpd);
+  EXPECT_EQ(cfg.tile_rows, 2);
+  EXPECT_EQ(cfg.ladder.levels(), 2);
+  EXPECT_DOUBLE_EQ(cfg.ladder.panorama_kbps(1), 2000.0);
+}
+
+TEST(ChunkKey, HashAndEquality) {
+  const ChunkKey a{1, 2};
+  const ChunkKey b{1, 2};
+  const ChunkKey c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<ChunkKey>{}(a), std::hash<ChunkKey>{}(b));
+}
+
+}  // namespace
+}  // namespace sperke::media

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "mp/multipath.h"
+#include "mp/priority.h"
+#include "sim/simulator.h"
+
+namespace sperke::mp {
+namespace {
+
+core::ChunkRequest request_of(abr::SpatialClass spatial, bool urgent,
+                              std::int64_t bytes = 100'000,
+                              sim::Time deadline = sim::seconds(100.0)) {
+  core::ChunkRequest req;
+  req.address = {{0, 0}, media::Encoding::kAvc, 0};
+  req.bytes = bytes;
+  req.spatial = spatial;
+  req.urgent = urgent;
+  req.deadline = deadline;
+  return req;
+}
+
+TEST(Priority, ClassifiesFromRequest) {
+  const auto fov_urgent = classify(request_of(abr::SpatialClass::kFov, true));
+  EXPECT_EQ(fov_urgent.spatial, abr::SpatialClass::kFov);
+  EXPECT_EQ(fov_urgent.temporal, TemporalClass::kUrgent);
+  const auto oos_regular = classify(request_of(abr::SpatialClass::kOos, false));
+  EXPECT_EQ(oos_regular.spatial, abr::SpatialClass::kOos);
+  EXPECT_EQ(oos_regular.temporal, TemporalClass::kRegular);
+}
+
+TEST(Priority, RankOrdersTable1) {
+  const int fov_urgent = rank({abr::SpatialClass::kFov, TemporalClass::kUrgent});
+  const int oos_urgent = rank({abr::SpatialClass::kOos, TemporalClass::kUrgent});
+  const int fov_regular = rank({abr::SpatialClass::kFov, TemporalClass::kRegular});
+  const int oos_regular = rank({abr::SpatialClass::kOos, TemporalClass::kRegular});
+  EXPECT_LT(fov_urgent, oos_urgent);
+  EXPECT_LT(oos_urgent, fov_regular);
+  EXPECT_LT(fov_regular, oos_regular);
+  EXPECT_EQ(fov_urgent, 0);
+  EXPECT_EQ(oos_regular, 3);
+}
+
+TEST(Priority, ToStringReadable) {
+  EXPECT_EQ(to_string({abr::SpatialClass::kFov, TemporalClass::kUrgent}),
+            "FoV/urgent");
+  EXPECT_EQ(to_string({abr::SpatialClass::kOos, TemporalClass::kRegular}),
+            "OOS/regular");
+}
+
+class MultipathTest : public ::testing::Test {
+ protected:
+  MultipathTest() {
+    // "WiFi": fast, clean. "LTE": slower, lossy, higher RTT.
+    wifi = std::make_unique<net::Link>(
+        simulator, net::LinkConfig{.name = "wifi",
+                                   .bandwidth = net::BandwidthTrace::constant(20'000.0),
+                                   .rtt = sim::milliseconds(20),
+                                   .loss_rate = 0.0});
+    lte = std::make_unique<net::Link>(
+        simulator, net::LinkConfig{.name = "lte",
+                                   .bandwidth = net::BandwidthTrace::constant(8'000.0),
+                                   .rtt = sim::milliseconds(60),
+                                   .loss_rate = 0.0});
+  }
+
+  MultipathTransport make(std::unique_ptr<PathScheduler> scheduler) {
+    return MultipathTransport(simulator, {wifi.get(), lte.get()},
+                              std::move(scheduler));
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::Link> wifi;
+  std::unique_ptr<net::Link> lte;
+};
+
+TEST_F(MultipathTest, ContentAwareSendsFovToBestPath) {
+  auto transport = make(std::make_unique<ContentAwareScheduler>());
+  transport.fetch(request_of(abr::SpatialClass::kFov, false));
+  transport.fetch(request_of(abr::SpatialClass::kOos, false));
+  simulator.run();
+  const auto& stats = transport.stats();
+  // Path 0 = wifi (best), path 1 = lte (worst).
+  EXPECT_EQ(stats.requests_per_path[0], 1);
+  EXPECT_EQ(stats.requests_per_path[1], 1);
+  EXPECT_EQ(stats.bytes_per_path[0], 100'000);
+  EXPECT_EQ(stats.bytes_per_path[1], 100'000);
+}
+
+TEST_F(MultipathTest, ContentAwareUrgentAlwaysBestPath) {
+  auto transport = make(std::make_unique<ContentAwareScheduler>());
+  transport.fetch(request_of(abr::SpatialClass::kOos, /*urgent=*/true));
+  simulator.run();
+  EXPECT_EQ(transport.stats().requests_per_path[0], 1);
+  EXPECT_EQ(transport.stats().requests_per_path[1], 0);
+}
+
+TEST_F(MultipathTest, ContentAwareDropsExpiredBestEffort) {
+  auto transport = make(std::make_unique<ContentAwareScheduler>());
+  // Saturate the LTE path so the next OOS request queues.
+  for (int i = 0; i < 3; ++i) {
+    transport.fetch(request_of(abr::SpatialClass::kOos, false, 2'000'000));
+  }
+  // This OOS fetch has a deadline that will pass while queued.
+  bool delivered = true;
+  auto req = request_of(abr::SpatialClass::kOos, false, 100'000,
+                        sim::milliseconds(500));
+  req.on_done = [&](sim::Time, bool ok) { delivered = ok; };
+  transport.fetch(std::move(req));
+  simulator.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_GE(transport.stats().dropped_best_effort, 1);
+}
+
+TEST_F(MultipathTest, MinRttUsesBothPaths) {
+  auto transport = make(std::make_unique<MinRttScheduler>());
+  for (int i = 0; i < 8; ++i) {
+    transport.fetch(request_of(abr::SpatialClass::kFov, false, 1'000'000));
+  }
+  simulator.run();
+  const auto& stats = transport.stats();
+  EXPECT_GT(stats.requests_per_path[0], 0);
+  EXPECT_GT(stats.requests_per_path[1], 0);
+  EXPECT_EQ(stats.requests_per_path[0] + stats.requests_per_path[1], 8);
+}
+
+TEST_F(MultipathTest, RoundRobinAlternates) {
+  auto transport = make(std::make_unique<RoundRobinScheduler>());
+  for (int i = 0; i < 4; ++i) {
+    transport.fetch(request_of(abr::SpatialClass::kFov, false));
+  }
+  simulator.run();
+  EXPECT_EQ(transport.stats().requests_per_path[0], 2);
+  EXPECT_EQ(transport.stats().requests_per_path[1], 2);
+}
+
+TEST_F(MultipathTest, SinglePathPinsEverything) {
+  auto transport = make(std::make_unique<SinglePathScheduler>(1));
+  for (int i = 0; i < 3; ++i) {
+    transport.fetch(request_of(abr::SpatialClass::kFov, false));
+  }
+  simulator.run();
+  EXPECT_EQ(transport.stats().requests_per_path[0], 0);
+  EXPECT_EQ(transport.stats().requests_per_path[1], 3);
+}
+
+TEST_F(MultipathTest, AggregateEstimateSumsPaths) {
+  auto transport = make(std::make_unique<MinRttScheduler>());
+  // Before traffic: falls back to capacities (20 + 8 Mbps).
+  EXPECT_NEAR(transport.estimated_kbps(), 28'000.0, 100.0);
+}
+
+TEST_F(MultipathTest, ClassCountsTrackTable1) {
+  auto transport = make(std::make_unique<ContentAwareScheduler>());
+  transport.fetch(request_of(abr::SpatialClass::kFov, true));
+  transport.fetch(request_of(abr::SpatialClass::kFov, false));
+  transport.fetch(request_of(abr::SpatialClass::kOos, false));
+  transport.fetch(request_of(abr::SpatialClass::kOos, false));
+  simulator.run();
+  const auto& counts = transport.stats().class_counts;
+  EXPECT_EQ(counts[0], 1);  // FoV urgent
+  EXPECT_EQ(counts[2], 1);  // FoV regular
+  EXPECT_EQ(counts[3], 2);  // OOS regular
+}
+
+TEST_F(MultipathTest, UrgentJumpsPathQueue) {
+  auto transport = MultipathTransport(simulator, {wifi.get()},
+                                      std::make_unique<SinglePathScheduler>(0),
+                                      /*max_concurrent_per_path=*/1);
+  std::vector<int> order;
+  auto submit = [&](int id, bool urgent) {
+    auto req = request_of(abr::SpatialClass::kFov, urgent, 200'000);
+    req.on_done = [&order, id](sim::Time, bool) { order.push_back(id); };
+    transport.fetch(std::move(req));
+  };
+  submit(0, false);
+  submit(1, false);
+  submit(2, true);
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(MultipathTest, CompletionsAggregateBytes) {
+  auto transport = make(std::make_unique<MinRttScheduler>());
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto req = request_of(abr::SpatialClass::kFov, false, 250'000);
+    req.on_done = [&](sim::Time, bool ok) { done += ok ? 1 : 0; };
+    transport.fetch(std::move(req));
+  }
+  simulator.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(transport.bytes_fetched(), 1'000'000);
+  EXPECT_EQ(transport.in_flight(), 0);
+}
+
+TEST_F(MultipathTest, RejectsBadConstruction) {
+  EXPECT_THROW(MultipathTransport(simulator, {},
+                                  std::make_unique<MinRttScheduler>()),
+               std::invalid_argument);
+  EXPECT_THROW(MultipathTransport(simulator, {wifi.get()}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(MultipathTransport(simulator, {wifi.get()},
+                                  std::make_unique<MinRttScheduler>(), 0),
+               std::invalid_argument);
+}
+
+TEST(PathSchedulerFactory, MakesKnownKinds) {
+  EXPECT_EQ(make_path_scheduler("minrtt")->name(), "minrtt");
+  EXPECT_EQ(make_path_scheduler("round-robin")->name(), "round-robin");
+  EXPECT_EQ(make_path_scheduler("content-aware")->name(), "content-aware");
+  EXPECT_THROW((void)make_path_scheduler("ecf"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sperke::mp

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "net/bandwidth_trace.h"
+#include "net/link.h"
+#include "net/throughput_estimator.h"
+#include "sim/simulator.h"
+
+namespace sperke::net {
+namespace {
+
+using sim::seconds;
+using sim::Time;
+
+TEST(BandwidthTrace, ConstantHoldsForever) {
+  const auto trace = BandwidthTrace::constant(5000.0);
+  EXPECT_DOUBLE_EQ(trace.kbps_at(sim::kTimeZero), 5000.0);
+  EXPECT_DOUBLE_EQ(trace.kbps_at(seconds(1e6)), 5000.0);
+  EXPECT_FALSE(trace.next_change_after(sim::kTimeZero).has_value());
+}
+
+TEST(BandwidthTrace, StepsSelectCorrectSegment) {
+  const auto trace = BandwidthTrace::steps({{0.0, 1000.0}, {10.0, 2000.0}, {20.0, 500.0}});
+  EXPECT_DOUBLE_EQ(trace.kbps_at(seconds(5.0)), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.kbps_at(seconds(10.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(trace.kbps_at(seconds(15.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(trace.kbps_at(seconds(25.0)), 500.0);
+}
+
+TEST(BandwidthTrace, NextChangeAfter) {
+  const auto trace = BandwidthTrace::steps({{0.0, 1000.0}, {10.0, 2000.0}});
+  EXPECT_EQ(trace.next_change_after(seconds(0.0)), seconds(10.0));
+  EXPECT_EQ(trace.next_change_after(seconds(9.9)), seconds(10.0));
+  EXPECT_FALSE(trace.next_change_after(seconds(10.0)).has_value());
+}
+
+TEST(BandwidthTrace, RejectsMalformedSegments) {
+  EXPECT_THROW(BandwidthTrace({}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({{seconds(1.0), 100.0}}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({{sim::kTimeZero, -5.0}}), std::invalid_argument);
+  EXPECT_THROW(
+      BandwidthTrace({{sim::kTimeZero, 5.0}, {sim::kTimeZero, 6.0}}),
+      std::invalid_argument);
+}
+
+TEST(BandwidthTrace, AverageKbpsWeighted) {
+  const auto trace = BandwidthTrace::steps({{0.0, 1000.0}, {5.0, 3000.0}});
+  EXPECT_NEAR(trace.average_kbps(seconds(10.0)), 2000.0, 1e-9);
+  EXPECT_NEAR(trace.average_kbps(seconds(5.0)), 1000.0, 1e-9);
+}
+
+TEST(BandwidthTrace, RandomWalkStaysInBounds) {
+  const auto trace =
+      BandwidthTrace::random_walk(5000.0, 0.3, 1.0, 120.0, 7, 1000.0, 10000.0);
+  for (const auto& [t, kbps] : trace.segments()) {
+    EXPECT_GE(kbps, 1000.0);
+    EXPECT_LE(kbps, 10000.0);
+  }
+  EXPECT_GT(trace.segments().size(), 100u);
+}
+
+TEST(BandwidthTrace, RandomWalkDeterministicPerSeed) {
+  const auto a = BandwidthTrace::random_walk(5000.0, 0.3, 1.0, 60.0, 7);
+  const auto b = BandwidthTrace::random_walk(5000.0, 0.3, 1.0, 60.0, 7);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segments()[i].second, b.segments()[i].second);
+  }
+}
+
+TEST(BandwidthTrace, MarkovAlternatesStates) {
+  const auto trace = BandwidthTrace::markov_two_state(8000.0, 500.0, 5.0, 2.0, 300.0, 3);
+  bool saw_good = false, saw_bad = false;
+  for (const auto& [t, kbps] : trace.segments()) {
+    saw_good |= (kbps == 8000.0);
+    saw_bad |= (kbps == 500.0);
+  }
+  EXPECT_TRUE(saw_good);
+  EXPECT_TRUE(saw_bad);
+}
+
+TEST(BandwidthTrace, CsvRoundTrip) {
+  const auto trace = BandwidthTrace::steps({{0.0, 1234.5}, {3.0, 678.9}});
+  const auto restored = BandwidthTrace::from_csv(trace.to_csv());
+  EXPECT_DOUBLE_EQ(restored.kbps_at(seconds(1.0)), 1234.5);
+  EXPECT_DOUBLE_EQ(restored.kbps_at(seconds(4.0)), 678.9);
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+};
+
+TEST_F(LinkTest, SingleTransferTakesBandwidthPlusRtt) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);  // 1 MB/s
+  cfg.rtt = sim::milliseconds(100);
+  Link link(simulator, cfg);
+  std::optional<Time> done;
+  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  simulator.run();
+  ASSERT_TRUE(done.has_value());
+  // 1 MB at 1 MB/s = 1 s + 0.1 s RTT warmup.
+  EXPECT_NEAR(sim::to_seconds(*done), 1.1, 0.01);
+  EXPECT_EQ(link.bytes_delivered(), 1'000'000);
+}
+
+TEST_F(LinkTest, TwoTransfersShareFairly) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> t1, t2;
+  link.start_transfer(1'000'000, [&](Time t) { t1 = t; });
+  link.start_transfer(1'000'000, [&](Time t) { t2 = t; });
+  simulator.run();
+  ASSERT_TRUE(t1 && t2);
+  // Both share 1 MB/s -> each runs at 0.5 MB/s -> both done at ~2 s.
+  EXPECT_NEAR(sim::to_seconds(*t1), 2.0, 0.02);
+  EXPECT_NEAR(sim::to_seconds(*t2), 2.0, 0.02);
+}
+
+TEST_F(LinkTest, ShorterTransferFinishesFirstAndFreesCapacity) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> small, big;
+  link.start_transfer(500'000, [&](Time t) { small = t; });
+  link.start_transfer(1'500'000, [&](Time t) { big = t; });
+  simulator.run();
+  ASSERT_TRUE(small && big);
+  // Shared until small is done at t=1s (0.5MB at 0.5MB/s); big then has
+  // 1.0 MB left at full 1 MB/s -> finishes at 2 s.
+  EXPECT_NEAR(sim::to_seconds(*small), 1.0, 0.02);
+  EXPECT_NEAR(sim::to_seconds(*big), 2.0, 0.02);
+}
+
+TEST_F(LinkTest, BandwidthStepChangesRate) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::steps({{0.0, 8000.0}, {1.0, 4000.0}});
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> done;
+  link.start_transfer(1'500'000, [&](Time t) { done = t; });
+  simulator.run();
+  ASSERT_TRUE(done);
+  // 1 MB in first second, remaining 0.5 MB at 0.5 MB/s -> 2 s total.
+  EXPECT_NEAR(sim::to_seconds(*done), 2.0, 0.02);
+}
+
+TEST_F(LinkTest, ZeroBandwidthStallsUntilRecovery) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::steps({{0.0, 0.0}, {5.0, 8000.0}});
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> done;
+  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  simulator.run();
+  ASSERT_TRUE(done);
+  EXPECT_NEAR(sim::to_seconds(*done), 6.0, 0.02);
+}
+
+TEST_F(LinkTest, CancelStopsTransfer) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  bool completed = false;
+  const TransferId id = link.start_transfer(1'000'000, [&](Time) { completed = true; });
+  simulator.schedule_at(seconds(0.5), [&] { EXPECT_TRUE(link.cancel(id)); });
+  simulator.run();
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(link.cancel(id));
+  // Roughly half the bytes were delivered before the cancel.
+  EXPECT_NEAR(static_cast<double>(link.bytes_delivered()), 500'000.0, 20'000.0);
+}
+
+TEST_F(LinkTest, WeightedTransfersShareProportionally) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);  // 1 MB/s
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> heavy, light;
+  // Weight 3:1 — the heavy transfer runs at 750 KB/s, the light at 250 KB/s.
+  link.start_transfer(750'000, [&](Time t) { heavy = t; }, 3.0);
+  link.start_transfer(750'000, [&](Time t) { light = t; }, 1.0);
+  simulator.run();
+  ASSERT_TRUE(heavy && light);
+  // Heavy: 750 KB at 750 KB/s = 1 s. Light: 250 KB in the first second,
+  // then the full 1 MB/s -> 1 + 0.5 = 1.5 s.
+  EXPECT_NEAR(sim::to_seconds(*heavy), 1.0, 0.02);
+  EXPECT_NEAR(sim::to_seconds(*light), 1.5, 0.02);
+}
+
+TEST_F(LinkTest, WeightedShareRespectsMathisCap) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::milliseconds(50);
+  cfg.loss_rate = 0.01;  // Mathis cap ~2.85 Mbps per transfer
+  Link link(simulator, cfg);
+  std::optional<Time> heavy, light;
+  // Weight 10:1 — the heavy transfer would claim ~7.3 Mbps but is capped,
+  // so the light one picks up the slack.
+  link.start_transfer(1'000'000, [&](Time t) { heavy = t; }, 10.0);
+  link.start_transfer(1'000'000, [&](Time t) { light = t; }, 1.0);
+  simulator.run();
+  ASSERT_TRUE(heavy && light);
+  const double cap_kbps = link.mathis_cap_kbps();
+  // Both run at ~the cap (8000 > 2*cap): completion ~ 8 Mbit / cap.
+  const double expect_s = 8000.0 / cap_kbps + 0.05;
+  EXPECT_NEAR(sim::to_seconds(*heavy), expect_s, expect_s * 0.05);
+  EXPECT_NEAR(sim::to_seconds(*light), expect_s, expect_s * 0.05);
+}
+
+TEST_F(LinkTest, RejectsNonPositiveWeight) {
+  Link link(simulator, LinkConfig{});
+  EXPECT_THROW((void)link.start_transfer(1000, nullptr, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)link.start_transfer(1000, nullptr, -1.0),
+               std::invalid_argument);
+}
+
+TEST_F(LinkTest, MathisCapLimitsLossyLink) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(100'000.0);
+  cfg.rtt = sim::milliseconds(50);
+  cfg.loss_rate = 0.01;  // cap ~= 1.22*1460*8/(0.05*0.1) bps ~= 2.85 Mbps
+  Link link(simulator, cfg);
+  const double cap = link.mathis_cap_kbps();
+  EXPECT_NEAR(cap, 1.22 * 1460.0 * 8.0 / (0.05 * 0.1) / 1000.0, 1.0);
+  std::optional<Time> done;
+  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  simulator.run();
+  ASSERT_TRUE(done);
+  const double expected_s = 1'000'000.0 * 8.0 / (cap * 1000.0) + 0.05;
+  EXPECT_NEAR(sim::to_seconds(*done), expected_s, expected_s * 0.02);
+}
+
+TEST_F(LinkTest, LosslessLinkHasInfiniteCap) {
+  LinkConfig cfg;
+  Link link(simulator, cfg);
+  EXPECT_TRUE(std::isinf(link.mathis_cap_kbps()));
+}
+
+TEST_F(LinkTest, RejectsInvalidConfigAndTransfers) {
+  LinkConfig bad;
+  bad.loss_rate = 1.0;
+  EXPECT_THROW(Link(simulator, bad), std::invalid_argument);
+  Link link(simulator, LinkConfig{});
+  EXPECT_THROW((void)link.start_transfer(0, nullptr), std::invalid_argument);
+}
+
+TEST_F(LinkTest, CompletionCallbackCanStartNewTransfer) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  std::optional<Time> second_done;
+  link.start_transfer(1'000'000, [&](Time) {
+    link.start_transfer(1'000'000, [&](Time t2) { second_done = t2; });
+  });
+  simulator.run();
+  ASSERT_TRUE(second_done);
+  EXPECT_NEAR(sim::to_seconds(*second_done), 2.0, 0.02);
+}
+
+TEST_F(LinkTest, ActiveTransfersCountsWarmupSeparately) {
+  LinkConfig cfg;
+  cfg.rtt = sim::milliseconds(100);
+  Link link(simulator, cfg);
+  link.start_transfer(1'000'000, [](Time) {});
+  EXPECT_EQ(link.active_transfers(), 0);  // still in RTT warmup
+  simulator.run_until(seconds(0.2));
+  EXPECT_EQ(link.active_transfers(), 1);
+}
+
+TEST(ThroughputEstimator, EwmaConvergesToSteadyRate) {
+  EwmaEstimator est(0.5);
+  EXPECT_DOUBLE_EQ(est.estimate_kbps(), 0.0);
+  for (int i = 0; i < 20; ++i) est.record(125'000, seconds(1.0));  // 1000 kbps
+  EXPECT_NEAR(est.estimate_kbps(), 1000.0, 1.0);
+}
+
+TEST(ThroughputEstimator, EwmaWeighsRecentSamples) {
+  EwmaEstimator est(0.5);
+  est.record(125'000, seconds(1.0));   // 1000 kbps
+  est.record(250'000, seconds(1.0));   // 2000 kbps
+  EXPECT_NEAR(est.estimate_kbps(), 1500.0, 1.0);
+}
+
+TEST(ThroughputEstimator, HarmonicMeanPenalizesDips) {
+  HarmonicMeanEstimator est(5);
+  est.record(125'000, seconds(1.0));  // 1000 kbps
+  est.record(12'500, seconds(1.0));   // 100 kbps
+  // Harmonic mean of {1000, 100} = 2/(1/1000 + 1/100) ~= 181.8 < arithmetic 550.
+  EXPECT_NEAR(est.estimate_kbps(), 181.8, 1.0);
+}
+
+TEST(ThroughputEstimator, HarmonicWindowSlides) {
+  HarmonicMeanEstimator est(2);
+  est.record(12'500, seconds(1.0));    // 100 kbps, will be evicted
+  est.record(125'000, seconds(1.0));   // 1000
+  est.record(125'000, seconds(1.0));   // 1000
+  EXPECT_NEAR(est.estimate_kbps(), 1000.0, 1.0);
+}
+
+TEST(ThroughputEstimator, IgnoresDegenerateSamples) {
+  EwmaEstimator est;
+  est.record(0, seconds(1.0));
+  est.record(1000, sim::Duration{0});
+  EXPECT_DOUBLE_EQ(est.estimate_kbps(), 0.0);
+}
+
+TEST(ThroughputEstimator, FactoryMakesBothKinds) {
+  EXPECT_EQ(make_estimator("ewma")->name(), "ewma");
+  EXPECT_EQ(make_estimator("harmonic")->name(), "harmonic");
+  EXPECT_THROW((void)make_estimator("oracle"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sperke::net
