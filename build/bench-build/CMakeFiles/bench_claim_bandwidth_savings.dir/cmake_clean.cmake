@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_claim_bandwidth_savings"
+  "../bench/bench_claim_bandwidth_savings.pdb"
+  "CMakeFiles/bench_claim_bandwidth_savings.dir/bench_claim_bandwidth_savings.cpp.o"
+  "CMakeFiles/bench_claim_bandwidth_savings.dir/bench_claim_bandwidth_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_bandwidth_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

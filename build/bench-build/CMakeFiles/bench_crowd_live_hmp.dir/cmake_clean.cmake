@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crowd_live_hmp"
+  "../bench/bench_crowd_live_hmp.pdb"
+  "CMakeFiles/bench_crowd_live_hmp.dir/bench_crowd_live_hmp.cpp.o"
+  "CMakeFiles/bench_crowd_live_hmp.dir/bench_crowd_live_hmp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crowd_live_hmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_crowd_live_hmp.
+# This may be replaced when dependencies are built.

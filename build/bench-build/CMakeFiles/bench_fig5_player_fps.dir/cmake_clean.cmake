@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_player_fps"
+  "../bench/bench_fig5_player_fps.pdb"
+  "CMakeFiles/bench_fig5_player_fps.dir/bench_fig5_player_fps.cpp.o"
+  "CMakeFiles/bench_fig5_player_fps.dir/bench_fig5_player_fps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_player_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

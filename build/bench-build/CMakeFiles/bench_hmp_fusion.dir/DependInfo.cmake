@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_hmp_fusion.cpp" "bench-build/CMakeFiles/bench_hmp_fusion.dir/bench_hmp_fusion.cpp.o" "gcc" "bench-build/CMakeFiles/bench_hmp_fusion.dir/bench_hmp_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/sperke_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/live/CMakeFiles/sperke_live.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sperke_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sperke_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/sperke_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/sperke_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmp/CMakeFiles/sperke_hmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sperke_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sperke_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sperke_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sperke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

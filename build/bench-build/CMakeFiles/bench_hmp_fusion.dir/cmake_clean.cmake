@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hmp_fusion"
+  "../bench/bench_hmp_fusion.pdb"
+  "CMakeFiles/bench_hmp_fusion.dir/bench_hmp_fusion.cpp.o"
+  "CMakeFiles/bench_hmp_fusion.dir/bench_hmp_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmp_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spatial_fallback"
+  "../bench/bench_spatial_fallback.pdb"
+  "CMakeFiles/bench_spatial_fallback.dir/bench_spatial_fallback.cpp.o"
+  "CMakeFiles/bench_spatial_fallback.dir/bench_spatial_fallback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

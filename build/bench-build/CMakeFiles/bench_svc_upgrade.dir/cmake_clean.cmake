@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_svc_upgrade"
+  "../bench/bench_svc_upgrade.pdb"
+  "CMakeFiles/bench_svc_upgrade.dir/bench_svc_upgrade.cpp.o"
+  "CMakeFiles/bench_svc_upgrade.dir/bench_svc_upgrade.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svc_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

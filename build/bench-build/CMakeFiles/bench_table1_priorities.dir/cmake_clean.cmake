@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_priorities"
+  "../bench/bench_table1_priorities.pdb"
+  "CMakeFiles/bench_table1_priorities.dir/bench_table1_priorities.cpp.o"
+  "CMakeFiles/bench_table1_priorities.dir/bench_table1_priorities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_broadcast.dir/live_broadcast.cpp.o"
+  "CMakeFiles/live_broadcast.dir/live_broadcast.cpp.o.d"
+  "live_broadcast"
+  "live_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_session.dir/multipath_session.cpp.o"
+  "CMakeFiles/multipath_session.dir/multipath_session.cpp.o.d"
+  "multipath_session"
+  "multipath_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("geo")
+subdirs("media")
+subdirs("net")
+subdirs("hmp")
+subdirs("abr")
+subdirs("core")
+subdirs("mp")
+subdirs("live")
+subdirs("player")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/oos.cpp" "src/abr/CMakeFiles/sperke_abr.dir/oos.cpp.o" "gcc" "src/abr/CMakeFiles/sperke_abr.dir/oos.cpp.o.d"
+  "/root/repo/src/abr/qoe.cpp" "src/abr/CMakeFiles/sperke_abr.dir/qoe.cpp.o" "gcc" "src/abr/CMakeFiles/sperke_abr.dir/qoe.cpp.o.d"
+  "/root/repo/src/abr/regular_vra.cpp" "src/abr/CMakeFiles/sperke_abr.dir/regular_vra.cpp.o" "gcc" "src/abr/CMakeFiles/sperke_abr.dir/regular_vra.cpp.o.d"
+  "/root/repo/src/abr/sperke_vra.cpp" "src/abr/CMakeFiles/sperke_abr.dir/sperke_vra.cpp.o" "gcc" "src/abr/CMakeFiles/sperke_abr.dir/sperke_vra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sperke_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sperke_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sperke_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sperke_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

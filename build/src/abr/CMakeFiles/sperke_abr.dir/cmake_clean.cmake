@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_abr.dir/oos.cpp.o"
+  "CMakeFiles/sperke_abr.dir/oos.cpp.o.d"
+  "CMakeFiles/sperke_abr.dir/qoe.cpp.o"
+  "CMakeFiles/sperke_abr.dir/qoe.cpp.o.d"
+  "CMakeFiles/sperke_abr.dir/regular_vra.cpp.o"
+  "CMakeFiles/sperke_abr.dir/regular_vra.cpp.o.d"
+  "CMakeFiles/sperke_abr.dir/sperke_vra.cpp.o"
+  "CMakeFiles/sperke_abr.dir/sperke_vra.cpp.o.d"
+  "libsperke_abr.a"
+  "libsperke_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_core.dir/buffer.cpp.o"
+  "CMakeFiles/sperke_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/sperke_core.dir/session.cpp.o"
+  "CMakeFiles/sperke_core.dir/session.cpp.o.d"
+  "CMakeFiles/sperke_core.dir/transport.cpp.o"
+  "CMakeFiles/sperke_core.dir/transport.cpp.o.d"
+  "libsperke_core.a"
+  "libsperke_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

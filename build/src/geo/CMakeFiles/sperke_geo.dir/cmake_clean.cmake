@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_geo.dir/orientation.cpp.o"
+  "CMakeFiles/sperke_geo.dir/orientation.cpp.o.d"
+  "CMakeFiles/sperke_geo.dir/projection.cpp.o"
+  "CMakeFiles/sperke_geo.dir/projection.cpp.o.d"
+  "CMakeFiles/sperke_geo.dir/tile_grid.cpp.o"
+  "CMakeFiles/sperke_geo.dir/tile_grid.cpp.o.d"
+  "CMakeFiles/sperke_geo.dir/visibility.cpp.o"
+  "CMakeFiles/sperke_geo.dir/visibility.cpp.o.d"
+  "libsperke_geo.a"
+  "libsperke_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmp/accuracy.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/accuracy.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/accuracy.cpp.o.d"
+  "/root/repo/src/hmp/fusion.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/fusion.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/fusion.cpp.o.d"
+  "/root/repo/src/hmp/head_trace.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/head_trace.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/head_trace.cpp.o.d"
+  "/root/repo/src/hmp/heatmap.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/heatmap.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/heatmap.cpp.o.d"
+  "/root/repo/src/hmp/predictor.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/predictor.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/predictor.cpp.o.d"
+  "/root/repo/src/hmp/user_model.cpp" "src/hmp/CMakeFiles/sperke_hmp.dir/user_model.cpp.o" "gcc" "src/hmp/CMakeFiles/sperke_hmp.dir/user_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sperke_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sperke_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sperke_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sperke_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_hmp.dir/accuracy.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/accuracy.cpp.o.d"
+  "CMakeFiles/sperke_hmp.dir/fusion.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/fusion.cpp.o.d"
+  "CMakeFiles/sperke_hmp.dir/head_trace.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/head_trace.cpp.o.d"
+  "CMakeFiles/sperke_hmp.dir/heatmap.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/heatmap.cpp.o.d"
+  "CMakeFiles/sperke_hmp.dir/predictor.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/predictor.cpp.o.d"
+  "CMakeFiles/sperke_hmp.dir/user_model.cpp.o"
+  "CMakeFiles/sperke_hmp.dir/user_model.cpp.o.d"
+  "libsperke_hmp.a"
+  "libsperke_hmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_hmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

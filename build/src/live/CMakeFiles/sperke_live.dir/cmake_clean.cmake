@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_live.dir/broadcast.cpp.o"
+  "CMakeFiles/sperke_live.dir/broadcast.cpp.o.d"
+  "CMakeFiles/sperke_live.dir/crowd.cpp.o"
+  "CMakeFiles/sperke_live.dir/crowd.cpp.o.d"
+  "CMakeFiles/sperke_live.dir/platform.cpp.o"
+  "CMakeFiles/sperke_live.dir/platform.cpp.o.d"
+  "CMakeFiles/sperke_live.dir/tiled_viewer.cpp.o"
+  "CMakeFiles/sperke_live.dir/tiled_viewer.cpp.o.d"
+  "CMakeFiles/sperke_live.dir/upload_vra.cpp.o"
+  "CMakeFiles/sperke_live.dir/upload_vra.cpp.o.d"
+  "libsperke_live.a"
+  "libsperke_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/content_store.cpp" "src/media/CMakeFiles/sperke_media.dir/content_store.cpp.o" "gcc" "src/media/CMakeFiles/sperke_media.dir/content_store.cpp.o.d"
+  "/root/repo/src/media/manifest.cpp" "src/media/CMakeFiles/sperke_media.dir/manifest.cpp.o" "gcc" "src/media/CMakeFiles/sperke_media.dir/manifest.cpp.o.d"
+  "/root/repo/src/media/mpd.cpp" "src/media/CMakeFiles/sperke_media.dir/mpd.cpp.o" "gcc" "src/media/CMakeFiles/sperke_media.dir/mpd.cpp.o.d"
+  "/root/repo/src/media/quality_ladder.cpp" "src/media/CMakeFiles/sperke_media.dir/quality_ladder.cpp.o" "gcc" "src/media/CMakeFiles/sperke_media.dir/quality_ladder.cpp.o.d"
+  "/root/repo/src/media/video_model.cpp" "src/media/CMakeFiles/sperke_media.dir/video_model.cpp.o" "gcc" "src/media/CMakeFiles/sperke_media.dir/video_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sperke_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sperke_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sperke_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_media.dir/content_store.cpp.o"
+  "CMakeFiles/sperke_media.dir/content_store.cpp.o.d"
+  "CMakeFiles/sperke_media.dir/manifest.cpp.o"
+  "CMakeFiles/sperke_media.dir/manifest.cpp.o.d"
+  "CMakeFiles/sperke_media.dir/mpd.cpp.o"
+  "CMakeFiles/sperke_media.dir/mpd.cpp.o.d"
+  "CMakeFiles/sperke_media.dir/quality_ladder.cpp.o"
+  "CMakeFiles/sperke_media.dir/quality_ladder.cpp.o.d"
+  "CMakeFiles/sperke_media.dir/video_model.cpp.o"
+  "CMakeFiles/sperke_media.dir/video_model.cpp.o.d"
+  "libsperke_media.a"
+  "libsperke_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsperke_media.a"
+)

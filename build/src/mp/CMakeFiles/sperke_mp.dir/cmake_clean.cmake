@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_mp.dir/multipath.cpp.o"
+  "CMakeFiles/sperke_mp.dir/multipath.cpp.o.d"
+  "CMakeFiles/sperke_mp.dir/priority.cpp.o"
+  "CMakeFiles/sperke_mp.dir/priority.cpp.o.d"
+  "libsperke_mp.a"
+  "libsperke_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

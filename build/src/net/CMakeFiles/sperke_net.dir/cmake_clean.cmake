@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_net.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/sperke_net.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/sperke_net.dir/link.cpp.o"
+  "CMakeFiles/sperke_net.dir/link.cpp.o.d"
+  "CMakeFiles/sperke_net.dir/throughput_estimator.cpp.o"
+  "CMakeFiles/sperke_net.dir/throughput_estimator.cpp.o.d"
+  "libsperke_net.a"
+  "libsperke_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_player.dir/decoder_model.cpp.o"
+  "CMakeFiles/sperke_player.dir/decoder_model.cpp.o.d"
+  "CMakeFiles/sperke_player.dir/pipeline.cpp.o"
+  "CMakeFiles/sperke_player.dir/pipeline.cpp.o.d"
+  "libsperke_player.a"
+  "libsperke_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

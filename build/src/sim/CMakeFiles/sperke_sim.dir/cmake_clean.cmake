@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_sim.dir/periodic.cpp.o"
+  "CMakeFiles/sperke_sim.dir/periodic.cpp.o.d"
+  "CMakeFiles/sperke_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sperke_sim.dir/simulator.cpp.o.d"
+  "libsperke_sim.a"
+  "libsperke_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperke_util.dir/csv.cpp.o"
+  "CMakeFiles/sperke_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sperke_util.dir/log.cpp.o"
+  "CMakeFiles/sperke_util.dir/log.cpp.o.d"
+  "CMakeFiles/sperke_util.dir/stats.cpp.o"
+  "CMakeFiles/sperke_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sperke_util.dir/table.cpp.o"
+  "CMakeFiles/sperke_util.dir/table.cpp.o.d"
+  "libsperke_util.a"
+  "libsperke_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperke_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

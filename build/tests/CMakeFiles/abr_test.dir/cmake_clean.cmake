@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_test.dir/abr_test.cpp.o"
+  "CMakeFiles/abr_test.dir/abr_test.cpp.o.d"
+  "abr_test"
+  "abr_test.pdb"
+  "abr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmp_test.dir/hmp_test.cpp.o"
+  "CMakeFiles/hmp_test.dir/hmp_test.cpp.o.d"
+  "hmp_test"
+  "hmp_test.pdb"
+  "hmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

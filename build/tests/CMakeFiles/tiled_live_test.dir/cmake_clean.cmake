@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_live_test.dir/tiled_live_test.cpp.o"
+  "CMakeFiles/tiled_live_test.dir/tiled_live_test.cpp.o.d"
+  "tiled_live_test"
+  "tiled_live_test.pdb"
+  "tiled_live_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_live_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

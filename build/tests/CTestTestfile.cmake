@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/hmp_test[1]_include.cmake")
+include("/root/repo/build/tests/abr_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_test[1]_include.cmake")
+include("/root/repo/build/tests/live_test[1]_include.cmake")
+include("/root/repo/build/tests/player_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tiled_live_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
