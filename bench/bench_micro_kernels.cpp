@@ -13,6 +13,7 @@
 #include "hmp/head_trace.h"
 #include "media/video_model.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -99,6 +100,38 @@ void BM_LinkReflowUnderLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinkReflowUnderLoad)->Arg(8)->Arg(64);
+
+void BM_MetricsUpdate(benchmark::State& state) {
+  // Cost of one counter bump + one histogram observation through stable
+  // handles — what an instrumented hot path pays with telemetry attached.
+  obs::Telemetry telemetry;
+  obs::Counter& counter = telemetry.metrics().counter("bench.counter");
+  obs::Histogram& histogram = telemetry.metrics().histogram("bench.histogram");
+  double x = 0.0;
+  for (auto _ : state) {
+    counter.increment();
+    histogram.observe(x += 1.5);
+    benchmark::DoNotOptimize(counter.value());
+  }
+}
+BENCHMARK(BM_MetricsUpdate);
+
+void BM_TraceRecord(benchmark::State& state) {
+  // Cost of appending one typed timeline event to an attached recorder.
+  obs::Telemetry telemetry;
+  std::int64_t ts = 0;
+  for (auto _ : state) {
+    telemetry.trace().record({.type = obs::TraceEventType::kFetchDone,
+                              .ts = sim::Time{++ts},
+                              .tile = 3,
+                              .chunk = 7,
+                              .quality = 2,
+                              .bytes = 100'000});
+    if (telemetry.trace().size() >= (std::size_t{1} << 20)) telemetry.trace().clear();
+  }
+  benchmark::DoNotOptimize(telemetry.trace().size());
+}
+BENCHMARK(BM_TraceRecord);
 
 void BM_HeadTraceGeneration(benchmark::State& state) {
   hmp::HeadTraceConfig cfg;

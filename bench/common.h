@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/session.h"
@@ -11,6 +12,8 @@
 #include "media/video_model.h"
 #include "net/bandwidth_trace.h"
 #include "net/link.h"
+#include "obs/sim_monitor.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace sperke::bench {
@@ -54,12 +57,16 @@ inline hmp::ViewingHeatmap standard_crowd(const media::VideoModel& video,
   return crowd;
 }
 
-// Run one VOD session over a single link and return the report.
+// Run one VOD session over a single link and return the report. With a
+// telemetry sink the session, transport, and sim monitor all record into
+// it, so benches can print figures straight from the shared metrics
+// instead of keeping parallel hand-rolled counters.
 inline core::SessionReport run_vod(const net::BandwidthTrace& bandwidth,
                                    core::SessionConfig config,
                                    std::uint64_t trace_seed = 21,
                                    const hmp::ViewingHeatmap* crowd = nullptr,
-                                   std::shared_ptr<media::VideoModel> video = nullptr) {
+                                   std::shared_ptr<media::VideoModel> video = nullptr,
+                                   obs::Telemetry* telemetry = nullptr) {
   sim::Simulator simulator;
   net::Link link(simulator, net::LinkConfig{.name = "link",
                                             .bandwidth = bandwidth,
@@ -67,10 +74,13 @@ inline core::SessionReport run_vod(const net::BandwidthTrace& bandwidth,
                                             .loss_rate = 0.0});
   // HTTP/2-style multiplexing: fine tile grids issue hundreds of small
   // requests per chunk, which would otherwise serialize on the RTT.
-  core::SingleLinkTransport transport(link, /*max_concurrent=*/16);
+  core::SingleLinkTransport transport(link, /*max_concurrent=*/16, telemetry);
   if (!video) video = standard_video();
   const auto trace = standard_trace(trace_seed);
+  config.telemetry = telemetry;
   core::StreamingSession session(simulator, video, transport, trace, config, crowd);
+  std::optional<obs::SimMonitor> monitor;
+  if (telemetry != nullptr) monitor.emplace(simulator, *telemetry);
   session.start();
   simulator.run_until(sim::seconds(kVideoSeconds + 600.0));
   return session.report();

@@ -3,16 +3,26 @@
 // fluctuating cellular link. Compares the FoV-agnostic status quo with
 // three Sperke configurations and prints a per-chunk quality strip.
 //
-//   $ ./vod_streaming [mean_kbps]    (default 12000)
+//   $ ./vod_streaming [mean_kbps] [--trace <path>]    (default 12000)
+//
+// With --trace, the flagship "FoV-guided, SVC upgrades" session writes its
+// full timeline as Chrome trace_event JSON to <path> (open it in
+// chrome://tracing or https://ui.perfetto.dev) and its metrics to
+// <path>.metrics.csv.
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/session.h"
 #include "core/transport.h"
 #include "hmp/head_trace.h"
 #include "net/link.h"
+#include "obs/export.h"
+#include "obs/sim_monitor.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 
@@ -28,18 +38,22 @@ struct Scenario {
 
 core::SessionReport run(const Scenario& scenario, double mean_kbps,
                         const std::shared_ptr<media::VideoModel>& video,
-                        const hmp::HeadTrace& head) {
+                        const hmp::HeadTrace& head,
+                        obs::Telemetry* telemetry = nullptr) {
   sim::Simulator simulator;
   net::Link link(simulator,
                  net::LinkConfig{.name = "cellular",
                                  .bandwidth = net::BandwidthTrace::random_walk(
                                      mean_kbps, 0.35, 1.0, 400.0, 11, 1'000.0),
                                  .rtt = sim::milliseconds(45)});
-  core::SingleLinkTransport transport(link, 12);
+  core::SingleLinkTransport transport(link, 12, telemetry);
   core::SessionConfig config;
   config.planner = scenario.planner;
   config.vra.mode = scenario.mode;
+  config.telemetry = telemetry;
   core::StreamingSession session(simulator, video, transport, head, config);
+  std::optional<obs::SimMonitor> monitor;
+  if (telemetry != nullptr) monitor.emplace(simulator, *telemetry);
   session.start();
   simulator.run_until(sim::seconds(900.0));
   return session.report();
@@ -59,7 +73,20 @@ std::string quality_strip(const std::vector<double>& utilities) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double mean_kbps = argc > 1 ? std::atof(argv[1]) : 12'000.0;
+  double mean_kbps = 12'000.0;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: vod_streaming [mean_kbps] [--trace <path>]\n";
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else {
+      mean_kbps = std::atof(arg.c_str());
+    }
+  }
 
   media::VideoModelConfig video_cfg;
   video_cfg.duration_s = 90.0;
@@ -90,8 +117,14 @@ int main(int argc, char** argv) {
   };
   TextTable table({"Configuration", "Utility", "Stall s", "MB", "Waste %",
                    "Upgrades", "Score"});
+  obs::Telemetry telemetry;
   for (const Scenario& scenario : scenarios) {
-    const auto report = run(scenario, mean_kbps, video, head);
+    // Trace the flagship Sperke configuration only: one session = one
+    // coherent timeline.
+    const bool traced = !trace_path.empty() && scenario.mode == abr::EncodingMode::kSvc &&
+                        scenario.planner == core::PlannerMode::kFovGuided;
+    const auto report =
+        run(scenario, mean_kbps, video, head, traced ? &telemetry : nullptr);
     table.add_row(
         {scenario.label, TextTable::num(report.qoe.mean_viewport_utility, 3),
          TextTable::num(report.qoe.stall_seconds, 2),
@@ -104,5 +137,17 @@ int main(int argc, char** argv) {
               << quality_strip(report.viewport_utility_per_chunk) << "|\n\n";
   }
   std::cout << table.str();
+  if (!trace_path.empty()) {
+    try {
+      obs::dump_chrome_trace(trace_path, telemetry);
+      obs::dump_metrics_csv(trace_path + ".metrics.csv", telemetry);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "\nWrote " << telemetry.trace().size() << " trace events to "
+              << trace_path << " (open in chrome://tracing or ui.perfetto.dev)\n"
+              << "and metrics to " << trace_path << ".metrics.csv\n";
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "geo/orientation.h"
 #include "util/log.h"
 
 namespace sperke::core {
@@ -30,6 +31,23 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
       buffer_(video_),
       vra_(video_, config_.vra),
       qoe_(config_.qoe) {
+  if (config_.telemetry != nullptr) {
+    obs::MetricsRegistry& m = config_.telemetry->metrics();
+    metrics_.fetches = &m.counter("session.fetches");
+    metrics_.urgent_fetches = &m.counter("session.urgent_fetches");
+    metrics_.upgrades = &m.counter("session.upgrades");
+    metrics_.late_corrections = &m.counter("session.late_corrections");
+    metrics_.chunks_played = &m.counter("session.chunks_played");
+    metrics_.stall_events = &m.counter("session.stall_events");
+    metrics_.fetch_latency_ms = &m.histogram("session.fetch_latency_ms");
+    metrics_.stall_s = &m.histogram(
+        "session.stall_s", {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0});
+    metrics_.viewport_utility = &m.histogram(
+        "session.viewport_utility",
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+    metrics_.hmp_error_deg = &m.histogram(
+        "session.hmp_error_deg", {5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 180.0});
+  }
   if (config_.prefetch_horizon_chunks < 1) {
     throw std::invalid_argument("Session: prefetch horizon < 1");
   }
@@ -61,10 +79,16 @@ std::vector<geo::TileId> StreamingSession::all_tiles() const {
   return tiles;
 }
 
+void StreamingSession::record_trace(const obs::TraceEvent& event) {
+  if (config_.telemetry != nullptr) config_.telemetry->trace().record(event);
+}
+
 void StreamingSession::start() {
   if (started_) throw std::logic_error("Session already started");
   started_ = true;
   session_started_ = simulator_.now();
+  record_trace({.type = obs::TraceEventType::kSessionStart,
+                .ts = simulator_.now()});
   observe_head();  // prime the predictor with the initial pose
   head_task_.emplace(simulator_, sim::seconds(1.0 / config_.head_sample_hz),
                      [this] { observe_head(); });
@@ -102,6 +126,7 @@ void StreamingSession::maybe_plan() {
       // map is motion-dominated (same tiles), at long horizons the crowd
       // prior takes over, which is what makes deep prefetch viable (§3.2).
       const geo::Orientation predicted = fusion_.predict_orientation(horizon);
+      if (config_.telemetry != nullptr) predicted_at_plan_[index] = predicted;
       const auto motion_fov =
           video_->geometry().visible_tiles(predicted, config_.viewport);
       probs = fusion_.tile_probabilities(horizon, index);
@@ -141,6 +166,14 @@ void StreamingSession::maybe_plan() {
                         buffer_level, last_fov_quality_);
     plan_quality_[index] = plan.fov_quality;
     last_fov_quality_ = plan.fov_quality;
+    if (config_.telemetry != nullptr) {
+      record_trace({.type = obs::TraceEventType::kPlanComputed,
+                    .ts = simulator_.now(),
+                    .chunk = index,
+                    .quality = plan.fov_quality,
+                    .bytes = plan.total_bytes(*video_),
+                    .value = static_cast<double>(plan.fetches.size())});
+    }
 
     for (const auto& fetch : plan.fetches) {
       dispatch(fetch.address, fetch.spatial, deadline, false, false);
@@ -161,16 +194,44 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
   if (count_as_upgrade) ++upgrades_;
   if (count_as_correction) ++late_corrections_;
   const std::int64_t bytes = video_->size_bytes(address);
+  const sim::Time dispatched = simulator_.now();
+  if (config_.telemetry != nullptr) {
+    metrics_.fetches->increment();
+    if (urgent) metrics_.urgent_fetches->increment();
+    if (count_as_upgrade) metrics_.upgrades->increment();
+    if (count_as_correction) metrics_.late_corrections->increment();
+    record_trace({.type = obs::TraceEventType::kFetchDispatched,
+                  .ts = dispatched,
+                  .tile = address.key.tile,
+                  .chunk = address.key.index,
+                  .quality = address.level,
+                  .bytes = bytes,
+                  .urgent = urgent});
+  }
   ChunkRequest request;
   request.address = address;
   request.bytes = bytes;
   request.spatial = spatial;
   request.urgent = urgent;
   request.deadline = deadline;
-  request.on_done = [this, alive = alive_, address, bytes](sim::Time,
-                                                           bool delivered) {
+  request.on_done = [this, alive = alive_, address, bytes, dispatched, urgent](
+                        sim::Time finished, bool delivered) {
     if (!*alive) return;
     in_flight_.erase(address);
+    if (config_.telemetry != nullptr) {
+      if (delivered) {
+        metrics_.fetch_latency_ms->observe(
+            sim::to_milliseconds(finished - dispatched));
+      }
+      record_trace({.type = delivered ? obs::TraceEventType::kFetchDone
+                                      : obs::TraceEventType::kFetchDropped,
+                    .ts = finished,
+                    .tile = address.key.tile,
+                    .chunk = address.key.index,
+                    .quality = address.level,
+                    .bytes = bytes,
+                    .urgent = urgent});
+    }
     if (delivered) on_fetch_done(address, bytes);
   };
   transport_.fetch(std::move(request));
@@ -221,6 +282,10 @@ void StreamingSession::play_chunk() {
     if (!stalled_) {
       stalled_ = true;
       stall_started_ = simulator_.now();
+      record_trace({.type = obs::TraceEventType::kStallBegin,
+                    .ts = stall_started_,
+                    .chunk = index,
+                    .value = static_cast<double>(missing.size())});
     }
     // Emergency fetch of the missing tiles at the base quality (Table 1's
     // "urgent chunks": very short deadline after an HMP correction).
@@ -238,7 +303,16 @@ void StreamingSession::play_chunk() {
 
   if (stalled_) {
     stalled_ = false;
-    qoe_.record_stall(simulator_.now() - stall_started_);
+    const sim::Duration stall = simulator_.now() - stall_started_;
+    qoe_.record_stall(stall);
+    if (config_.telemetry != nullptr) {
+      metrics_.stall_events->increment();
+      metrics_.stall_s->observe(sim::to_seconds(stall));
+      record_trace({.type = obs::TraceEventType::kStallEnd,
+                    .ts = simulator_.now(),
+                    .chunk = index,
+                    .value = sim::to_seconds(stall)});
+    }
     chunk_play_started_ = simulator_.now();
   }
 
@@ -253,6 +327,22 @@ void StreamingSession::play_chunk() {
       visible.empty() ? 0.0 : utility_sum / static_cast<double>(visible.size());
   qoe_.record_played_chunk(viewport_utility, 0.0);
   utility_per_chunk_.push_back(viewport_utility);
+  if (config_.telemetry != nullptr) {
+    metrics_.chunks_played->increment();
+    metrics_.viewport_utility->observe(viewport_utility);
+    const auto predicted_it = predicted_at_plan_.find(index);
+    if (predicted_it != predicted_at_plan_.end()) {
+      metrics_.hmp_error_deg->observe(geo::angular_distance_deg(
+          predicted_it->second, head_trace_.orientation_at(media)));
+      predicted_at_plan_.erase(predicted_it);
+    }
+    record_trace({.type = obs::TraceEventType::kChunkPlayed,
+                  .ts = simulator_.now(),
+                  .chunk = index,
+                  .quality = buffer_.displayable_quality(
+                      {visible.empty() ? 0 : visible.front(), index}),
+                  .value = viewport_utility});
+  }
 
   // Waste accounting for every cell of this chunk.
   std::vector<char> is_visible(static_cast<std::size_t>(video_->tile_count()), 0);
@@ -314,6 +404,21 @@ void StreamingSession::scan_upgrades() {
           key, current, buffer_.svc_contiguous_quality(key), target,
           probs[static_cast<std::size_t>(tile)], slack, est);
       if (!decision.upgrade) continue;
+      // Trace the decision only when it commits new work; re-scans that find
+      // every layer already buffered or in flight are not new decisions.
+      const bool commits = std::any_of(
+          decision.fetches.begin(), decision.fetches.end(),
+          [this](const media::ChunkAddress& address) {
+            return !buffer_.contains(address) && !in_flight_.contains(address);
+          });
+      if (config_.telemetry != nullptr && commits) {
+        record_trace({.type = obs::TraceEventType::kUpgradeDecided,
+                      .ts = simulator_.now(),
+                      .tile = tile,
+                      .chunk = index,
+                      .quality = target,
+                      .value = static_cast<double>(current)});
+      }
       for (const auto& address : decision.fetches) {
         dispatch(address, abr::SpatialClass::kFov, deadline,
                  /*count_as_upgrade=*/current >= 0,
@@ -327,6 +432,9 @@ void StreamingSession::finish() {
   if (finished_) return;
   finished_ = true;
   session_ended_ = simulator_.now();
+  record_trace({.type = obs::TraceEventType::kSessionEnd,
+                .ts = session_ended_,
+                .value = sim::to_seconds(session_ended_ - session_started_)});
   if (head_task_) head_task_->stop();
   if (upgrade_task_) upgrade_task_->stop();
 }

@@ -24,6 +24,7 @@
 #include "core/buffer.h"
 #include "core/transport.h"
 #include "hmp/fusion.h"
+#include "obs/telemetry.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
@@ -56,6 +57,9 @@ struct SessionConfig {
   // As spending approaches the budget the planner caps quality
   // progressively, so the video still finishes within the allowance.
   std::int64_t data_budget_bytes = 0;
+  // Telemetry sink (not owned; must outlive the session). Null = disabled,
+  // the no-op fast path.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct SessionReport {
@@ -95,6 +99,7 @@ class StreamingSession {
 
   void observe_head();
   void maybe_plan();
+  void record_trace(const obs::TraceEvent& event);
   void dispatch(const media::ChunkAddress& address, abr::SpatialClass spatial,
                 sim::Time deadline, bool count_as_upgrade, bool count_as_correction);
   void on_fetch_done(const media::ChunkAddress& address, std::int64_t bytes);
@@ -139,6 +144,26 @@ class StreamingSession {
   int late_corrections_ = 0;
   std::vector<double> utility_per_chunk_;
   sim::Time last_observed_{sim::Duration{-1}};
+
+  // Telemetry (metric handles resolved once at construction; all null when
+  // config_.telemetry is null). The metric values mirror the counters and
+  // QoE sums above exactly — same increments at the same call sites.
+  struct SessionMetrics {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* urgent_fetches = nullptr;
+    obs::Counter* upgrades = nullptr;
+    obs::Counter* late_corrections = nullptr;
+    obs::Counter* chunks_played = nullptr;
+    obs::Counter* stall_events = nullptr;
+    obs::Histogram* fetch_latency_ms = nullptr;
+    obs::Histogram* stall_s = nullptr;
+    obs::Histogram* viewport_utility = nullptr;
+    obs::Histogram* hmp_error_deg = nullptr;
+  };
+  SessionMetrics metrics_;
+  // Orientation predicted at plan time, for the HMP angular-error metric
+  // scored when the chunk actually plays. Populated only with telemetry on.
+  std::map<media::ChunkIndex, geo::Orientation> predicted_at_plan_;
 
   std::optional<sim::PeriodicTask> head_task_;
   std::optional<sim::PeriodicTask> upgrade_task_;

@@ -5,10 +5,18 @@
 
 namespace sperke::core {
 
-SingleLinkTransport::SingleLinkTransport(net::Link& link, int max_concurrent)
-    : link_(link), max_concurrent_(max_concurrent) {
+SingleLinkTransport::SingleLinkTransport(net::Link& link, int max_concurrent,
+                                         obs::Telemetry* telemetry)
+    : link_(link), max_concurrent_(max_concurrent), telemetry_(telemetry) {
   if (max_concurrent_ < 1) {
     throw std::invalid_argument("SingleLinkTransport: max_concurrent < 1");
+  }
+  if (telemetry_ != nullptr) {
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    requests_metric_ = &m.counter("transport.requests");
+    bytes_metric_ = &m.counter("transport.bytes");
+    queue_wait_ms_metric_ = &m.histogram("transport.queue_wait_ms");
+    in_flight_metric_ = &m.gauge("transport.in_flight");
   }
 }
 
@@ -16,8 +24,10 @@ SingleLinkTransport::~SingleLinkTransport() { *alive_ = false; }
 
 void SingleLinkTransport::fetch(ChunkRequest request) {
   if (request.bytes <= 0) throw std::invalid_argument("fetch: non-positive bytes");
-  queue_.push_back({std::move(request), next_seq_++});
+  if (telemetry_ != nullptr) requests_metric_->increment();
+  queue_.push_back({std::move(request), next_seq_++, link_.simulator().now()});
   pump();
+  if (telemetry_ != nullptr) in_flight_metric_->set(in_flight());
 }
 
 double SingleLinkTransport::estimated_kbps() const {
@@ -39,9 +49,13 @@ void SingleLinkTransport::pump() {
       if (better_urgency || (same_urgency && it->seq < best->seq)) best = it;
     }
     ChunkRequest request = std::move(best->request);
+    const sim::Time enqueued = best->enqueued;
     queue_.erase(best);
     ++active_;
     const sim::Time started = link_.simulator().now();
+    if (telemetry_ != nullptr) {
+      queue_wait_ms_metric_->observe(sim::to_milliseconds(started - enqueued));
+    }
     const std::int64_t bytes = request.bytes;
     // HTTP/2-style stream weights: urgent chunks outweigh regular ones,
     // and within a class FoV outweighs OOS (Table 1).
@@ -56,6 +70,10 @@ void SingleLinkTransport::pump() {
       // Small tile objects are RTT-dominated; measure from the start of
       // data flow, and let the aggregate estimator fold in concurrency.
       estimator_.record(started + link_.rtt(), finished, bytes);
+      if (telemetry_ != nullptr) {
+        bytes_metric_->add(bytes);
+        in_flight_metric_->set(in_flight());
+      }
       if (on_done->on_done) on_done->on_done(finished, true);
       pump();
     }, weight);

@@ -12,6 +12,7 @@
 #include "media/chunk.h"
 #include "net/link.h"
 #include "net/throughput_estimator.h"
+#include "obs/telemetry.h"
 #include "sim/time.h"
 
 namespace sperke::core {
@@ -48,8 +49,10 @@ class ChunkTransport {
 // across concurrent transfers (net::AggregateWindowEstimator).
 class SingleLinkTransport final : public ChunkTransport {
  public:
-  // `link` must outlive the transport.
-  explicit SingleLinkTransport(net::Link& link, int max_concurrent = 4);
+  // `link` must outlive the transport. `telemetry` (optional, not owned)
+  // receives per-request queue-wait and byte metrics.
+  explicit SingleLinkTransport(net::Link& link, int max_concurrent = 4,
+                               obs::Telemetry* telemetry = nullptr);
 
   void fetch(ChunkRequest request) override;
   [[nodiscard]] double estimated_kbps() const override;
@@ -61,10 +64,16 @@ class SingleLinkTransport final : public ChunkTransport {
 
   net::Link& link_;
   int max_concurrent_;
+  obs::Telemetry* telemetry_;
+  obs::Counter* requests_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Histogram* queue_wait_ms_metric_ = nullptr;
+  obs::Gauge* in_flight_metric_ = nullptr;
   net::AggregateWindowEstimator estimator_;
   struct Pending {
     ChunkRequest request;
     std::uint64_t seq;
+    sim::Time enqueued{sim::kTimeZero};
   };
   std::vector<Pending> queue_;
   std::uint64_t next_seq_ = 0;

@@ -29,6 +29,19 @@ LiveBroadcastSession::LiveBroadcastSession(Config config)
                                   .rtt = config_.link_rtt,
                                   .loss_rate = 0.0});
   downlink_est_kbps_ = config_.platform.initial_downlink_estimate_kbps;
+  if (config_.telemetry != nullptr) {
+    obs::MetricsRegistry& m = config_.telemetry->metrics();
+    e2e_latency_s_metric_ = &m.histogram(
+        "live.e2e_latency_s", {2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 90.0});
+    displayed_metric_ = &m.counter("live.segments_displayed");
+    dropped_metric_ = &m.counter("live.segments_dropped_at_broadcaster");
+    rebuffers_metric_ = &m.counter("live.viewer_rebuffer_events");
+    catchup_skips_metric_ = &m.counter("live.viewer_catchup_skips");
+  }
+}
+
+void LiveBroadcastSession::record_trace(const obs::TraceEvent& event) {
+  if (config_.telemetry != nullptr) config_.telemetry->trace().record(event);
 }
 
 LiveSessionResult LiveBroadcastSession::run() {
@@ -94,9 +107,21 @@ void LiveBroadcastSession::capture_segment() {
   if (upload_backlog_kbits_ >
       config_.platform.broadcaster_queue_mbits * 1000.0) {
     ++dropped_;
+    if (config_.telemetry != nullptr) {
+      dropped_metric_->increment();
+      record_trace({.type = obs::TraceEventType::kSegmentDropped,
+                    .ts = simulator_.now(),
+                    .chunk = segment.index,
+                    .bytes = segment.bytes});
+    }
     return;
   }
   upload_backlog_kbits_ += seg_kbits;
+  record_trace({.type = obs::TraceEventType::kSegmentCaptured,
+                .ts = simulator_.now(),
+                .chunk = segment.index,
+                .bytes = segment.bytes,
+                .value = upload_kbps});
   const double upload_delay_s =
       cap_kbps > 0.0 ? upload_backlog_kbits_ / cap_kbps : 1e9;
   simulator_.schedule_after(
@@ -172,6 +197,7 @@ void LiveBroadcastSession::viewer_maybe_request() {
           std::max(viewer_next_fetch_,
                    latest - config_.platform.viewer_buffer_segments);
       ++catchup_skips_;
+      if (config_.telemetry != nullptr) catchup_skips_metric_->increment();
     }
   }
   // Sequential fetch of the next needed segment, if announced & available.
@@ -243,7 +269,10 @@ void LiveBroadcastSession::viewer_play_loop() {
   if (it == viewer_buffer_.end()) {
     // Starved at a boundary: count a rebuffer event and re-enter
     // buffering (players re-accumulate their target before resuming).
-    if (!viewer_waiting_ && !latencies_s_.empty()) ++rebuffers_;
+    if (!viewer_waiting_ && !latencies_s_.empty()) {
+      ++rebuffers_;
+      if (config_.telemetry != nullptr) rebuffers_metric_->increment();
+    }
     viewer_waiting_ = true;
     viewer_force_start_ = false;
     viewer_prebuffer_timer_armed_ = false;
@@ -262,6 +291,18 @@ void LiveBroadcastSession::viewer_play_loop() {
       simulator_.now() <= config_.measure_to) {
     latencies_s_.push_back(latency);
     displayed_kbps_.add(rung);
+    if (config_.telemetry != nullptr) {
+      e2e_latency_s_metric_->observe(latency);
+      // Mirrors LiveSessionResult.segments_displayed (window only).
+      displayed_metric_->increment();
+    }
+  }
+  if (config_.telemetry != nullptr) {
+    record_trace({.type = obs::TraceEventType::kSegmentDisplayed,
+                  .ts = simulator_.now(),
+                  .chunk = segment.index,
+                  .quality = static_cast<std::int32_t>(rung),
+                  .value = latency});
   }
   simulator_.schedule_after(sim::seconds(config_.platform.segment_s), [this] {
     viewer_playing_ = false;

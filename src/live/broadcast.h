@@ -20,6 +20,7 @@
 #include "live/platform.h"
 #include "live/upload_vra.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -62,6 +63,8 @@ class LiveBroadcastSession {
     // have none (null); with one, each segment's bitrate/horizon follows
     // policy->decide(uplink capacity). Not owned; must outlive the session.
     const UploadPolicy* upload_policy = nullptr;
+    // Telemetry sink (not owned; must outlive the session). Null = disabled.
+    obs::Telemetry* telemetry = nullptr;
   };
 
   explicit LiveBroadcastSession(Config config);
@@ -113,6 +116,17 @@ class LiveBroadcastSession {
   RunningStats displayed_kbps_;
   RunningStats uploaded_kbps_;
   RunningStats uploaded_horizon_deg_;
+
+  void record_trace(const obs::TraceEvent& event);
+
+  // Telemetry handles (null without a sink). live.e2e_latency_s mirrors
+  // latencies_s_ (measurement window only); the counters mirror the
+  // corresponding LiveSessionResult fields.
+  obs::Histogram* e2e_latency_s_metric_ = nullptr;
+  obs::Counter* displayed_metric_ = nullptr;
+  obs::Counter* dropped_metric_ = nullptr;
+  obs::Counter* rebuffers_metric_ = nullptr;
+  obs::Counter* catchup_skips_metric_ = nullptr;
 };
 
 }  // namespace sperke::live

@@ -117,10 +117,12 @@ std::unique_ptr<PathScheduler> make_path_scheduler(std::string_view name) {
 MultipathTransport::MultipathTransport(sim::Simulator& simulator,
                                        std::vector<net::Link*> links,
                                        std::unique_ptr<PathScheduler> scheduler,
-                                       int max_concurrent_per_path)
+                                       int max_concurrent_per_path,
+                                       obs::Telemetry* telemetry)
     : simulator_(simulator),
       scheduler_(std::move(scheduler)),
-      max_concurrent_per_path_(max_concurrent_per_path) {
+      max_concurrent_per_path_(max_concurrent_per_path),
+      telemetry_(telemetry) {
   if (links.empty()) throw std::invalid_argument("MultipathTransport: no links");
   if (!scheduler_) throw std::invalid_argument("MultipathTransport: null scheduler");
   if (max_concurrent_per_path_ < 1) {
@@ -130,7 +132,20 @@ MultipathTransport::MultipathTransport(sim::Simulator& simulator,
     if (link == nullptr) throw std::invalid_argument("MultipathTransport: null link");
     Path path;
     path.link = link;
+    if (telemetry_ != nullptr) {
+      const std::string prefix = "mp.path" + std::to_string(paths_.size());
+      path.requests_metric = &telemetry_->metrics().counter(prefix + ".requests");
+      path.bytes_metric = &telemetry_->metrics().counter(prefix + ".bytes");
+    }
     paths_.push_back(std::move(path));
+  }
+  if (telemetry_ != nullptr) {
+    for (std::size_t r = 0; r < class_metrics_.size(); ++r) {
+      class_metrics_[r] =
+          &telemetry_->metrics().counter("mp.class" + std::to_string(r) +
+                                         ".requests");
+    }
+    dropped_metric_ = &telemetry_->metrics().counter("mp.dropped_best_effort");
   }
   stats_.bytes_per_path.assign(paths_.size(), 0);
   stats_.requests_per_path.assign(paths_.size(), 0);
@@ -161,6 +176,20 @@ void MultipathTransport::fetch(core::ChunkRequest request) {
   const std::size_t index = scheduler_->pick(request, snapshot());
   if (index >= paths_.size()) throw std::out_of_range("scheduler picked bad path");
   ++stats_.requests_per_path[index];
+  if (telemetry_ != nullptr) {
+    class_metrics_[static_cast<std::size_t>(rank(priority))]->increment();
+    paths_[index].requests_metric->increment();
+    telemetry_->trace().record(
+        {.type = obs::TraceEventType::kPathAssigned,
+         .ts = simulator_.now(),
+         .tile = request.address.key.tile,
+         .chunk = request.address.key.index,
+         .quality = request.address.level,
+         .path = static_cast<std::int32_t>(index),
+         .bytes = request.bytes,
+         .urgent = request.urgent,
+         .value = static_cast<double>(rank(priority))});
+  }
   Pending pending;
   pending.best_effort = scheduler_->best_effort(request);
   pending.request = std::move(request);
@@ -186,6 +215,7 @@ void MultipathTransport::pump(std::size_t path_index) {
     // before wasting path capacity.
     if (pending.best_effort && pending.request.deadline <= simulator_.now()) {
       ++stats_.dropped_best_effort;
+      if (telemetry_ != nullptr) dropped_metric_->increment();
       if (pending.request.on_done) pending.request.on_done(simulator_.now(), false);
       continue;
     }
@@ -211,6 +241,7 @@ void MultipathTransport::pump(std::size_t path_index) {
           p.estimator.record(started + p.link->rtt(), finished, bytes);
           bytes_fetched_ += bytes;
           stats_.bytes_per_path[path_index] += bytes;
+          if (p.bytes_metric != nullptr) p.bytes_metric->add(bytes);
           if (holder->request.on_done) holder->request.on_done(finished, true);
           pump(path_index);
         },

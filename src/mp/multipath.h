@@ -25,6 +25,7 @@
 #include "mp/priority.h"
 #include "net/link.h"
 #include "net/throughput_estimator.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace sperke::mp {
@@ -103,9 +104,12 @@ struct MultipathStats {
 class MultipathTransport final : public core::ChunkTransport {
  public:
   // Links must outlive the transport; all links must share one simulator.
+  // `telemetry` (optional, not owned) receives per-path assignment traces
+  // and per-class/per-path counters.
   MultipathTransport(sim::Simulator& simulator, std::vector<net::Link*> links,
                      std::unique_ptr<PathScheduler> scheduler,
-                     int max_concurrent_per_path = 2);
+                     int max_concurrent_per_path = 2,
+                     obs::Telemetry* telemetry = nullptr);
   ~MultipathTransport() override;
 
   void fetch(core::ChunkRequest request) override;
@@ -128,6 +132,8 @@ class MultipathTransport final : public core::ChunkTransport {
     std::vector<Pending> queue;
     int active = 0;
     std::int64_t in_flight_bytes = 0;
+    obs::Counter* requests_metric = nullptr;  // set iff telemetry attached
+    obs::Counter* bytes_metric = nullptr;
   };
 
   [[nodiscard]] std::vector<PathState> snapshot() const;
@@ -140,6 +146,10 @@ class MultipathTransport final : public core::ChunkTransport {
   std::uint64_t next_seq_ = 0;
   std::int64_t bytes_fetched_ = 0;
   MultipathStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
+  // Table 1 class counters, indexed by rank(); mirror stats_.class_counts.
+  std::array<obs::Counter*, 4> class_metrics_{};
+  obs::Counter* dropped_metric_ = nullptr;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

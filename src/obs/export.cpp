@@ -1,0 +1,229 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/csv.h"
+
+namespace sperke::obs {
+namespace {
+
+// Shortest round-trippable decimal; deterministic for identical inputs.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Chrome trace viewers group events by (pid, tid); give each category its
+// own named track so the timeline reads as one lane per pipeline layer.
+int track_of(TraceEventType type) {
+  const std::string_view cat = trace_event_category(type);
+  if (cat == "session") return 1;
+  if (cat == "plan") return 2;
+  if (cat == "fetch") return 3;
+  if (cat == "playback") return 4;
+  if (cat == "multipath") return 5;
+  if (cat == "live") return 6;
+  return 7;
+}
+
+std::string args_json(const TraceEvent& e) {
+  std::string out = "{";
+  out += "\"tile\":" + std::to_string(e.tile);
+  out += ",\"chunk\":" + std::to_string(e.chunk);
+  out += ",\"quality\":" + std::to_string(e.quality);
+  out += ",\"path\":" + std::to_string(e.path);
+  out += ",\"bytes\":" + std::to_string(e.bytes);
+  out += std::string(",\"urgent\":") + (e.urgent ? "true" : "false");
+  out += ",\"value\":" + fmt_double(e.value);
+  out += "}";
+  return out;
+}
+
+struct Record {
+  std::int64_t ts = 0;
+  std::int64_t dur = -1;  // -1: instant event
+  std::size_t order = 0;  // creation order, the sort tie-break
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  std::string args;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  std::vector<Record> records;
+  records.reserve(events.size());
+  // Open spans awaiting their closing event: fetches keyed by the chunk
+  // cell + quality, stalls by track (at most one open per session).
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, TraceEvent>
+      open_fetches;
+  std::map<int, TraceEvent> open_stalls;
+
+  auto push = [&records](std::int64_t ts, std::int64_t dur, std::string name,
+                         const TraceEvent& e) {
+    Record r;
+    r.ts = ts;
+    r.dur = dur;
+    r.order = records.size();
+    r.name = std::move(name);
+    r.cat = std::string(trace_event_category(e.type));
+    r.tid = track_of(e.type);
+    r.args = args_json(e);
+    records.push_back(std::move(r));
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kFetchDispatched:
+        open_fetches[{e.tile, e.chunk, e.quality}] = e;
+        break;
+      case TraceEventType::kFetchDone:
+      case TraceEventType::kFetchDropped: {
+        const auto it = open_fetches.find({e.tile, e.chunk, e.quality});
+        if (it != open_fetches.end()) {
+          const TraceEvent& begin = it->second;
+          TraceEvent span = e;
+          span.urgent = begin.urgent;
+          push(begin.ts.count(), (e.ts - begin.ts).count(),
+               e.type == TraceEventType::kFetchDone ? "Fetch" : "FetchDropped",
+               span);
+          open_fetches.erase(it);
+        } else {
+          push(e.ts.count(), -1, std::string(trace_event_name(e.type)), e);
+        }
+        break;
+      }
+      case TraceEventType::kStallBegin:
+        open_stalls[track_of(e.type)] = e;
+        break;
+      case TraceEventType::kStallEnd: {
+        const auto it = open_stalls.find(track_of(e.type));
+        if (it != open_stalls.end()) {
+          push(it->second.ts.count(), (e.ts - it->second.ts).count(), "Stall", e);
+          open_stalls.erase(it);
+        } else {
+          push(e.ts.count(), -1, "StallEnd", e);
+        }
+        break;
+      }
+      default:
+        push(e.ts.count(), -1, std::string(trace_event_name(e.type)), e);
+        break;
+    }
+  }
+  // Spans that never closed (session cut off mid-fetch / mid-stall) export
+  // as instants so no event is silently lost.
+  for (const auto& [key, e] : open_fetches) {
+    push(e.ts.count(), -1, "FetchDispatched", e);
+  }
+  for (const auto& [track, e] : open_stalls) {
+    push(e.ts.count(), -1, "StallBegin", e);
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return std::tie(a.ts, a.order) < std::tie(b.ts, b.order);
+                   });
+
+  out << "[";
+  const char* track_names[] = {"",          "session", "plan", "fetch",
+                               "playback", "multipath", "live", "sim"};
+  bool first = true;
+  for (int tid = 1; tid <= 7; ++tid) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << track_names[tid] << "\"}}";
+  }
+  for (const Record& r : records) {
+    out << ",\n{\"name\":\"" << r.name << "\",\"cat\":\"" << r.cat << "\",";
+    if (r.dur >= 0) {
+      out << "\"ph\":\"X\",\"dur\":" << r.dur << ",";
+    } else {
+      out << "\"ph\":\"i\",\"s\":\"t\",";
+    }
+    out << "\"ts\":" << r.ts << ",\"pid\":1,\"tid\":" << r.tid
+        << ",\"args\":" << r.args << "}";
+  }
+  out << "\n]\n";
+}
+
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    out << "{\"event\":\"" << trace_event_name(e.type) << "\",\"cat\":\""
+        << trace_event_category(e.type) << "\",\"ts_us\":" << e.ts.count()
+        << ",\"args\":" << args_json(e) << "}\n";
+  }
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsRegistry& registry) {
+  CsvWriter csv(out);
+  csv.write_row({"name", "kind", "count", "sum", "mean", "min", "max", "value",
+                 "buckets"});
+  for (const auto& entry : registry.entries()) {
+    std::vector<std::string> row(9);
+    row[0] = entry.name;
+    row[1] = std::string(metric_kind_name(entry.kind));
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        row[7] = std::to_string(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        row[7] = fmt_double(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        row[2] = std::to_string(h.count());
+        row[3] = fmt_double(h.sum());
+        row[4] = fmt_double(h.mean());
+        row[5] = fmt_double(h.min());
+        row[6] = fmt_double(h.max());
+        std::string buckets;
+        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+          if (!buckets.empty()) buckets += ";";
+          buckets += (i < h.upper_bounds().size()
+                          ? "le" + fmt_double(h.upper_bounds()[i])
+                          : std::string("le+inf")) +
+                     ":" + std::to_string(h.bucket_counts()[i]);
+        }
+        row[8] = std::move(buckets);
+        break;
+      }
+    }
+    csv.write_row(row);
+  }
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+void dump_chrome_trace(const std::string& path, const Telemetry& telemetry) {
+  auto out = open_or_throw(path);
+  write_chrome_trace(out, telemetry.trace().events());
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void dump_metrics_csv(const std::string& path, const Telemetry& telemetry) {
+  auto out = open_or_throw(path);
+  write_metrics_csv(out, telemetry.metrics());
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace sperke::obs

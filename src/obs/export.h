@@ -1,0 +1,32 @@
+// Exporters for the telemetry subsystem.
+//
+//  * write_chrome_trace — Chrome trace_event JSON (the "JSON Array Format"),
+//    loadable in chrome://tracing or https://ui.perfetto.dev. Fetches and
+//    stalls are paired into complete ("ph":"X") spans; everything else is an
+//    instant event. Timestamps are simulator microseconds, so the exported
+//    file is byte-identical across runs with identical seeds.
+//  * write_trace_jsonl — one raw TraceEvent per line, for ad-hoc analysis.
+//  * write_metrics_csv — one row per instrument (name, kind, count, sum,
+//    mean, min, max, value), the bench harness's figure source.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace sperke::obs {
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+void write_trace_jsonl(std::ostream& out, const std::vector<TraceEvent>& events);
+void write_metrics_csv(std::ostream& out, const MetricsRegistry& registry);
+
+// File-based conveniences; throw std::runtime_error when the file cannot
+// be opened or written.
+void dump_chrome_trace(const std::string& path, const Telemetry& telemetry);
+void dump_metrics_csv(const std::string& path, const Telemetry& telemetry);
+
+}  // namespace sperke::obs

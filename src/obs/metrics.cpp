@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sperke::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds not ascending");
+  }
+  bucket_counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
+  ++bucket_counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::resolve(std::string_view name,
+                                                 MetricKind kind) {
+  if (name.empty()) throw std::invalid_argument("MetricsRegistry: empty name");
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    if (entry.kind != kind) {
+      throw std::invalid_argument("MetricsRegistry: '" + entry.name +
+                                  "' already registered as " +
+                                  std::string(metric_kind_name(entry.kind)));
+    }
+    return entry;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.kind = kind;
+  index_.emplace(entry.name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Entry& entry = resolve(name, MetricKind::kCounter);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Entry& entry = resolve(name, MetricKind::kGauge);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  Entry& entry = resolve(name, MetricKind::kHistogram);
+  if (!entry.histogram) {
+    if (upper_bounds.empty()) upper_bounds = decade_buckets();
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *entry.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second].counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second].gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second].histogram.get();
+}
+
+std::vector<double> decade_buckets() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 10'000.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+}  // namespace sperke::obs

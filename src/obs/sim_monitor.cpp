@@ -1,0 +1,31 @@
+#include "obs/sim_monitor.h"
+
+namespace sperke::obs {
+
+SimMonitor::SimMonitor(sim::Simulator& simulator, Telemetry& telemetry,
+                       sim::Duration period)
+    : simulator_(simulator),
+      queue_depth_(telemetry.metrics().gauge("sim.queue_depth")),
+      queue_depth_hist_(telemetry.metrics().histogram("sim.queue_depth_hist")),
+      events_per_sec_(telemetry.metrics().gauge("sim.events_per_sec")),
+      samples_(telemetry.metrics().counter("sim.samples")),
+      last_executed_(simulator.events_executed()),
+      last_sampled_(simulator.now()),
+      task_(simulator, period, [this] { sample(); }) {}
+
+void SimMonitor::sample() {
+  const auto depth = static_cast<double>(simulator_.pending_events());
+  queue_depth_.set(depth);
+  queue_depth_hist_.observe(depth);
+  const double elapsed_s = sim::to_seconds(simulator_.now() - last_sampled_);
+  if (elapsed_s > 0.0) {
+    const std::uint64_t executed = simulator_.events_executed();
+    events_per_sec_.set(
+        static_cast<double>(executed - last_executed_) / elapsed_s);
+    last_executed_ = executed;
+    last_sampled_ = simulator_.now();
+  }
+  samples_.increment();
+}
+
+}  // namespace sperke::obs

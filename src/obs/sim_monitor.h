@@ -1,0 +1,40 @@
+// Event-loop instrumentation for sim::Simulator. The simulator sits below
+// obs in the module graph, so instead of hooking the kernel itself a
+// SimMonitor rides the simulator as a periodic task, sampling queue depth
+// and event throughput into the metrics registry:
+//
+//   sim.queue_depth      (gauge)     pending events at the last sample
+//   sim.queue_depth_hist (histogram) pending events per sample
+//   sim.events_per_sec   (gauge)     events executed per simulated second
+//   sim.samples          (counter)   number of samples taken
+#pragma once
+
+#include "obs/telemetry.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace sperke::obs {
+
+class SimMonitor {
+ public:
+  // `simulator` and `telemetry` must outlive the monitor.
+  SimMonitor(sim::Simulator& simulator, Telemetry& telemetry,
+             sim::Duration period = sim::seconds(1.0));
+
+  void stop() { task_.stop(); }
+  [[nodiscard]] bool running() const { return task_.running(); }
+
+ private:
+  void sample();
+
+  sim::Simulator& simulator_;
+  Gauge& queue_depth_;
+  Histogram& queue_depth_hist_;
+  Gauge& events_per_sec_;
+  Counter& samples_;
+  std::uint64_t last_executed_;
+  sim::Time last_sampled_;
+  sim::PeriodicTask task_;  // last: arms only once the handles exist
+};
+
+}  // namespace sperke::obs

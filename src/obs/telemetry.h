@@ -1,0 +1,28 @@
+// The Telemetry handle threaded through component configs: one metrics
+// registry plus one trace recorder shared by every instrumented layer of a
+// run (session, transport, multipath, live pipeline, simulator monitor).
+//
+// Configs default to a null Telemetry*, which disables instrumentation:
+// every record site guards with a single pointer check, so a run without a
+// sink pays no measurable overhead.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sperke::obs {
+
+class Telemetry {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace sperke::obs

@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+#include "util/log.h"
+
+namespace sperke::obs {
+
+std::string_view trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSessionStart: return "SessionStart";
+    case TraceEventType::kPlanComputed: return "PlanComputed";
+    case TraceEventType::kFetchDispatched: return "FetchDispatched";
+    case TraceEventType::kFetchDone: return "FetchDone";
+    case TraceEventType::kFetchDropped: return "FetchDropped";
+    case TraceEventType::kStallBegin: return "StallBegin";
+    case TraceEventType::kStallEnd: return "StallEnd";
+    case TraceEventType::kUpgradeDecided: return "UpgradeDecided";
+    case TraceEventType::kChunkPlayed: return "ChunkPlayed";
+    case TraceEventType::kPathAssigned: return "PathAssigned";
+    case TraceEventType::kSegmentCaptured: return "SegmentCaptured";
+    case TraceEventType::kSegmentDropped: return "SegmentDropped";
+    case TraceEventType::kSegmentDisplayed: return "SegmentDisplayed";
+    case TraceEventType::kSessionEnd: return "SessionEnd";
+  }
+  return "?";
+}
+
+std::string_view trace_event_category(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSessionStart:
+    case TraceEventType::kSessionEnd: return "session";
+    case TraceEventType::kPlanComputed:
+    case TraceEventType::kUpgradeDecided: return "plan";
+    case TraceEventType::kFetchDispatched:
+    case TraceEventType::kFetchDone:
+    case TraceEventType::kFetchDropped: return "fetch";
+    case TraceEventType::kStallBegin:
+    case TraceEventType::kStallEnd:
+    case TraceEventType::kChunkPlayed: return "playback";
+    case TraceEventType::kPathAssigned: return "multipath";
+    case TraceEventType::kSegmentCaptured:
+    case TraceEventType::kSegmentDropped:
+    case TraceEventType::kSegmentDisplayed: return "live";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  events_.push_back(event);
+  SPERKE_LOG_TRACE("t=", sim::to_seconds(event.ts), "s ",
+                   trace_event_name(event.type), " tile=", event.tile,
+                   " chunk=", event.chunk, " q=", event.quality,
+                   " path=", event.path, " bytes=", event.bytes,
+                   " urgent=", event.urgent, " value=", event.value);
+}
+
+}  // namespace sperke::obs

@@ -1,12 +1,29 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <string_view>
 
 namespace sperke {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+// SPERKE_LOG={trace,debug,info,warn,error,off} overrides the default, so any
+// binary can be made chatty without a recompile.
+LogLevel initial_level() {
+  const char* env = std::getenv("SPERKE_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  const std::string_view v(env);
+  if (v == "trace") return LogLevel::Trace;
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 constexpr std::string_view level_name(LogLevel level) {
   switch (level) {

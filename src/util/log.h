@@ -25,8 +25,10 @@ void log(LogLevel level, Args&&... args) {
   log_message(level, os.str());
 }
 
+#define SPERKE_LOG_TRACE(...) ::sperke::log(::sperke::LogLevel::Trace, __VA_ARGS__)
 #define SPERKE_LOG_INFO(...) ::sperke::log(::sperke::LogLevel::Info, __VA_ARGS__)
 #define SPERKE_LOG_DEBUG(...) ::sperke::log(::sperke::LogLevel::Debug, __VA_ARGS__)
 #define SPERKE_LOG_WARN(...) ::sperke::log(::sperke::LogLevel::Warn, __VA_ARGS__)
+#define SPERKE_LOG_ERROR(...) ::sperke::log(::sperke::LogLevel::Error, __VA_ARGS__)
 
 }  // namespace sperke

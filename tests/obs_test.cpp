@@ -1,0 +1,357 @@
+// Telemetry subsystem tests: metrics-registry semantics (handles, name
+// collisions, histogram bucketing) and exporter determinism — two sessions
+// with identical seeds must produce byte-identical Chrome trace JSON, and
+// the metrics CSV must agree exactly with the SessionReport it mirrors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/transport.h"
+#include "hmp/head_trace.h"
+#include "live/broadcast.h"
+#include "live/platform.h"
+#include "media/video_model.h"
+#include "net/link.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sim_monitor.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace sperke;
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("fetches");
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+
+  obs::Gauge& g = registry.gauge("depth");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+}
+
+TEST(Metrics, SameNameSameKindReturnsSameInstrument) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x");
+  a.add(7);
+  obs::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Histogram bounds of the first registration win.
+  obs::Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  obs::Histogram& h2 = registry.histogram("lat", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, NameCollisionAcrossKindsThrows) {
+  obs::MetricsRegistry registry;
+  (void)registry.counter("clash");
+  EXPECT_THROW((void)registry.gauge("clash"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("clash"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter(""), std::invalid_argument);
+}
+
+TEST(Metrics, FindDoesNotCreate) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("nope"), nullptr);
+  EXPECT_EQ(registry.find_gauge("nope"), nullptr);
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+
+  (void)registry.counter("c");
+  EXPECT_NE(registry.find_counter("c"), nullptr);
+  // Wrong-kind lookup is nullptr, not a throw.
+  EXPECT_EQ(registry.find_gauge("c"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketingAndStats) {
+  obs::Histogram h({1.0, 5.0, 10.0});
+  EXPECT_THROW(obs::Histogram({5.0, 1.0}), std::invalid_argument);
+
+  h.observe(0.5);   // bucket le1
+  h.observe(1.0);   // le1 (upper bound inclusive)
+  h.observe(3.0);   // le5
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 104.5 / 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{2, 1, 0, 1}));
+
+  obs::Histogram empty({1.0});
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+}
+
+TEST(Metrics, EntriesPreserveRegistrationOrder) {
+  obs::MetricsRegistry registry;
+  (void)registry.counter("b");
+  (void)registry.gauge("a");
+  (void)registry.histogram("c");
+  (void)registry.counter("b");  // re-resolve must not reorder
+  ASSERT_EQ(registry.entries().size(), 3u);
+  EXPECT_EQ(registry.entries()[0].name, "b");
+  EXPECT_EQ(registry.entries()[1].name, "a");
+  EXPECT_EQ(registry.entries()[2].name, "c");
+}
+
+TEST(Trace, RecorderAppendsInOrder) {
+  obs::Telemetry telemetry;
+  telemetry.trace().record({.type = obs::TraceEventType::kStallBegin,
+                            .ts = sim::seconds(1.0)});
+  telemetry.trace().record({.type = obs::TraceEventType::kStallEnd,
+                            .ts = sim::seconds(2.5),
+                            .value = 1.5});
+  ASSERT_EQ(telemetry.trace().size(), 2u);
+  EXPECT_EQ(telemetry.trace().events()[0].type, obs::TraceEventType::kStallBegin);
+  EXPECT_EQ(telemetry.trace().events()[1].value, 1.5);
+  telemetry.trace().clear();
+  EXPECT_EQ(telemetry.trace().size(), 0u);
+}
+
+TEST(Trace, EventNamesAndCategoriesAreStable) {
+  EXPECT_EQ(obs::trace_event_name(obs::TraceEventType::kFetchDispatched),
+            "FetchDispatched");
+  EXPECT_EQ(obs::trace_event_category(obs::TraceEventType::kFetchDispatched),
+            "fetch");
+  EXPECT_EQ(obs::trace_event_name(obs::TraceEventType::kUpgradeDecided),
+            "UpgradeDecided");
+  EXPECT_EQ(obs::trace_event_category(obs::TraceEventType::kPathAssigned),
+            "multipath");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: an instrumented seeded session.
+// ---------------------------------------------------------------------------
+
+constexpr double kVideoSeconds = 20.0;
+
+std::shared_ptr<media::VideoModel> make_video() {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = kVideoSeconds;
+  cfg.tile_rows = 4;
+  cfg.tile_cols = 6;
+  cfg.seed = 11;
+  return std::make_shared<media::VideoModel>(cfg);
+}
+
+hmp::HeadTrace make_trace(std::uint64_t seed) {
+  hmp::HeadTraceConfig cfg;
+  cfg.duration_s = kVideoSeconds + 60.0;
+  cfg.profile = hmp::UserProfile::adult();
+  cfg.attractors = hmp::default_attractors(cfg.duration_s, 99);
+  cfg.seed = seed;
+  return hmp::generate_head_trace(cfg);
+}
+
+// An outage mid-session guarantees at least one stall; SVC defaults with
+// recovering bandwidth guarantee upgrades.
+core::SessionReport run_instrumented(obs::Telemetry* telemetry) {
+  sim::Simulator simulator;
+  net::Link link(simulator,
+                 net::LinkConfig{.name = "flaky",
+                                 .bandwidth = net::BandwidthTrace::steps(
+                                     {{0.0, 20'000.0}, {6.0, 0.0}, {16.0, 20'000.0}}),
+                                 .rtt = sim::milliseconds(30)});
+  core::SingleLinkTransport transport(link, /*max_concurrent=*/4, telemetry);
+  auto video = make_video();
+  const auto trace = make_trace(66);
+  core::SessionConfig config;
+  config.telemetry = telemetry;
+  core::StreamingSession session(simulator, video, transport, trace, config);
+  session.start();
+  simulator.run_until(sim::seconds(300.0));
+  return session.report();
+}
+
+TEST(TelemetryEndToEnd, MetricsMirrorSessionReportExactly) {
+  obs::Telemetry telemetry;
+  const auto report = run_instrumented(&telemetry);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.qoe.stall_seconds, 0.0);
+
+  const obs::MetricsRegistry& m = telemetry.metrics();
+  ASSERT_NE(m.find_counter("session.fetches"), nullptr);
+  EXPECT_EQ(m.find_counter("session.fetches")->value(), report.fetches);
+  EXPECT_EQ(m.find_counter("session.urgent_fetches")->value(),
+            report.urgent_fetches);
+  EXPECT_EQ(m.find_counter("session.upgrades")->value(), report.upgrades);
+  EXPECT_EQ(m.find_counter("session.late_corrections")->value(),
+            report.late_corrections);
+  EXPECT_EQ(m.find_counter("session.chunks_played")->value(),
+            report.qoe.chunks_played);
+  EXPECT_EQ(m.find_counter("session.stall_events")->value(),
+            report.qoe.stall_events);
+  // Bit-exact: both sides sum to_seconds(stall) per event in the same order.
+  const obs::Histogram* stall_s = m.find_histogram("session.stall_s");
+  ASSERT_NE(stall_s, nullptr);
+  EXPECT_EQ(stall_s->sum(), report.qoe.stall_seconds);
+  EXPECT_EQ(stall_s->count(), report.qoe.stall_events);
+}
+
+TEST(TelemetryEndToEnd, TraceContainsFetchStallUpgradeWithMonotonicTime) {
+  obs::Telemetry telemetry;
+  const auto report = run_instrumented(&telemetry);
+  ASSERT_TRUE(report.completed);
+
+  int dispatched = 0, done = 0, stalls_begin = 0, stalls_end = 0, upgrades = 0;
+  sim::Time last{sim::kTimeZero};
+  for (const obs::TraceEvent& e : telemetry.trace().events()) {
+    EXPECT_GE(e.ts, last) << "trace timestamps must be monotonic";
+    last = e.ts;
+    switch (e.type) {
+      case obs::TraceEventType::kFetchDispatched: ++dispatched; break;
+      case obs::TraceEventType::kFetchDone: ++done; break;
+      case obs::TraceEventType::kStallBegin: ++stalls_begin; break;
+      case obs::TraceEventType::kStallEnd: ++stalls_end; break;
+      case obs::TraceEventType::kUpgradeDecided: ++upgrades; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(dispatched, report.fetches);
+  EXPECT_EQ(done, report.fetches);  // single link never drops
+  EXPECT_EQ(stalls_begin, report.qoe.stall_events);
+  EXPECT_EQ(stalls_end, report.qoe.stall_events);
+  // One decision event per committed upgrade decision; each dispatches at
+  // least one upgrade or late-correction fetch (possibly several SVC layers).
+  EXPECT_GT(upgrades, 0);
+  EXPECT_LE(upgrades, report.upgrades + report.late_corrections);
+  EXPECT_EQ(telemetry.trace().events().front().type,
+            obs::TraceEventType::kSessionStart);
+}
+
+TEST(TelemetryEndToEnd, IdenticalSeedsProduceByteIdenticalExports) {
+  obs::Telemetry first;
+  obs::Telemetry second;
+  const auto report_a = run_instrumented(&first);
+  const auto report_b = run_instrumented(&second);
+  ASSERT_TRUE(report_a.completed);
+  ASSERT_TRUE(report_b.completed);
+
+  std::ostringstream json_a, json_b;
+  obs::write_chrome_trace(json_a, first.trace().events());
+  obs::write_chrome_trace(json_b, second.trace().events());
+  EXPECT_FALSE(json_a.str().empty());
+  EXPECT_EQ(json_a.str(), json_b.str());
+
+  std::ostringstream csv_a, csv_b;
+  obs::write_metrics_csv(csv_a, first.metrics());
+  obs::write_metrics_csv(csv_b, second.metrics());
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+
+  std::ostringstream jsonl_a, jsonl_b;
+  obs::write_trace_jsonl(jsonl_a, first.trace().events());
+  obs::write_trace_jsonl(jsonl_b, second.trace().events());
+  EXPECT_EQ(jsonl_a.str(), jsonl_b.str());
+}
+
+TEST(TelemetryEndToEnd, ChromeTraceIsWellFormedJson) {
+  obs::Telemetry telemetry;
+  (void)run_instrumented(&telemetry);
+  std::ostringstream out;
+  obs::write_chrome_trace(out, telemetry.trace().events());
+  const std::string json = out.str();
+
+  // Structural sanity without a JSON parser: the array brackets balance,
+  // every brace pairs up, and the span/metadata phases appear.
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), '\n');
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // paired spans
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // track names
+  EXPECT_NE(json.find("\"name\":\"Fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"UpgradeDecided\""), std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, MetricsCsvCarriesSessionRows) {
+  obs::Telemetry telemetry;
+  const auto report = run_instrumented(&telemetry);
+  std::ostringstream out;
+  obs::write_metrics_csv(out, telemetry.metrics());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("name,kind,count,sum,mean,min,max,value,buckets"),
+            std::string::npos);
+  EXPECT_NE(csv.find("session.fetches,counter"), std::string::npos);
+  EXPECT_NE(csv.find("session.stall_s,histogram"), std::string::npos);
+  EXPECT_NE(csv.find("transport.requests,counter"), std::string::npos);
+  // The counter row carries the exact report value.
+  EXPECT_NE(csv.find("session.fetches,counter,,,,,," +
+                     std::to_string(report.fetches)),
+            std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, DisabledTelemetryRecordsNothing) {
+  const auto report = run_instrumented(nullptr);
+  EXPECT_TRUE(report.completed);  // null sink is the default-off fast path
+}
+
+TEST(SimMonitorTest, SamplesQueueDepthAndThroughput) {
+  obs::Telemetry telemetry;
+  sim::Simulator simulator;
+  obs::SimMonitor monitor(simulator, telemetry, sim::seconds(1.0));
+  for (int i = 0; i < 50; ++i) {
+    simulator.schedule_at(sim::milliseconds(100 * i), [] {});
+  }
+  simulator.run_until(sim::seconds(10.0));
+  const obs::Counter* samples = telemetry.metrics().find_counter("sim.samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_GE(samples->value(), 5);
+  const obs::Histogram* depth =
+      telemetry.metrics().find_histogram("sim.queue_depth_hist");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count(), samples->value());
+  EXPECT_NE(telemetry.metrics().find_gauge("sim.events_per_sec"), nullptr);
+}
+
+TEST(LiveTelemetry, LatencyHistogramMirrorsResult) {
+  obs::Telemetry telemetry;
+  live::LiveBroadcastSession::Config cfg;
+  cfg.platform = live::PlatformProfile::facebook();
+  cfg.telemetry = &telemetry;
+  const auto result = live::LiveBroadcastSession(cfg).run();
+  const obs::Histogram* latency =
+      telemetry.metrics().find_histogram("live.e2e_latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), result.segments_displayed);
+  EXPECT_NEAR(latency->mean(), result.mean_e2e_latency_s, 1e-9);
+  int displayed_events = 0;
+  for (const obs::TraceEvent& e : telemetry.trace().events()) {
+    if (e.type == obs::TraceEventType::kSegmentDisplayed) ++displayed_events;
+  }
+  EXPECT_GT(displayed_events, 0);
+}
+
+}  // namespace
