@@ -1,0 +1,157 @@
+// Many-session scale bench: N concurrent StreamingSessions multiplexed on
+// shared links inside ONE simulator, timed wall-clock. This is the guard
+// for the hot-path work in DESIGN.md §8 — per-session costs that look fine
+// in isolation (allocation churn, O(all-transfers) reflows, re-derived
+// geometry) compound linearly here, so a regression shows up as a drop in
+// sessions/sec long before any micro-kernel flags it.
+//
+// Usage: bench_scale_sessions [N ...]      (default: 100 1000 5000)
+//
+// Reports, per N: wall seconds, completed sessions, sessions/sec, simulated
+// events/sec (wall), and the event-loop pressure sampled by obs::SimMonitor
+// (mean + p99 pending-event queue depth).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "core/transport.h"
+#include "hmp/head_trace.h"
+#include "media/video_model.h"
+#include "net/link.h"
+#include "obs/sim_monitor.h"
+#include "obs/telemetry.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace sperke;
+
+constexpr double kVideoSeconds = 20.0;
+constexpr int kSessionsPerLink = 16;
+constexpr int kTracePoolSize = 32;
+
+// Histogram p99 upper bound: the bucket ceiling under which 99% of the
+// samples fall (max() when the overflow bucket is hit).
+double p99_bound(const obs::Histogram& hist) {
+  const auto& counts = hist.bucket_counts();
+  const auto& bounds = hist.upper_bounds();
+  const auto total = hist.count();
+  if (total <= 0) return 0.0;
+  const auto target =
+      static_cast<std::int64_t>(0.99 * static_cast<double>(total));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative > target) return bounds[i];
+  }
+  return hist.max();  // fell into the +inf overflow bucket
+}
+
+void run_scale(int n, const std::vector<hmp::HeadTrace>& traces,
+               const std::shared_ptr<media::VideoModel>& video) {
+  sim::Simulator simulator;
+
+  // Sessions share links in groups, as clients share an access network:
+  // the fluid link is where concurrent transfers contend.
+  const int links_needed = (n + kSessionsPerLink - 1) / kSessionsPerLink;
+  std::vector<std::unique_ptr<net::Link>> links;
+  std::vector<std::unique_ptr<core::SingleLinkTransport>> transports;
+  links.reserve(static_cast<std::size_t>(links_needed));
+  transports.reserve(static_cast<std::size_t>(links_needed));
+  for (int i = 0; i < links_needed; ++i) {
+    links.push_back(std::make_unique<net::Link>(
+        simulator,
+        net::LinkConfig{.name = "link",
+                        .bandwidth = net::BandwidthTrace::constant(100'000.0),
+                        .rtt = sim::milliseconds(30),
+                        .loss_rate = 0.0}));
+    transports.push_back(std::make_unique<core::SingleLinkTransport>(
+        *links.back(), /*max_concurrent=*/16));
+  }
+
+  // Sessions run without telemetry (the zero-overhead default); one
+  // SimMonitor with its own registry watches the shared event loop.
+  std::vector<std::unique_ptr<core::StreamingSession>> sessions;
+  sessions.reserve(static_cast<std::size_t>(n));
+  core::SessionConfig config;
+  for (int i = 0; i < n; ++i) {
+    sessions.push_back(std::make_unique<core::StreamingSession>(
+        simulator, video, *transports[static_cast<std::size_t>(i / kSessionsPerLink)],
+        traces[static_cast<std::size_t>(i % kTracePoolSize)], config));
+  }
+
+  obs::Telemetry telemetry;
+  obs::SimMonitor monitor(simulator, telemetry);
+
+  // Stagger the joins (10 ms apart) so startup bursts overlap the steady
+  // state of earlier sessions instead of landing on one instant.
+  for (int i = 0; i < n; ++i) {
+    simulator.schedule_at(sim::milliseconds(10 * i),
+                          [&sessions, i] { sessions[static_cast<std::size_t>(i)]->start(); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  simulator.run_until(
+      sim::seconds(kVideoSeconds + 600.0 + 0.010 * static_cast<double>(n)));
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  int completed = 0;
+  for (const auto& session : sessions) {
+    if (session->finished()) ++completed;
+  }
+  const auto& depth_hist =
+      *telemetry.metrics().find_histogram("sim.queue_depth_hist");
+
+  std::printf("%7d  %8.2f  %9d  %12.1f  %12.0f  %10.0f  %9.0f\n", n, wall_s,
+              completed, static_cast<double>(completed) / wall_s,
+              static_cast<double>(simulator.events_executed()) / wall_s,
+              depth_hist.mean(), p99_bound(depth_hist));
+  if (completed != n) {
+    std::printf("WARNING: %d/%d sessions did not finish\n", n - completed, n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes;
+  for (int i = 1; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  if (sizes.empty()) sizes = {100, 1000, 5000};
+
+  const auto video = [] {
+    media::VideoModelConfig cfg;
+    cfg.duration_s = kVideoSeconds;
+    cfg.chunk_duration_s = 1.0;
+    cfg.tile_rows = 4;
+    cfg.tile_cols = 6;
+    cfg.seed = 7;
+    return std::make_shared<media::VideoModel>(cfg);
+  }();
+
+  // A fixed pool of head traces reused round-robin: trace generation is
+  // itself expensive (BM_HeadTraceGeneration) and is not what this bench
+  // measures.
+  std::vector<hmp::HeadTrace> traces;
+  traces.reserve(kTracePoolSize);
+  for (int i = 0; i < kTracePoolSize; ++i) {
+    hmp::HeadTraceConfig cfg;
+    cfg.duration_s = kVideoSeconds + 120.0;
+    cfg.sample_rate_hz = 25.0;
+    cfg.attractors = hmp::default_attractors(cfg.duration_s, /*seed=*/4242);
+    cfg.seed = 21 + static_cast<std::uint64_t>(i);
+    traces.push_back(hmp::generate_head_trace(cfg));
+  }
+
+  std::printf("Scale bench: N concurrent sessions, %d per 100 Mbps link, "
+              "%.0f s video\n\n",
+              kSessionsPerLink, kVideoSeconds);
+  std::printf("%7s  %8s  %9s  %12s  %12s  %10s  %9s\n", "N", "wall s",
+              "completed", "sessions/s", "events/s", "depth mean", "depth p99");
+  for (const int n : sizes) run_scale(n, traces, video);
+  return 0;
+}

@@ -40,6 +40,14 @@ void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
                          const std::vector<geo::TileId>& fov_tiles,
                          const std::vector<double>& probabilities,
                          media::Encoding encoding) const {
+  Workspace workspace;
+  select(plan, video, fov_tiles, probabilities, encoding, workspace);
+}
+
+void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
+                         const std::vector<geo::TileId>& fov_tiles,
+                         const std::vector<double>& probabilities,
+                         media::Encoding encoding, Workspace& workspace) const {
   if (static_cast<int>(probabilities.size()) != video.tile_count()) {
     throw std::invalid_argument("OosSelector: probability size mismatch");
   }
@@ -55,9 +63,11 @@ void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
   if (config_.accuracy_scaling) budget *= (1.0 + miss_mass);
 
   // Candidates: every non-FoV tile, most probable first.
-  std::vector<char> in_fov(probabilities.size(), 0);
+  auto& in_fov = workspace.in_fov;
+  in_fov.assign(probabilities.size(), 0);
   for (geo::TileId tile : fov_tiles) in_fov[static_cast<std::size_t>(tile)] = 1;
-  std::vector<geo::TileId> candidates;
+  auto& candidates = workspace.candidates;
+  candidates.clear();
   for (geo::TileId tile = 0; tile < video.tile_count(); ++tile) {
     if (!in_fov[static_cast<std::size_t>(tile)]) candidates.push_back(tile);
   }

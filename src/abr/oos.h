@@ -41,6 +41,13 @@ struct OosConfig {
 
 class OosSelector {
  public:
+  // Reusable candidate buffers so steady-state selection allocates nothing
+  // (DESIGN.md §8). Single-threaded use only.
+  struct Workspace {
+    std::vector<char> in_fov;
+    std::vector<geo::TileId> candidates;
+  };
+
   explicit OosSelector(OosConfig config = {});
 
   // Append OOS fetches to `plan` (which already holds the FoV fetches).
@@ -50,6 +57,10 @@ class OosSelector {
               const std::vector<geo::TileId>& fov_tiles,
               const std::vector<double>& probabilities,
               media::Encoding encoding) const;
+  void select(ChunkPlan& plan, const media::VideoModel& video,
+              const std::vector<geo::TileId>& fov_tiles,
+              const std::vector<double>& probabilities,
+              media::Encoding encoding, Workspace& workspace) const;
 
   [[nodiscard]] const OosConfig& config() const { return config_; }
 

@@ -48,6 +48,19 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
                                 const std::vector<double>& tile_probabilities,
                                 double estimated_kbps, sim::Duration buffer_level,
                                 media::QualityLevel last_quality) const {
+  PlanWorkspace workspace;
+  ChunkPlan plan;
+  plan_chunk_into(index, predicted_fov, tile_probabilities, estimated_kbps,
+                  buffer_level, last_quality, workspace, plan);
+  return plan;
+}
+
+void SperkeVra::plan_chunk_into(media::ChunkIndex index,
+                                const std::vector<geo::TileId>& predicted_fov,
+                                const std::vector<double>& tile_probabilities,
+                                double estimated_kbps, sim::Duration buffer_level,
+                                media::QualityLevel last_quality,
+                                PlanWorkspace& workspace, ChunkPlan& out) const {
   if (predicted_fov.empty()) {
     throw std::invalid_argument("plan_chunk: empty predicted FoV");
   }
@@ -55,7 +68,9 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
   const double chunk_s = sim::to_seconds(video_->chunk_duration());
 
   // Part 1: super-chunk cost per quality level -> regular VRA choice.
-  VraContext ctx;
+  VraContext& ctx = workspace.ctx;
+  ctx.level_kbps.clear();
+  ctx.level_utility.clear();
   ctx.estimated_kbps = estimated_kbps;
   ctx.buffer_level = buffer_level;
   ctx.chunk_duration = video_->chunk_duration();
@@ -73,9 +88,9 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
   }
   const media::QualityLevel q_fov = regular_->choose(ctx);
 
-  ChunkPlan plan;
-  plan.index = index;
-  plan.fov_quality = q_fov;
+  out.index = index;
+  out.fov_quality = q_fov;
+  out.fetches.clear();
 
   for (geo::TileId tile : predicted_fov) {
     const double prob = tile_probabilities.empty()
@@ -83,11 +98,11 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
                             : tile_probabilities[static_cast<std::size_t>(tile)];
     const media::ChunkKey key{tile, index};
     if (fov_encoding() == media::Encoding::kAvc) {
-      plan.fetches.push_back(
+      out.fetches.push_back(
           {{key, media::Encoding::kAvc, q_fov}, SpatialClass::kFov, prob});
     } else {
       for (media::LayerIndex l = 0; l <= q_fov; ++l) {
-        plan.fetches.push_back(
+        out.fetches.push_back(
             {{key, media::Encoding::kSvc, l}, SpatialClass::kFov, prob});
       }
     }
@@ -95,9 +110,9 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
 
   // Part 2: OOS margin.
   if (!tile_probabilities.empty()) {
-    oos_.select(plan, *video_, predicted_fov, tile_probabilities, oos_encoding());
+    oos_.select(out, *video_, predicted_fov, tile_probabilities, oos_encoding(),
+                workspace.oos);
   }
-  return plan;
 }
 
 SperkeVra::UpgradeDecision SperkeVra::consider_upgrade(

@@ -53,6 +53,13 @@ class SperkeVra {
  public:
   SperkeVra(std::shared_ptr<const media::VideoModel> video, SperkeVraConfig config);
 
+  // Reusable buffers threaded through plan_chunk_into so steady-state
+  // planning allocates nothing (DESIGN.md §8). Single-threaded use only.
+  struct PlanWorkspace {
+    VraContext ctx;
+    OosSelector::Workspace oos;
+  };
+
   // Plan all fetches for chunk `index`.
   //  `predicted_fov`        — tiles of the predicted viewport (sorted);
   //  `tile_probabilities`   — fusion HMP output for this chunk;
@@ -65,6 +72,13 @@ class SperkeVra {
                                      double estimated_kbps,
                                      sim::Duration buffer_level,
                                      media::QualityLevel last_quality) const;
+  // Same result written into `out` (reset first), scratch from `workspace`.
+  void plan_chunk_into(media::ChunkIndex index,
+                       const std::vector<geo::TileId>& predicted_fov,
+                       const std::vector<double>& tile_probabilities,
+                       double estimated_kbps, sim::Duration buffer_level,
+                       media::QualityLevel last_quality,
+                       PlanWorkspace& workspace, ChunkPlan& out) const;
 
   struct UpgradeDecision {
     bool upgrade = false;

@@ -71,14 +71,6 @@ sim::Time StreamingSession::deadline_of(media::ChunkIndex index) const {
   return simulator_.now() + ahead;  // startup/stall: assume immediate resume
 }
 
-std::vector<geo::TileId> StreamingSession::all_tiles() const {
-  std::vector<geo::TileId> tiles(static_cast<std::size_t>(video_->tile_count()));
-  for (geo::TileId t = 0; t < video_->tile_count(); ++t) {
-    tiles[static_cast<std::size_t>(t)] = t;
-  }
-  return tiles;
-}
-
 void StreamingSession::record_trace(const obs::TraceEvent& event) {
   if (config_.telemetry != nullptr) config_.telemetry->trace().record(event);
 }
@@ -116,10 +108,15 @@ void StreamingSession::maybe_plan() {
     const sim::Duration horizon =
         video_->chunk_start_time(index) - media_now();
 
-    std::vector<geo::TileId> fov;
-    std::vector<double> probs;
+    std::vector<geo::TileId>& fov = fov_scratch_;
+    std::vector<double>& probs = probs_scratch_;
+    probs.clear();
     if (config_.planner == PlannerMode::kFovAgnostic) {
-      fov = all_tiles();  // whole panorama, no OOS concept
+      // Whole panorama, no OOS concept.
+      fov.resize(static_cast<std::size_t>(video_->tile_count()));
+      for (geo::TileId t = 0; t < video_->tile_count(); ++t) {
+        fov[static_cast<std::size_t>(t)] = t;
+      }
     } else {
       // Size the super chunk from the motion-predicted viewport, but pick
       // the *tiles* from the fused probability map: at short horizons the
@@ -127,10 +124,12 @@ void StreamingSession::maybe_plan() {
       // prior takes over, which is what makes deep prefetch viable (§3.2).
       const geo::Orientation predicted = fusion_.predict_orientation(horizon);
       if (config_.telemetry != nullptr) predicted_at_plan_[index] = predicted;
-      const auto motion_fov =
-          video_->geometry().visible_tiles(predicted, config_.viewport);
-      probs = fusion_.tile_probabilities(horizon, index);
-      std::vector<geo::TileId> order(probs.size());
+      std::vector<geo::TileId>& motion_fov = motion_fov_scratch_;
+      video_->geometry().visible_tiles(predicted, config_.viewport, motion_fov,
+                                       geo_scratch_);
+      fusion_.tile_probabilities_into(horizon, index, probs);
+      std::vector<geo::TileId>& order = fov;
+      order.resize(probs.size());
       for (std::size_t i = 0; i < probs.size(); ++i) {
         order[i] = static_cast<geo::TileId>(i);
       }
@@ -138,7 +137,6 @@ void StreamingSession::maybe_plan() {
         return probs[static_cast<std::size_t>(a)] > probs[static_cast<std::size_t>(b)];
       });
       order.resize(std::min(order.size(), motion_fov.size()));
-      fov = std::move(order);
       std::sort(fov.begin(), fov.end());
     }
 
@@ -161,9 +159,9 @@ void StreamingSession::maybe_plan() {
                            ? std::min(effective_kbps, budget_kbps)
                            : budget_kbps;
     }
-    const abr::ChunkPlan plan =
-        vra_.plan_chunk(index, fov, probs, effective_kbps,
-                        buffer_level, last_fov_quality_);
+    vra_.plan_chunk_into(index, fov, probs, effective_kbps, buffer_level,
+                         last_fov_quality_, vra_workspace_, plan_scratch_);
+    const abr::ChunkPlan& plan = plan_scratch_;
     plan_quality_[index] = plan.fov_quality;
     last_fov_quality_ = plan.fov_quality;
     if (config_.telemetry != nullptr) {
@@ -256,8 +254,9 @@ void StreamingSession::attempt_start() {
   if (playing_ || finished_ || !started_) return;
   // Startup condition: the tiles visible at media time 0 are displayable
   // for the first `startup_chunks` chunks.
-  const auto visible = video_->geometry().visible_tiles(
-      head_trace_.orientation_at(sim::kTimeZero), config_.viewport);
+  std::vector<geo::TileId>& visible = visible_scratch_;
+  video_->geometry().visible_tiles(head_trace_.orientation_at(sim::kTimeZero),
+                                   config_.viewport, visible, geo_scratch_);
   const int want = std::min<int>(config_.startup_chunks, video_->chunk_count());
   if (buffer_.contiguous_chunks(0, visible) < want) return;
   playing_ = true;
@@ -270,11 +269,13 @@ void StreamingSession::play_chunk() {
   if (finished_) return;
   const media::ChunkIndex index = current_chunk_;
   const sim::Time media = video_->chunk_start_time(index);
-  const auto visible = video_->geometry().visible_tiles(
-      head_trace_.orientation_at(media), config_.viewport);
+  std::vector<geo::TileId>& visible = visible_scratch_;
+  video_->geometry().visible_tiles(head_trace_.orientation_at(media),
+                                   config_.viewport, visible, geo_scratch_);
 
   // Coverage check: every visible tile must be displayable.
-  std::vector<geo::TileId> missing;
+  std::vector<geo::TileId>& missing = missing_scratch_;
+  missing.clear();
   for (geo::TileId tile : visible) {
     if (!buffer_.has_displayable({tile, index})) missing.push_back(tile);
   }
@@ -345,7 +346,8 @@ void StreamingSession::play_chunk() {
   }
 
   // Waste accounting for every cell of this chunk.
-  std::vector<char> is_visible(static_cast<std::size_t>(video_->tile_count()), 0);
+  std::vector<char>& is_visible = is_visible_scratch_;
+  is_visible.assign(static_cast<std::size_t>(video_->tile_count()), 0);
   for (geo::TileId tile : visible) is_visible[static_cast<std::size_t>(tile)] = 1;
   for (geo::TileId tile = 0; tile < video_->tile_count(); ++tile) {
     const media::ChunkKey key{tile, index};
@@ -390,9 +392,11 @@ void StreamingSession::scan_upgrades() {
     if (slack <= sim::Duration{0}) continue;
     const sim::Duration horizon = video_->chunk_start_time(index) - media_now();
     const geo::Orientation predicted = fusion_.predict_orientation(horizon);
-    const auto visible =
-        video_->geometry().visible_tiles(predicted, config_.viewport);
-    const auto probs = fusion_.tile_probabilities(horizon, index);
+    std::vector<geo::TileId>& visible = visible_scratch_;
+    video_->geometry().visible_tiles(predicted, config_.viewport, visible,
+                                     geo_scratch_);
+    fusion_.tile_probabilities_into(horizon, index, probs_scratch_);
+    const std::vector<double>& probs = probs_scratch_;
     const auto target_it = plan_quality_.find(index);
     if (target_it == plan_quality_.end()) continue;
     const media::QualityLevel target = target_it->second;

@@ -95,7 +95,6 @@ class StreamingSession {
  private:
   [[nodiscard]] sim::Time media_now() const;
   [[nodiscard]] sim::Time deadline_of(media::ChunkIndex index) const;
-  [[nodiscard]] std::vector<geo::TileId> all_tiles() const;
 
   void observe_head();
   void maybe_plan();
@@ -164,6 +163,22 @@ class StreamingSession {
   // Orientation predicted at plan time, for the HMP angular-error metric
   // scored when the chunk actually plays. Populated only with telemetry on.
   std::map<media::ChunkIndex, geo::Orientation> predicted_at_plan_;
+
+  // Reusable hot-path buffers (DESIGN.md §8). The simulator is
+  // single-threaded and the transport never completes a fetch synchronously,
+  // so no two live uses of the same buffer ever overlap: maybe_plan owns
+  // the fov/probs/plan set, attempt_start/play_chunk/scan_upgrades own the
+  // visible/missing/is_visible set, and each finishes with its buffers
+  // before anything that reuses them can run.
+  geo::TileGeometry::Scratch geo_scratch_;
+  std::vector<geo::TileId> visible_scratch_;
+  std::vector<geo::TileId> motion_fov_scratch_;
+  std::vector<geo::TileId> fov_scratch_;
+  std::vector<double> probs_scratch_;
+  std::vector<geo::TileId> missing_scratch_;
+  std::vector<char> is_visible_scratch_;
+  abr::ChunkPlan plan_scratch_;
+  abr::SperkeVra::PlanWorkspace vra_workspace_;
 
   std::optional<sim::PeriodicTask> head_task_;
   std::optional<sim::PeriodicTask> upgrade_task_;

@@ -5,9 +5,17 @@
 //   * which tiles does this viewport cover? (visible set)
 //   * how far is a tile from the view center? (OOS ranking, §3.1.2)
 //   * what fraction of the sphere does a tile cover? (bandwidth weighting)
+//
+// Hot-path notes (DESIGN.md §8): every query has an out-parameter overload
+// taking a reusable Scratch so steady-state callers allocate nothing; the
+// allocating signatures are thin wrappers. For the equirectangular
+// projection the per-sample direction->tile classification runs on
+// precomputed sin(latitude) row thresholds and column-boundary half-plane
+// tests instead of the generic asin/atan2 chain.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "geo/orientation.h"
@@ -24,6 +32,19 @@ struct Viewport {
 
 class TileGeometry {
  public:
+  // Reusable buffers for the out-parameter overloads. One Scratch may serve
+  // any number of TileGeometry instances; the simulator is single-threaded,
+  // so nothing here is synchronized.
+  struct Scratch {
+    std::vector<char> seen;                        // visible_tiles marks
+    std::vector<Vec3> up_terms;                    // per-row frustum offsets
+    std::vector<std::pair<double, TileId>> keys;   // tiles_by_distance keys
+    std::vector<TileId> queue;                     // oos_rings BFS FIFO
+  };
+
+  // Quantization step of the visible_tiles_lut() grid (yaw and pitch).
+  static constexpr double kLutStepDeg = 3.0;
+
   // Takes shared ownership of the projection so sessions can share one.
   TileGeometry(std::shared_ptr<const Projection> projection, TileGrid grid,
                int samples_per_axis = 24);
@@ -35,17 +56,40 @@ class TileGeometry {
   // Computed by sampling rays across the frustum; sorted, unique.
   [[nodiscard]] std::vector<TileId> visible_tiles(const Orientation& view,
                                                   const Viewport& viewport) const;
+  void visible_tiles(const Orientation& view, const Viewport& viewport,
+                     std::vector<TileId>& out, Scratch& scratch) const;
+
+  // LUT-accelerated visible set: snaps (yaw, pitch) to a kLutStepDeg grid
+  // (roll must be 0) and caches the exact visible set per grid point,
+  // computed on demand. Exact for orientations already on the grid (see
+  // lut_snap); otherwise the result is the exact set of the snapped
+  // orientation, i.e. off by at most the tiles a kLutStepDeg/2 head
+  // rotation can add or remove. The cache binds to the first viewport
+  // queried; other viewports and non-zero roll fall back to the exact path.
+  [[nodiscard]] std::vector<TileId> visible_tiles_lut(const Orientation& view,
+                                                      const Viewport& viewport) const;
+  void visible_tiles_lut(const Orientation& view, const Viewport& viewport,
+                         std::vector<TileId>& out, Scratch& scratch) const;
+
+  // The grid point visible_tiles_lut() resolves `view` to (roll forced 0).
+  [[nodiscard]] static Orientation lut_snap(const Orientation& view);
 
   // Great-circle distance (degrees) from the view direction to each tile's
   // center direction; index = TileId. Used to rank OOS tiles.
   [[nodiscard]] std::vector<double> tile_distances_deg(const Orientation& view) const;
+  void tile_distances_deg(const Orientation& view, std::vector<double>& out) const;
 
-  // All tiles ordered by increasing angular distance from the view center.
+  // All tiles ordered by increasing angular distance from the view center;
+  // ties broken by ascending TileId.
   [[nodiscard]] std::vector<TileId> tiles_by_distance(const Orientation& view) const;
+  void tiles_by_distance(const Orientation& view, std::vector<TileId>& out,
+                         Scratch& scratch) const;
 
   // BFS ring index per tile, 0 = inside `visible`, 1 = adjacent, etc.
   // Horizontal adjacency wraps. Index = TileId.
   [[nodiscard]] std::vector<int> oos_rings(const std::vector<TileId>& visible) const;
+  void oos_rings(const std::vector<TileId>& visible, std::vector<int>& out,
+                 Scratch& scratch) const;
 
   // Fraction of the sphere's solid angle covered by each tile (sums to ~1).
   // Precomputed by uniform-on-sphere sampling at construction.
@@ -57,11 +101,38 @@ class TileGeometry {
   [[nodiscard]] Vec3 tile_center_direction(TileId id) const;
 
  private:
+  [[nodiscard]] TileId classify_equirect(const Vec3& dir) const;
+  [[nodiscard]] TileId classify(const Vec3& dir) const;
+
   std::shared_ptr<const Projection> projection_;
   TileGrid grid_;
   int samples_per_axis_;
   std::vector<double> solid_angle_;
   std::vector<Vec3> tile_centers_;
+
+  // Equirect fast-classifier tables (empty for other projections). Tile
+  // edges are constant-latitude / constant-longitude lines, so a sample
+  // classifies with sign tests only: the row counts z against the
+  // precomputed sin(latitude) band boundaries, the column counts
+  // cross-product tests against the precomputed boundary meridians of the
+  // sample's longitude half (each test spans < 180°, so it is exact there).
+  bool equirect_fast_ = false;
+  std::vector<double> row_sin_;                          // descending
+  std::vector<std::pair<double, double>> col_neg_;       // (cos, sin), lon < 0
+  std::vector<std::pair<double, double>> col_pos_;       // (cos, sin), lon > 0
+  int col_base_ = 0;                                     // #boundaries lon <= 0
+
+  // Lazily-filled LUT cells (yaw-major per pitch row); bound to the first
+  // viewport that queries the LUT. A filled cell is never empty — the
+  // frustum always hits at least one tile — so empty marks "not yet built".
+  struct Lut {
+    bool bound = false;
+    Viewport viewport{};
+    int yaw_cells = 0;
+    int pitch_cells = 0;
+    std::vector<std::vector<TileId>> cells;
+  };
+  mutable Lut lut_;
 };
 
 }  // namespace sperke::geo

@@ -7,6 +7,14 @@
 #include "util/math.h"
 
 namespace sperke::hmp {
+namespace {
+
+bool same_orientation(const geo::Orientation& a, const geo::Orientation& b) {
+  return a.yaw_deg == b.yaw_deg && a.pitch_deg == b.pitch_deg &&
+         a.roll_deg == b.roll_deg;
+}
+
+}  // namespace
 
 FusionPredictor::FusionPredictor(std::shared_ptr<const geo::TileGeometry> geometry,
                                  geo::Viewport viewport,
@@ -24,26 +32,65 @@ FusionPredictor::FusionPredictor(std::shared_ptr<const geo::TileGeometry> geomet
   if (crowd_ != nullptr && crowd_->tile_count() != geometry_->grid().tile_count()) {
     throw std::invalid_argument("FusionPredictor: heatmap/grid tile count mismatch");
   }
+  // Tile-center longitudes for the pose band test, hoisted out of the
+  // per-call pruning pass (identical expression, evaluated once).
+  const int n = geometry_->grid().tile_count();
+  center_lon_deg_.reserve(static_cast<std::size_t>(n));
+  for (geo::TileId i = 0; i < n; ++i) {
+    center_lon_deg_.push_back(
+        geo::lonlat_from_direction(geometry_->tile_center_direction(i)).lon_deg);
+  }
 }
 
 void FusionPredictor::observe(const HeadSample& sample) {
   motion_->observe(sample);
   last_sample_ = sample;
+  ++observe_gen_;  // retires predict memo entries
+}
+
+geo::Orientation FusionPredictor::cached_predict(sim::Duration horizon) const {
+  if (!(predict_memo_.valid && predict_memo_.gen == observe_gen_ &&
+        predict_memo_.horizon == horizon)) {
+    predict_memo_.value = motion_->predict(horizon);
+    predict_memo_.gen = observe_gen_;
+    predict_memo_.horizon = horizon;
+    predict_memo_.valid = true;
+  }
+  return predict_memo_.value;
+}
+
+const std::vector<double>& FusionPredictor::cached_distances(
+    DistanceMemo& memo, const geo::Orientation& view) const {
+  if (!(memo.valid && same_orientation(memo.key, view))) {
+    geometry_->tile_distances_deg(view, memo.dist);
+    memo.key = view;
+    memo.valid = true;
+  }
+  return memo.dist;
 }
 
 geo::Orientation FusionPredictor::predict_orientation(sim::Duration horizon) const {
-  return motion_->predict(horizon);
+  return cached_predict(horizon);
 }
 
 std::vector<double> FusionPredictor::tile_probabilities(
     sim::Duration horizon, media::ChunkIndex chunk) const {
+  std::vector<double> prob;
+  tile_probabilities_into(horizon, chunk, prob);
+  return prob;
+}
+
+void FusionPredictor::tile_probabilities_into(sim::Duration horizon,
+                                              media::ChunkIndex chunk,
+                                              std::vector<double>& out) const {
   const int n = geometry_->grid().tile_count();
-  std::vector<double> prob(static_cast<std::size_t>(n), 0.0);
+  out.resize(static_cast<std::size_t>(n));
   const double h = std::max(sim::to_seconds(horizon), 0.0);
 
   // (1) Motion component: Gaussian kernel (in angular distance) around the
   // predicted view center, widened by the horizon-dependent error model.
-  const geo::Orientation predicted = motion_->predict(horizon);
+  // Memoized on (predicted orientation, sigma) over the cached distance map.
+  const geo::Orientation predicted = cached_predict(horizon);
   // Engaged viewers wander less: scale error growth by (1.5 - engagement).
   const double engagement = std::clamp(context_.engagement, 0.0, 1.0);
   const double sigma =
@@ -53,67 +100,98 @@ std::vector<double> FusionPredictor::tile_probabilities(
   // the viewport edge the Gaussian tail takes over.
   const double fov_radius =
       std::min(viewport_.width_deg, viewport_.height_deg) / 2.0;
-  const auto dist = geometry_->tile_distances_deg(predicted);
-  std::vector<double> motion(static_cast<std::size_t>(n));
-  double motion_total = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const double excess = std::max(0.0, dist[static_cast<std::size_t>(i)] - fov_radius);
-    motion[static_cast<std::size_t>(i)] =
-        std::exp(-(excess * excess) / (2.0 * sigma * sigma));
-    motion_total += motion[static_cast<std::size_t>(i)];
+  if (!(motion_memo_.valid && same_orientation(motion_memo_.key, predicted) &&
+        motion_memo_.sigma == sigma)) {
+    const std::vector<double>& dist =
+        cached_distances(predicted_dist_memo_, predicted);
+    auto& motion = motion_memo_.weights;
+    motion.resize(static_cast<std::size_t>(n));
+    double motion_total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double excess =
+          std::max(0.0, dist[static_cast<std::size_t>(i)] - fov_radius);
+      motion[static_cast<std::size_t>(i)] =
+          std::exp(-(excess * excess) / (2.0 * sigma * sigma));
+      motion_total += motion[static_cast<std::size_t>(i)];
+    }
+    motion_memo_.total = motion_total;
+    motion_memo_.key = predicted;
+    motion_memo_.sigma = sigma;
+    motion_memo_.valid = true;
   }
-  for (double& m : motion) m /= motion_total;
+  const std::vector<double>& motion = motion_memo_.weights;
+  const double motion_total = motion_memo_.total;
 
-  // (2) Crowd prior for this chunk, if available.
+  // (2) Crowd prior for this chunk, if available; memoized on the heatmap
+  // version so repeated per-chunk calls stop re-materializing vectors.
   const bool have_crowd = crowd_ != nullptr && crowd_->total(chunk) > 0.0;
-  std::vector<double> crowd_prob;
-  if (have_crowd) crowd_prob = crowd_->probabilities(chunk);
+  const std::vector<double>* crowd_prob = nullptr;
+  if (have_crowd) {
+    if (!(crowd_memo_.valid && crowd_memo_.chunk == chunk &&
+          crowd_memo_.version == crowd_->version())) {
+      crowd_->probabilities_into(chunk, crowd_memo_.probs);
+      crowd_memo_.chunk = chunk;
+      crowd_memo_.version = crowd_->version();
+      crowd_memo_.valid = true;
+    }
+    crowd_prob = &crowd_memo_.probs;
+  }
 
   // Blend: motion weight decays with horizon beyond the grace period.
   const double w_motion_raw =
       std::exp(-std::max(0.0, h - config_.motion_grace_s) / config_.motion_tau_s);
   const double w_motion = have_crowd ? w_motion_raw : 1.0;
+  const double w_crowd = 1.0 - w_motion;
   const double uniform = 1.0 / static_cast<double>(n);
-  for (int i = 0; i < n; ++i) {
-    const auto s = static_cast<std::size_t>(i);
-    double p = w_motion * motion[s];
-    if (have_crowd) p += (1.0 - w_motion) * crowd_prob[s];
-    prob[s] = (1.0 - config_.uniform_floor) * p + config_.uniform_floor * uniform;
-  }
+  const double floor_scale = 1.0 - config_.uniform_floor;
+  const double floor_term = config_.uniform_floor * uniform;
 
-  // (3) Context pruning: zero tiles that are unreachable within the horizon
-  // (speed bound) or outside the pose's yaw band.
-  if (last_sample_.has_value()) {
-    const geo::Orientation current = last_sample_->orientation;
-    const double fov_diag =
-        std::hypot(viewport_.width_deg, viewport_.height_deg) / 2.0;
-    const auto cur_dist = geometry_->tile_distances_deg(current);
-    for (int i = 0; i < n; ++i) {
-      const auto s = static_cast<std::size_t>(i);
-      if (context_.max_speed_dps.has_value()) {
-        const double reach = *context_.max_speed_dps * h + fov_diag;
-        if (cur_dist[s] > reach) prob[s] = 0.0;
-      }
-      if (context_.pose.has_value()) {
-        const auto ll = geo::lonlat_from_direction(geometry_->tile_center_direction(
-            static_cast<geo::TileId>(i)));
-        const double off = angle_diff_deg(ll.lon_deg, context_.home_yaw_deg);
-        const double band = pose_yaw_half_range_deg(*context_.pose) +
-                            viewport_.width_deg / 2.0;
-        if (std::abs(off) > band) prob[s] = 0.0;
-      }
+  // (3) Context pruning inputs: zero tiles that are unreachable within the
+  // horizon (speed bound) or outside the pose's yaw band.
+  const bool prune = last_sample_.has_value();
+  bool prune_speed = false;
+  bool prune_pose = false;
+  double reach = 0.0;
+  double band = 0.0;
+  const std::vector<double>* cur_dist = nullptr;
+  if (prune) {
+    prune_speed = context_.max_speed_dps.has_value();
+    if (prune_speed) {
+      const double fov_diag =
+          std::hypot(viewport_.width_deg, viewport_.height_deg) / 2.0;
+      reach = *context_.max_speed_dps * h + fov_diag;
+      cur_dist = &cached_distances(current_dist_memo_, last_sample_->orientation);
+    }
+    prune_pose = context_.pose.has_value();
+    if (prune_pose) {
+      band = pose_yaw_half_range_deg(*context_.pose) + viewport_.width_deg / 2.0;
     }
   }
 
-  // Renormalize (fall back to uniform if pruning removed everything).
+  // Fused pass: blend + floor + prune + total in one sweep. Each tile sees
+  // the identical operation sequence the former four passes applied, so the
+  // results (and the index-ordered total) are bit-identical.
   double total = 0.0;
-  for (double p : prob) total += p;
-  if (total <= 0.0) {
-    std::fill(prob.begin(), prob.end(), uniform);
-  } else {
-    for (double& p : prob) p /= total;
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    double p = w_motion * (motion[s] / motion_total);
+    if (have_crowd) p += w_crowd * (*crowd_prob)[s];
+    p = floor_scale * p + floor_term;
+    if (prune_speed && (*cur_dist)[s] > reach) p = 0.0;
+    if (prune_pose &&
+        std::abs(angle_diff_deg(center_lon_deg_[s], context_.home_yaw_deg)) > band) {
+      p = 0.0;
+    }
+    out[s] = p;
+    total += p;
   }
-  return prob;
+
+  // Renormalize (fall back to uniform if pruning removed everything).
+  if (total <= 0.0) {
+    std::fill(out.begin(), out.end(), uniform);
+  } else {
+    for (double& p : out) p /= total;
+  }
 }
 
 }  // namespace sperke::hmp

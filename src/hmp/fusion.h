@@ -63,12 +63,49 @@ class FusionPredictor {
   // (`chunk` selects the crowd prior row). Sums to 1.
   [[nodiscard]] std::vector<double> tile_probabilities(sim::Duration horizon,
                                                        media::ChunkIndex chunk) const;
+  void tile_probabilities_into(sim::Duration horizon, media::ChunkIndex chunk,
+                               std::vector<double>& out) const;
 
   [[nodiscard]] const geo::TileGeometry& geometry() const { return *geometry_; }
   [[nodiscard]] const geo::Viewport& viewport() const { return viewport_; }
   [[nodiscard]] const ViewingContext& context() const { return context_; }
+  [[nodiscard]] const FusionConfig& config() const { return config_; }
 
  private:
+  // The probability map is computed in a single fused pass (DESIGN.md §8)
+  // over memoized inputs. Every cache below is a one-entry memo keyed by
+  // exact values, so a hit returns bit-identical results to recomputing;
+  // observe() advances observe_gen_, which retires stale predictions, and
+  // orientation-keyed entries retire themselves when the key changes.
+  struct PredictMemo {
+    bool valid = false;
+    std::uint64_t gen = 0;
+    sim::Duration horizon{};
+    geo::Orientation value{};
+  };
+  struct DistanceMemo {
+    bool valid = false;
+    geo::Orientation key{};
+    std::vector<double> dist;
+  };
+  struct MotionMemo {
+    bool valid = false;
+    geo::Orientation key{};
+    double sigma = 0.0;
+    std::vector<double> weights;
+    double total = 0.0;
+  };
+  struct CrowdMemo {
+    bool valid = false;
+    media::ChunkIndex chunk = 0;
+    std::uint64_t version = 0;
+    std::vector<double> probs;
+  };
+
+  [[nodiscard]] geo::Orientation cached_predict(sim::Duration horizon) const;
+  [[nodiscard]] const std::vector<double>& cached_distances(
+      DistanceMemo& memo, const geo::Orientation& view) const;
+
   std::shared_ptr<const geo::TileGeometry> geometry_;
   geo::Viewport viewport_;
   std::unique_ptr<OrientationPredictor> motion_;
@@ -76,6 +113,14 @@ class FusionPredictor {
   ViewingContext context_;
   FusionConfig config_;
   std::optional<HeadSample> last_sample_;
+  std::vector<double> center_lon_deg_;  // per-tile center longitude (pruning)
+
+  std::uint64_t observe_gen_ = 0;
+  mutable PredictMemo predict_memo_;
+  mutable DistanceMemo predicted_dist_memo_;
+  mutable DistanceMemo current_dist_memo_;
+  mutable MotionMemo motion_memo_;
+  mutable CrowdMemo crowd_memo_;
 };
 
 }  // namespace sperke::hmp

@@ -12,6 +12,7 @@ ViewingHeatmap::ViewingHeatmap(int tile_count, media::ChunkIndex chunk_count)
     throw std::invalid_argument("ViewingHeatmap: non-positive dims");
   }
   counts_.assign(static_cast<std::size_t>(tile_count) * chunk_count, 0.0);
+  totals_.assign(static_cast<std::size_t>(chunk_count), 0.0);
 }
 
 std::size_t ViewingHeatmap::at(media::ChunkIndex chunk, geo::TileId tile) const {
@@ -23,7 +24,11 @@ std::size_t ViewingHeatmap::at(media::ChunkIndex chunk, geo::TileId tile) const 
 
 void ViewingHeatmap::add_view(media::ChunkIndex chunk,
                               std::span<const geo::TileId> visible) {
-  for (geo::TileId tile : visible) counts_[at(chunk, tile)] += 1.0;
+  for (geo::TileId tile : visible) {
+    counts_[at(chunk, tile)] += 1.0;
+    totals_[static_cast<std::size_t>(chunk)] += 1.0;
+  }
+  ++version_;
 }
 
 void ViewingHeatmap::add_trace(const HeadTrace& trace,
@@ -47,14 +52,20 @@ void ViewingHeatmap::add_trace(const HeadTrace& trace,
 }
 
 std::vector<double> ViewingHeatmap::probabilities(media::ChunkIndex chunk) const {
-  std::vector<double> out(static_cast<std::size_t>(tile_count_));
+  std::vector<double> out;
+  probabilities_into(chunk, out);
+  return out;
+}
+
+void ViewingHeatmap::probabilities_into(media::ChunkIndex chunk,
+                                        std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(tile_count_));
   double total = 0.0;
   for (geo::TileId tile = 0; tile < tile_count_; ++tile) {
     out[static_cast<std::size_t>(tile)] = counts_[at(chunk, tile)] + 1.0;  // Laplace
     total += out[static_cast<std::size_t>(tile)];
   }
   for (double& p : out) p /= total;
-  return out;
 }
 
 double ViewingHeatmap::count(media::ChunkIndex chunk, geo::TileId tile) const {
@@ -62,11 +73,10 @@ double ViewingHeatmap::count(media::ChunkIndex chunk, geo::TileId tile) const {
 }
 
 double ViewingHeatmap::total(media::ChunkIndex chunk) const {
-  double total = 0.0;
-  for (geo::TileId tile = 0; tile < tile_count_; ++tile) {
-    total += counts_[at(chunk, tile)];
+  if (chunk < 0 || chunk >= chunk_count_) {
+    throw std::out_of_range("ViewingHeatmap: chunk out of range");
   }
-  return total;
+  return totals_[static_cast<std::size_t>(chunk)];
 }
 
 void ViewingHeatmap::merge(const ViewingHeatmap& other) {
@@ -74,6 +84,8 @@ void ViewingHeatmap::merge(const ViewingHeatmap& other) {
     throw std::invalid_argument("ViewingHeatmap::merge: shape mismatch");
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  for (std::size_t c = 0; c < totals_.size(); ++c) totals_[c] += other.totals_[c];
+  ++version_;
 }
 
 }  // namespace sperke::hmp

@@ -34,15 +34,22 @@ class ViewingHeatmap {
 
   // Laplace-smoothed viewing probability per tile for a chunk; sums to 1.
   [[nodiscard]] std::vector<double> probabilities(media::ChunkIndex chunk) const;
+  void probabilities_into(media::ChunkIndex chunk, std::vector<double>& out) const;
 
   // Raw observation count.
   [[nodiscard]] double count(media::ChunkIndex chunk, geo::TileId tile) const;
 
   // Total observations recorded for a chunk (0 = no crowd data yet).
+  // O(1): per-chunk totals are maintained incrementally (exact, since the
+  // counts are sums of 1.0s — integers well below 2^53).
   [[nodiscard]] double total(media::ChunkIndex chunk) const;
 
   // Pool another heatmap's observations into this one (same shape).
   void merge(const ViewingHeatmap& other);
+
+  // Bumped on every mutation; lets consumers (hmp/fusion.h) memoize
+  // probabilities() results keyed by (chunk, version).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
  private:
   [[nodiscard]] std::size_t at(media::ChunkIndex chunk, geo::TileId tile) const;
@@ -50,6 +57,8 @@ class ViewingHeatmap {
   int tile_count_;
   media::ChunkIndex chunk_count_;
   std::vector<double> counts_;  // [chunk * tile_count + tile]
+  std::vector<double> totals_;  // per-chunk sum of counts_
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace sperke::hmp

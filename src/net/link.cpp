@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <vector>
 
 namespace sperke::net {
 namespace {
@@ -40,14 +39,6 @@ double Link::mathis_cap_kbps() const {
   return bps / 1000.0;
 }
 
-int Link::active_transfers() const {
-  int n = 0;
-  for (const auto& [id, t] : transfers_) {
-    if (t.active) ++n;
-  }
-  return n;
-}
-
 double Link::transfer_rate_kbps(TransferId id) const {
   const auto it = transfers_.find(id);
   return it != transfers_.end() && it->second.active ? it->second.rate_bps / 1000.0
@@ -59,6 +50,25 @@ std::int64_t Link::transfer_remaining_bytes(TransferId id) const {
   return it != transfers_.end()
              ? static_cast<std::int64_t>(std::ceil(it->second.remaining_bytes))
              : 0;
+}
+
+void Link::activate(TransferId id) {
+  Transfer& t = transfers_.at(id);
+  t.active = true;
+  // Activations arrive in id order (same RTT for every transfer), so this
+  // is effectively a push_back; lower_bound keeps the id ordering an
+  // invariant rather than an accident.
+  const auto pos = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [](const auto& entry, TransferId value) { return entry.first < value; });
+  active_.insert(pos, {id, &t});
+}
+
+void Link::deactivate(TransferId id) {
+  const auto pos = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [](const auto& entry, TransferId value) { return entry.first < value; });
+  if (pos != active_.end() && pos->first == id) active_.erase(pos);
 }
 
 TransferId Link::start_transfer(std::int64_t bytes,
@@ -79,7 +89,7 @@ TransferId Link::start_transfer(std::int64_t bytes,
     const auto it = transfers_.find(id);
     if (it == transfers_.end()) return;  // cancelled during warmup
     advance();
-    it->second.active = true;
+    activate(id);
     reflow();
   });
   return id;
@@ -89,6 +99,7 @@ bool Link::cancel(TransferId id) {
   const auto it = transfers_.find(id);
   if (it == transfers_.end()) return false;
   advance();
+  if (it->second.active) deactivate(id);
   transfers_.erase(it);
   reflow();
   return true;
@@ -98,13 +109,13 @@ void Link::advance() {
   const sim::Time now = simulator_.now();
   const double dt = sim::to_seconds(now - last_update_);
   if (dt > 0.0) {
-    for (auto& [id, t] : transfers_) {
-      if (!t.active || t.rate_bps <= 0.0) continue;
+    for (auto& [id, t] : active_) {
+      if (t->rate_bps <= 0.0) continue;
       const double delivered =
-          std::min(t.remaining_bytes, t.rate_bps / 8.0 * dt);
-      t.remaining_bytes -= delivered;
+          std::min(t->remaining_bytes, t->rate_bps / 8.0 * dt);
+      t->remaining_bytes -= delivered;
       const auto inc = static_cast<std::int64_t>(std::llround(delivered));
-      t.counted_bytes += inc;
+      t->counted_bytes += inc;
       bytes_delivered_ += inc;
     }
   }
@@ -112,15 +123,22 @@ void Link::advance() {
 }
 
 void Link::reflow() {
+  recompute_rates();
+  arm_wakeup();
+}
+
+void Link::recompute_rates() {
   // Weighted water-filling: capacity splits proportionally to transfer
   // weights, each transfer individually Mathis-capped; capacity a capped
   // transfer cannot use redistributes among the rest.
   const double capacity_bps = capacity_kbps_now() * 1000.0;
+  rates_capacity_bps_ = capacity_bps;
   const double cap_bps = mathis_cap_kbps() * 1000.0;
-  for (auto& [id, t] : transfers_) t.rate_bps = 0.0;
-  std::vector<Transfer*> unallocated;
-  for (auto& [id, t] : transfers_) {
-    if (t.active) unallocated.push_back(&t);
+  auto& unallocated = waterfill_scratch_;
+  unallocated.clear();
+  for (auto& [id, t] : active_) {
+    t->rate_bps = 0.0;
+    unallocated.push_back(t);
   }
   double remaining_capacity = capacity_bps;
   bool someone_capped = true;
@@ -148,12 +166,14 @@ void Link::reflow() {
       t->rate_bps = remaining_capacity * t->weight / total_weight;
     }
   }
+}
 
+void Link::arm_wakeup() {
   // Next wake-up: earliest completion or bandwidth-trace step.
   sim::Time next = sim::Time{std::numeric_limits<std::int64_t>::max()};
-  for (const auto& [id, t] : transfers_) {
-    if (!t.active || t.rate_bps <= 0.0) continue;
-    const double secs = std::max(t.remaining_bytes, 0.0) * 8.0 / t.rate_bps;
+  for (const auto& [id, t] : active_) {
+    if (t->rate_bps <= 0.0) continue;
+    const double secs = std::max(t->remaining_bytes, 0.0) * 8.0 / t->rate_bps;
     // Round *up* to at least one microsecond: rounding a sub-tick
     // completion down to zero would respawn this event at the same
     // instant forever.
@@ -181,23 +201,42 @@ void Link::reflow() {
 void Link::on_wakeup() {
   advance();
   // Collect completions before reflowing so freed capacity redistributes.
-  std::vector<std::function<void(sim::Time)>> callbacks;
-  for (auto it = transfers_.begin(); it != transfers_.end();) {
-    if (it->second.active && it->second.remaining_bytes <= kCompleteEpsilonBytes) {
+  // Compacting active_ in place preserves its ascending-id order, which is
+  // also the callback firing order.
+  // The vector is moved out of the scratch while callbacks run: a callback
+  // may destroy the Link, and a local (like the old per-call vector) stays
+  // valid through that. The capacity returns to the scratch afterwards.
+  std::vector<std::function<void(sim::Time)>> callbacks =
+      std::move(completed_scratch_);
+  callbacks.clear();
+  std::size_t keep = 0;
+  for (std::size_t read = 0; read < active_.size(); ++read) {
+    Transfer* t = active_[read].second;
+    if (t->remaining_bytes <= kCompleteEpsilonBytes) {
       // Square up the fluid rounding: a completed transfer delivered
       // exactly its size, no matter how the increments rounded.
-      bytes_delivered_ += it->second.total_bytes - it->second.counted_bytes;
-      callbacks.push_back(std::move(it->second.on_complete));
-      it = transfers_.erase(it);
+      bytes_delivered_ += t->total_bytes - t->counted_bytes;
+      callbacks.push_back(std::move(t->on_complete));
+      transfers_.erase(active_[read].first);
     } else {
-      ++it;
+      active_[keep++] = active_[read];
     }
   }
-  reflow();
+  active_.resize(keep);
+  if (callbacks.empty() && capacity_kbps_now() * 1000.0 == rates_capacity_bps_) {
+    // Nothing changed: the active set is intact and capacity is what the
+    // current rates were computed from, so recomputing would reproduce
+    // them bit-for-bit. Just re-arm the next wake-up.
+    arm_wakeup();
+  } else {
+    reflow();
+  }
   const sim::Time now = simulator_.now();
+  const auto alive = alive_;
   for (auto& cb : callbacks) {
     if (cb) cb(now);
   }
+  if (*alive) completed_scratch_ = std::move(callbacks);
 }
 
 }  // namespace sperke::net

@@ -14,6 +14,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/bandwidth_trace.h"
 #include "sim/simulator.h"
@@ -59,7 +61,10 @@ class Link {
   // Per-transfer Mathis ceiling (kbps); infinity when loss_rate == 0.
   [[nodiscard]] double mathis_cap_kbps() const;
 
-  [[nodiscard]] int active_transfers() const;
+  // O(1): the active-transfer index is maintained incrementally.
+  [[nodiscard]] int active_transfers() const {
+    return static_cast<int>(active_.size());
+  }
   [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
 
   // Current allocated rate of a transfer in kbps (0 while in RTT warmup or
@@ -82,17 +87,34 @@ class Link {
 
   // Move all active transfers forward to now() at their current rates.
   void advance();
-  // Recompute fair-share rates and (re)schedule the next wake-up event.
+  // Recompute fair-share rates (recompute_rates) and (re)schedule the next
+  // wake-up event (arm_wakeup). All three walk only the active index, so a
+  // reflow is O(active + water-filling), independent of warmup transfers.
   void reflow();
+  void recompute_rates();
+  void arm_wakeup();
   void on_wakeup();
+  void activate(TransferId id);
+  void deactivate(TransferId id);
 
   sim::Simulator& simulator_;
   LinkConfig config_;
   std::map<TransferId, Transfer> transfers_;
+  // Active transfers sorted by ascending id — the same iteration order as
+  // the transfers_ map, which the water-filling weight sums depend on for
+  // bit-exact determinism. Map nodes are pointer-stable, so the raw
+  // pointers survive unrelated inserts/erases.
+  std::vector<std::pair<TransferId, Transfer*>> active_;
+  std::vector<Transfer*> waterfill_scratch_;  // reused by recompute_rates()
+  std::vector<std::function<void(sim::Time)>> completed_scratch_;
   TransferId next_id_ = 1;
   sim::Time last_update_ = sim::kTimeZero;
   sim::EventId wakeup_{};
   bool wakeup_armed_ = false;
+  // Link capacity observed by the last recompute_rates(); lets on_wakeup()
+  // skip the recompute when nothing completed and capacity is unchanged
+  // (the recomputation would reproduce the current rates bit-for-bit).
+  double rates_capacity_bps_ = -1.0;
   std::int64_t bytes_delivered_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

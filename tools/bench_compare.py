@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON exports and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold FRAC]
+
+Exits non-zero (loudly) when any benchmark present in both files regressed
+by more than --threshold (default 0.15 = +15% real_time). Benchmarks only
+present on one side are reported but never fail the gate, so adding or
+retiring a benchmark does not require touching the baseline in the same
+commit.
+
+Refreshing the committed baseline (see DESIGN.md §8):
+    ./build/bench/bench_micro_kernels --benchmark_format=json \
+        > bench/baselines/micro_kernels.json
+Baselines are machine-specific; compare like with like. Sub-microsecond
+kernels can swing ~10% from binary layout alone, hence the generous default
+threshold — the gate exists to catch algorithmic regressions, not noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated real_time regression as a fraction (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"bench_compare: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not current:
+        print(f"bench_compare: no benchmarks in current {args.current}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(name) for name in sorted(set(baseline) | set(current)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for name in baseline:
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'absent':>12}  {'-':>8}")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = "  <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  {delta:>+7.1%}{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+    for name in current:
+        if name not in baseline:
+            print(f"{name:<{width}}  {'absent':>12}  {current[name]:>12.1f}  {'new':>8}")
+
+    if regressions:
+        print(
+            f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
+            f"more than {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK — no regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
