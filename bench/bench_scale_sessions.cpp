@@ -1,29 +1,39 @@
 // Many-session scale bench: N concurrent StreamingSessions multiplexed on
-// shared links inside ONE simulator, timed wall-clock. This is the guard
-// for the hot-path work in DESIGN.md §8 — per-session costs that look fine
-// in isolation (allocation churn, O(all-transfers) reflows, re-derived
-// geometry) compound linearly here, so a regression shows up as a drop in
-// sessions/sec long before any micro-kernel flags it.
+// shared links, built and run through engine::ShardedEngine. This is the
+// guard for both the hot-path work in DESIGN.md §8 (per-session costs
+// compound linearly here) and the sharded engine in DESIGN.md §9: the world
+// is partitioned one shard per link group, so --threads T spreads the
+// shards over T cores while the merged metrics stay byte-identical to the
+// --threads 1 run (the engine determinism contract).
 //
-// Usage: bench_scale_sessions [N ...]      (default: 100 1000 5000)
+// Usage: bench_scale_sessions [N ...] [--threads T] [--json PATH]
 //
-// Reports, per N: wall seconds, completed sessions, sessions/sec, simulated
-// events/sec (wall), and the event-loop pressure sampled by obs::SimMonitor
-// (mean + p99 pending-event queue depth).
+//   N ...        session counts (default: 100 1000 5000)
+//   --threads T  run each N with exactly T worker threads; without the
+//                flag each N runs at threads=1 and threads=hardware
+//                concurrency (skipped when that is also 1)
+//   --json PATH  google-benchmark-compatible JSON for bench_compare.py;
+//                the hardware-concurrency row is labeled "threads=hw" so
+//                baselines stay machine-portable
+//
+// Reports, per (N, threads): wall seconds, completed sessions,
+// sessions/sec, simulated events/sec (wall), and event-loop pressure from
+// the merged per-shard obs::SimMonitor histograms (mean + p99 pending-event
+// queue depth via obs::histogram_quantile_bound).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "core/session.h"
-#include "core/transport.h"
+#include "engine/engine.h"
+#include "engine/world.h"
 #include "hmp/head_trace.h"
-#include "media/video_model.h"
 #include "net/link.h"
-#include "obs/sim_monitor.h"
-#include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -33,125 +43,163 @@ constexpr double kVideoSeconds = 20.0;
 constexpr int kSessionsPerLink = 16;
 constexpr int kTracePoolSize = 32;
 
-// Histogram p99 upper bound: the bucket ceiling under which 99% of the
-// samples fall (max() when the overflow bucket is hit).
-double p99_bound(const obs::Histogram& hist) {
-  const auto& counts = hist.bucket_counts();
-  const auto& bounds = hist.upper_bounds();
-  const auto total = hist.count();
-  if (total <= 0) return 0.0;
-  const auto target =
-      static_cast<std::int64_t>(0.99 * static_cast<double>(total));
-  std::int64_t cumulative = 0;
-  for (std::size_t i = 0; i < bounds.size(); ++i) {
-    cumulative += counts[i];
-    if (cumulative > target) return bounds[i];
-  }
-  return hist.max();  // fell into the +inf overflow bucket
+engine::WorldSpec make_spec(int n) {
+  engine::WorldSpec spec;
+  spec.video.duration_s = kVideoSeconds;
+  spec.video.chunk_duration_s = 1.0;
+  spec.video.tile_rows = 4;
+  spec.video.tile_cols = 6;
+  spec.video.seed = 7;
+
+  // A fixed pool of head traces reused round-robin (by global session id):
+  // trace generation is itself expensive (BM_HeadTraceGeneration) and is
+  // not what this bench measures.
+  spec.trace_template.duration_s = kVideoSeconds + 120.0;
+  spec.trace_template.sample_rate_hz = 25.0;
+  spec.trace_template.attractors =
+      hmp::default_attractors(spec.trace_template.duration_s, /*seed=*/4242);
+  spec.trace_template.seed = 21;
+  spec.trace_pool = kTracePoolSize;
+
+  spec.link.name = "link";
+  spec.link.bandwidth = net::BandwidthTrace::constant(100'000.0);
+  spec.link.rtt = sim::milliseconds(30);
+  spec.link.loss_rate = 0.0;
+  spec.sessions_per_link = kSessionsPerLink;
+  spec.transport_max_concurrent = 16;
+
+  spec.sessions = n;
+  spec.start_stagger = sim::milliseconds(10);
+  spec.horizon =
+      sim::seconds(kVideoSeconds + 600.0 + 0.010 * static_cast<double>(n));
+  spec.seed = 7;
+
+  // One shard per link group: session->link mapping follows the global id
+  // (i / kSessionsPerLink), so contention groups are identical at any
+  // shard/thread count, and the partition exposes maximum parallelism.
+  spec.shards = engine::group_count(spec);
+
+  // Sessions run without telemetry (the zero-overhead default); each
+  // shard's SimMonitor watches its own event loop and the histograms merge.
+  spec.monitor = true;
+  return spec;
 }
 
-void run_scale(int n, const std::vector<hmp::HeadTrace>& traces,
-               const std::shared_ptr<media::VideoModel>& video) {
-  sim::Simulator simulator;
+struct Row {
+  int n = 0;
+  int threads = 0;
+  double wall_s = 0.0;
+  int completed = 0;
+};
 
-  // Sessions share links in groups, as clients share an access network:
-  // the fluid link is where concurrent transfers contend.
-  const int links_needed = (n + kSessionsPerLink - 1) / kSessionsPerLink;
-  std::vector<std::unique_ptr<net::Link>> links;
-  std::vector<std::unique_ptr<core::SingleLinkTransport>> transports;
-  links.reserve(static_cast<std::size_t>(links_needed));
-  transports.reserve(static_cast<std::size_t>(links_needed));
-  for (int i = 0; i < links_needed; ++i) {
-    links.push_back(std::make_unique<net::Link>(
-        simulator,
-        net::LinkConfig{.name = "link",
-                        .bandwidth = net::BandwidthTrace::constant(100'000.0),
-                        .rtt = sim::milliseconds(30),
-                        .loss_rate = 0.0}));
-    transports.push_back(std::make_unique<core::SingleLinkTransport>(
-        *links.back(), /*max_concurrent=*/16));
-  }
-
-  // Sessions run without telemetry (the zero-overhead default); one
-  // SimMonitor with its own registry watches the shared event loop.
-  std::vector<std::unique_ptr<core::StreamingSession>> sessions;
-  sessions.reserve(static_cast<std::size_t>(n));
-  core::SessionConfig config;
-  for (int i = 0; i < n; ++i) {
-    sessions.push_back(std::make_unique<core::StreamingSession>(
-        simulator, video, *transports[static_cast<std::size_t>(i / kSessionsPerLink)],
-        traces[static_cast<std::size_t>(i % kTracePoolSize)], config));
-  }
-
-  obs::Telemetry telemetry;
-  obs::SimMonitor monitor(simulator, telemetry);
-
-  // Stagger the joins (10 ms apart) so startup bursts overlap the steady
-  // state of earlier sessions instead of landing on one instant.
-  for (int i = 0; i < n; ++i) {
-    simulator.schedule_at(sim::milliseconds(10 * i),
-                          [&sessions, i] { sessions[static_cast<std::size_t>(i)]->start(); });
-  }
+Row run_scale(int n, int threads) {
+  const engine::WorldSpec spec = make_spec(n);
+  engine::ShardedEngine engine(spec);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  simulator.run_until(
-      sim::seconds(kVideoSeconds + 600.0 + 0.010 * static_cast<double>(n)));
+  const engine::EngineResult result = engine.run({.threads = threads});
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
 
-  int completed = 0;
-  for (const auto& session : sessions) {
-    if (session->finished()) ++completed;
+  const auto& depth_hist = *result.metrics.find_histogram("sim.queue_depth_hist");
+  std::printf("%7d  %7d  %8.2f  %9d  %12.1f  %12.0f  %10.0f  %9.0f\n", n,
+              result.threads_used, wall_s, result.completed,
+              static_cast<double>(result.completed) / wall_s,
+              static_cast<double>(result.events_executed) / wall_s,
+              depth_hist.mean(), obs::histogram_quantile_bound(depth_hist, 0.99));
+  if (result.completed != n) {
+    std::printf("WARNING: %d/%d sessions did not finish\n",
+                n - result.completed, n);
   }
-  const auto& depth_hist =
-      *telemetry.metrics().find_histogram("sim.queue_depth_hist");
+  return {n, threads, wall_s, result.completed};
+}
 
-  std::printf("%7d  %8.2f  %9d  %12.1f  %12.0f  %10.0f  %9.0f\n", n, wall_s,
-              completed, static_cast<double>(completed) / wall_s,
-              static_cast<double>(simulator.events_executed()) / wall_s,
-              depth_hist.mean(), p99_bound(depth_hist));
-  if (completed != n) {
-    std::printf("WARNING: %d/%d sessions did not finish\n", n - completed, n);
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                int hw_threads, bool alias_hw_to_serial) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
   }
+  // Each row gets a machine-portable label: the hardware-concurrency run is
+  // "threads=hw", absolute counts otherwise. On a single-core machine
+  // (default mode) the threads=1 run *is* the hardware-concurrency run, so
+  // it is emitted twice — once under each label — keeping the baseline's
+  // shape identical across machines so bench_compare.py can always derive
+  // the threads=1 / threads=hw speedup row.
+  struct Entry {
+    int n;
+    std::string label;
+    double wall_s;
+  };
+  std::vector<Entry> entries;
+  for (const Row& row : rows) {
+    const bool is_hw = row.threads == hw_threads;
+    entries.push_back({row.n,
+                       is_hw && row.threads != 1 ? std::string("hw")
+                                                 : std::to_string(row.threads),
+                       row.wall_s});
+    if (alias_hw_to_serial && row.threads == 1 && hw_threads == 1) {
+      entries.push_back({row.n, "hw", row.wall_s});
+    }
+  }
+  out << "{\n  \"context\": {\"executable\": \"bench_scale_sessions\", "
+      << "\"num_cpus\": " << hw_threads << "},\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"ScaleSessions/N=%d/threads=%s\", "
+                  "\"run_type\": \"iteration\", \"real_time\": %.6f, "
+                  "\"time_unit\": \"s\"}%s\n",
+                  entries[i].n, entries[i].label.c_str(), entries[i].wall_s,
+                  i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<int> sizes;
-  for (int i = 1; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  int forced_threads = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      forced_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      sizes.push_back(std::atoi(argv[i]));
+    }
+  }
   if (sizes.empty()) sizes = {100, 1000, 5000};
 
-  const auto video = [] {
-    media::VideoModelConfig cfg;
-    cfg.duration_s = kVideoSeconds;
-    cfg.chunk_duration_s = 1.0;
-    cfg.tile_rows = 4;
-    cfg.tile_cols = 6;
-    cfg.seed = 7;
-    return std::make_shared<media::VideoModel>(cfg);
-  }();
-
-  // A fixed pool of head traces reused round-robin: trace generation is
-  // itself expensive (BM_HeadTraceGeneration) and is not what this bench
-  // measures.
-  std::vector<hmp::HeadTrace> traces;
-  traces.reserve(kTracePoolSize);
-  for (int i = 0; i < kTracePoolSize; ++i) {
-    hmp::HeadTraceConfig cfg;
-    cfg.duration_s = kVideoSeconds + 120.0;
-    cfg.sample_rate_hz = 25.0;
-    cfg.attractors = hmp::default_attractors(cfg.duration_s, /*seed=*/4242);
-    cfg.seed = 21 + static_cast<std::uint64_t>(i);
-    traces.push_back(hmp::generate_head_trace(cfg));
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts;
+  if (forced_threads > 0) {
+    thread_counts = {forced_threads};
+  } else {
+    thread_counts = {1};
+    if (hw > 1) thread_counts.push_back(hw);
   }
 
   std::printf("Scale bench: N concurrent sessions, %d per 100 Mbps link, "
-              "%.0f s video\n\n",
+              "%.0f s video, one shard per link\n\n",
               kSessionsPerLink, kVideoSeconds);
-  std::printf("%7s  %8s  %9s  %12s  %12s  %10s  %9s\n", "N", "wall s",
-              "completed", "sessions/s", "events/s", "depth mean", "depth p99");
-  for (const int n : sizes) run_scale(n, traces, video);
+  std::printf("%7s  %7s  %8s  %9s  %12s  %12s  %10s  %9s\n", "N", "threads",
+              "wall s", "completed", "sessions/s", "events/s", "depth mean",
+              "depth p99");
+  std::vector<Row> rows;
+  for (const int n : sizes) {
+    for (const int threads : thread_counts) {
+      rows.push_back(run_scale(n, threads));
+    }
+  }
+  if (!json_path.empty()) {
+    write_json(json_path, rows, hw, /*alias_hw_to_serial=*/forced_threads == 0);
+  }
   return 0;
 }

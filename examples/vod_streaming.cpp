@@ -3,6 +3,10 @@
 // fluctuating cellular link. Compares the FoV-agnostic status quo with
 // three Sperke configurations and prints a per-chunk quality strip.
 //
+// Each scenario is described as an engine::WorldSpec (one session, one
+// cellular link) and run through engine::ShardedEngine — the same
+// declarative path the scale bench and the integration tests use.
+//
 //   $ ./vod_streaming [mean_kbps] [--trace <path>]    (default 12000)
 //
 // With --trace, the flagship "FoV-guided, SVC upgrades" session writes its
@@ -13,17 +17,13 @@
 #include <exception>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <string>
+#include <utility>
 
-#include "core/session.h"
-#include "core/transport.h"
-#include "hmp/head_trace.h"
+#include "engine/engine.h"
+#include "engine/world.h"
 #include "net/link.h"
 #include "obs/export.h"
-#include "obs/sim_monitor.h"
-#include "obs/telemetry.h"
-#include "sim/simulator.h"
 #include "util/table.h"
 
 namespace {
@@ -36,27 +36,43 @@ struct Scenario {
   abr::EncodingMode mode = abr::EncodingMode::kSvc;
 };
 
-core::SessionReport run(const Scenario& scenario, double mean_kbps,
-                        const std::shared_ptr<media::VideoModel>& video,
-                        const hmp::HeadTrace& head,
-                        obs::Telemetry* telemetry = nullptr) {
-  sim::Simulator simulator;
-  net::Link link(simulator,
-                 net::LinkConfig{.name = "cellular",
-                                 .bandwidth = net::BandwidthTrace::random_walk(
-                                     mean_kbps, 0.35, 1.0, 400.0, 11, 1'000.0),
-                                 .rtt = sim::milliseconds(45)});
-  core::SingleLinkTransport transport(link, 12, telemetry);
-  core::SessionConfig config;
-  config.planner = scenario.planner;
-  config.vra.mode = scenario.mode;
-  config.telemetry = telemetry;
-  core::StreamingSession session(simulator, video, transport, head, config);
-  std::optional<obs::SimMonitor> monitor;
-  if (telemetry != nullptr) monitor.emplace(simulator, *telemetry);
-  session.start();
-  simulator.run_until(sim::seconds(900.0));
-  return session.report();
+struct RunOutput {
+  core::SessionReport report;
+  std::unique_ptr<obs::Telemetry> telemetry;  // set only when traced
+};
+
+RunOutput run(const Scenario& scenario, double mean_kbps, bool traced) {
+  engine::WorldSpec spec;
+  spec.video.duration_s = 90.0;
+  spec.video.tile_rows = 4;
+  spec.video.tile_cols = 6;
+  spec.video.seed = 2;
+
+  spec.trace_template.duration_s = 300.0;
+  spec.trace_template.profile = hmp::UserProfile::adult();
+  spec.trace_template.attractors = hmp::default_attractors(300.0, 9);
+  spec.trace_template.seed = 17;
+  spec.trace_pool = 1;
+
+  spec.link.name = "cellular";
+  spec.link.bandwidth =
+      net::BandwidthTrace::random_walk(mean_kbps, 0.35, 1.0, 400.0, 11, 1'000.0);
+  spec.link.rtt = sim::milliseconds(45);
+  spec.transport_max_concurrent = 12;
+
+  spec.sessions = 1;
+  spec.session.planner = scenario.planner;
+  spec.session.vra.mode = scenario.mode;
+  spec.horizon = sim::seconds(900.0);
+  spec.shards = 1;
+  spec.session_telemetry = traced;
+  spec.monitor = traced;
+
+  engine::EngineResult result = engine::run_world(std::move(spec));
+  RunOutput out;
+  out.report = std::move(result.reports.front());
+  if (traced) out.telemetry = std::move(result.shard_telemetry.front());
+  return out;
 }
 
 // Render a 0..1 utility series as a coarse text strip.
@@ -88,20 +104,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  media::VideoModelConfig video_cfg;
-  video_cfg.duration_s = 90.0;
-  video_cfg.tile_rows = 4;
-  video_cfg.tile_cols = 6;
-  video_cfg.seed = 2;
-  auto video = std::make_shared<media::VideoModel>(video_cfg);
-
-  hmp::HeadTraceConfig trace_cfg;
-  trace_cfg.duration_s = 300.0;
-  trace_cfg.profile = hmp::UserProfile::adult();
-  trace_cfg.attractors = hmp::default_attractors(300.0, 9);
-  trace_cfg.seed = 17;
-  const hmp::HeadTrace head = hmp::generate_head_trace(trace_cfg);
-
   std::cout << "VOD 360 streaming over a fluctuating ~" << mean_kbps / 1000.0
             << " Mbps cellular link (90 s video)\n\n";
 
@@ -117,14 +119,15 @@ int main(int argc, char** argv) {
   };
   TextTable table({"Configuration", "Utility", "Stall s", "MB", "Waste %",
                    "Upgrades", "Score"});
-  obs::Telemetry telemetry;
+  std::unique_ptr<obs::Telemetry> telemetry;
   for (const Scenario& scenario : scenarios) {
     // Trace the flagship Sperke configuration only: one session = one
     // coherent timeline.
     const bool traced = !trace_path.empty() && scenario.mode == abr::EncodingMode::kSvc &&
                         scenario.planner == core::PlannerMode::kFovGuided;
-    const auto report =
-        run(scenario, mean_kbps, video, head, traced ? &telemetry : nullptr);
+    RunOutput out = run(scenario, mean_kbps, traced);
+    if (traced) telemetry = std::move(out.telemetry);
+    const core::SessionReport& report = out.report;
     table.add_row(
         {scenario.label, TextTable::num(report.qoe.mean_viewport_utility, 3),
          TextTable::num(report.qoe.stall_seconds, 2),
@@ -137,15 +140,15 @@ int main(int argc, char** argv) {
               << quality_strip(report.viewport_utility_per_chunk) << "|\n\n";
   }
   std::cout << table.str();
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() && telemetry != nullptr) {
     try {
-      obs::dump_chrome_trace(trace_path, telemetry);
-      obs::dump_metrics_csv(trace_path + ".metrics.csv", telemetry);
+      obs::dump_chrome_trace(trace_path, *telemetry);
+      obs::dump_metrics_csv(trace_path + ".metrics.csv", *telemetry);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << '\n';
       return 1;
     }
-    std::cout << "\nWrote " << telemetry.trace().size() << " trace events to "
+    std::cout << "\nWrote " << telemetry->trace().size() << " trace events to "
               << trace_path << " (open in chrome://tracing or ui.perfetto.dev)\n"
               << "and metrics to " << trace_path << ".metrics.csv\n";
   }

@@ -1,0 +1,63 @@
+// ShardedEngine: run a WorldSpec's shards across a thread pool and merge
+// the results deterministically.
+//
+// Execution model: the spec fixes S = spec.shards independent shards;
+// `threads` only bounds how many run concurrently. Workers pull shard ids
+// from an atomic counter, construct each Shard on the worker thread (so
+// world building parallelizes too) and run it to the horizon. Because
+// shards share nothing mutable and results merge in shard-id order, the
+// merged metrics for a given (spec, seed) are byte-identical whether run
+// with 1 thread or 16 — the determinism contract engine_test enforces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "engine/world.h"
+#include "obs/telemetry.h"
+
+namespace sperke::engine {
+
+struct EngineOptions {
+  // Worker threads; 0 = std::thread::hardware_concurrency(). Clamped to
+  // [1, spec.shards]. Never affects results, only wall time.
+  int threads = 1;
+};
+
+struct EngineResult {
+  // Shard metrics merged via MetricsRegistry::merge_from in shard-id order.
+  obs::MetricsRegistry metrics;
+  // Each shard's own telemetry (metrics + trace timeline), by shard id.
+  // Traces are not merged: a trace is a per-simulator timeline and shards
+  // run on separate clocks.
+  std::vector<std::unique_ptr<obs::Telemetry>> shard_telemetry;
+  // Per-session reports indexed by global session id.
+  std::vector<core::SessionReport> reports;
+  std::uint64_t events_executed = 0;  // summed over shards
+  int completed = 0;                  // sessions finished before the horizon
+  int shards = 0;
+  int threads_used = 0;
+};
+
+class ShardedEngine {
+ public:
+  // Validates the spec (throws std::invalid_argument on a bad one).
+  explicit ShardedEngine(WorldSpec spec);
+
+  [[nodiscard]] const WorldSpec& spec() const { return spec_; }
+
+  // Build and run every shard; blocks until all shards finish. A shard
+  // that throws aborts the run: the first error (by shard id) is rethrown
+  // after all workers join.
+  [[nodiscard]] EngineResult run(const EngineOptions& options = {});
+
+ private:
+  WorldSpec spec_;
+};
+
+// Convenience: one-shot run of a spec.
+[[nodiscard]] EngineResult run_world(WorldSpec spec, EngineOptions options = {});
+
+}  // namespace sperke::engine

@@ -1,0 +1,66 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sperke::engine {
+
+Shard::Shard(const WorldSpec& spec, int shard_id,
+             std::span<const hmp::HeadTrace> traces)
+    : spec_(spec),
+      shard_id_(shard_id),
+      rng_(spec.seed ^ static_cast<std::uint64_t>(shard_id)),
+      telemetry_(std::make_unique<obs::Telemetry>()),
+      video_(std::make_shared<media::VideoModel>(spec.video)) {
+  const int groups = group_count(spec);
+  for (int g = 0; g < groups; ++g) {
+    if (shard_of_group(spec, g) != shard_id_) continue;
+    links_.push_back(std::make_unique<net::Link>(
+        simulator_, spec.link_for_group ? spec.link_for_group(g) : spec.link));
+    transports_.push_back(std::make_unique<core::SingleLinkTransport>(
+        *links_.back(), spec.transport_max_concurrent,
+        spec.session_telemetry ? telemetry_.get() : nullptr));
+    core::SingleLinkTransport& transport = *transports_.back();
+
+    const int first = g * spec.sessions_per_link;
+    const int last = std::min(first + spec.sessions_per_link, spec.sessions);
+    for (int i = first; i < last; ++i) {
+      core::SessionConfig config =
+          spec.session_for ? spec.session_for(i) : spec.session;
+      config.telemetry = spec.session_telemetry ? telemetry_.get() : nullptr;
+      sessions_.push_back(std::make_unique<core::StreamingSession>(
+          simulator_, video_, transport,
+          traces[static_cast<std::size_t>(i) % traces.size()],
+          std::move(config), spec.crowd));
+      session_ids_.push_back(i);
+    }
+  }
+  if (spec.monitor) monitor_.emplace(simulator_, *telemetry_);
+
+  // Starts are staggered by *global* id, so a group's timeline is the same
+  // whether it shares a simulator with every other group or runs alone.
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    core::StreamingSession* session = sessions_[s].get();
+    simulator_.schedule_at(spec.start_stagger * session_ids_[s],
+                           [session] { session->start(); });
+  }
+}
+
+void Shard::run() {
+  if (ran_) throw std::logic_error("Shard::run: already ran");
+  if (telemetry_ == nullptr) {
+    throw std::logic_error("Shard::run: telemetry already released");
+  }
+  ran_ = true;
+  simulator_.run_until(spec_.horizon);
+}
+
+int Shard::completed() const {
+  int done = 0;
+  for (const auto& session : sessions_) {
+    if (session->finished()) ++done;
+  }
+  return done;
+}
+
+}  // namespace sperke::engine

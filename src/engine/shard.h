@@ -1,0 +1,86 @@
+// One shard of a sharded world: a self-contained, mono-threaded slice.
+//
+// A Shard owns everything its sessions can touch while running — its own
+// sim::Simulator, its own net::Links and transports, its own VideoModel
+// (the TileGeometry visibility LUT is a mutable cache, so the model is
+// shard-confined rather than shared), its own obs::Telemetry sink and
+// SimMonitor, and a private RNG stream derived as spec.seed ^ shard_id.
+// The only state reaching across the shard boundary is genuinely const:
+// the WorldSpec, the shared head-trace pool, and the optional crowd
+// heatmap snapshot. Construction and run() both happen on whichever
+// worker thread the engine assigns; nothing here is synchronized because
+// nothing here is shared.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/session.h"
+#include "core/transport.h"
+#include "engine/world.h"
+#include "net/link.h"
+#include "obs/sim_monitor.h"
+#include "obs/telemetry.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sperke::engine {
+
+class Shard {
+ public:
+  // Builds the shard's slice of `spec`: link groups g with
+  // shard_of_group(g) == shard_id, and every session belonging to them.
+  // `spec` and `traces` must outlive the shard and stay unmodified.
+  Shard(const WorldSpec& spec, int shard_id,
+        std::span<const hmp::HeadTrace> traces);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Run the shard's simulator to spec.horizon. Call at most once.
+  void run();
+
+  [[nodiscard]] int id() const { return shard_id_; }
+  [[nodiscard]] int sessions() const { return static_cast<int>(sessions_.size()); }
+  [[nodiscard]] int completed() const;
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return simulator_.events_executed();
+  }
+
+  // Global session ids owned by this shard, ascending; parallel to the
+  // order reports are returned in.
+  [[nodiscard]] const std::vector<int>& session_ids() const { return session_ids_; }
+  [[nodiscard]] core::SessionReport report(int local_index) const {
+    return sessions_[static_cast<std::size_t>(local_index)]->report();
+  }
+
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return *telemetry_; }
+  // Hand the shard-local telemetry (metrics + trace) to the caller; the
+  // shard must not run afterwards.
+  [[nodiscard]] std::unique_ptr<obs::Telemetry> release_telemetry() {
+    return std::move(telemetry_);
+  }
+
+  // The shard's private entropy stream (spec.seed ^ shard_id), for
+  // shard-local stochastic extensions. Unused by the default world build,
+  // which is fully deterministic in the spec.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  const WorldSpec& spec_;
+  int shard_id_;
+  Rng rng_;
+  sim::Simulator simulator_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::shared_ptr<const media::VideoModel> video_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<core::SingleLinkTransport>> transports_;
+  std::vector<std::unique_ptr<core::StreamingSession>> sessions_;
+  std::vector<int> session_ids_;  // global ids, ascending
+  std::optional<obs::SimMonitor> monitor_;
+  bool ran_ = false;
+};
+
+}  // namespace sperke::engine

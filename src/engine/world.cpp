@@ -1,0 +1,51 @@
+#include "engine/world.h"
+
+#include <stdexcept>
+
+namespace sperke::engine {
+
+int group_count(const WorldSpec& spec) {
+  return (spec.sessions + spec.sessions_per_link - 1) / spec.sessions_per_link;
+}
+
+int group_of_session(const WorldSpec& spec, int session) {
+  return session / spec.sessions_per_link;
+}
+
+int shard_of_group(const WorldSpec& spec, int group) {
+  return group % spec.shards;
+}
+
+void validate(const WorldSpec& spec) {
+  if (spec.sessions < 1) {
+    throw std::invalid_argument("WorldSpec: sessions < 1");
+  }
+  if (spec.sessions_per_link < 1) {
+    throw std::invalid_argument("WorldSpec: sessions_per_link < 1");
+  }
+  if (spec.transport_max_concurrent < 1) {
+    throw std::invalid_argument("WorldSpec: transport_max_concurrent < 1");
+  }
+  if (spec.trace_pool < 1) {
+    throw std::invalid_argument("WorldSpec: trace_pool < 1");
+  }
+  if (spec.shards < 1) {
+    throw std::invalid_argument("WorldSpec: shards < 1");
+  }
+  if (spec.horizon <= sim::kTimeZero) {
+    throw std::invalid_argument("WorldSpec: horizon <= 0");
+  }
+}
+
+std::vector<hmp::HeadTrace> build_trace_pool(const WorldSpec& spec) {
+  std::vector<hmp::HeadTrace> pool;
+  pool.reserve(static_cast<std::size_t>(spec.trace_pool));
+  for (int k = 0; k < spec.trace_pool; ++k) {
+    hmp::HeadTraceConfig cfg = spec.trace_template;
+    cfg.seed = spec.trace_template.seed + static_cast<std::uint64_t>(k);
+    pool.push_back(hmp::generate_head_trace(cfg));
+  }
+  return pool;
+}
+
+}  // namespace sperke::engine

@@ -1,0 +1,105 @@
+// Declarative workload description for the sharded session engine.
+//
+// A WorldSpec says *what* to simulate — video model, head-trace pool, link
+// topology, session configs, partitioning — without wiring any of it up.
+// The same spec that used to be duplicated imperatively across
+// bench_scale_sessions, examples/vod_streaming and the integration test is
+// now one struct; engine::Shard materializes a shard's slice of it and
+// engine::ShardedEngine runs all slices across threads.
+//
+// Identity rules (what makes sharding deterministic):
+//   * Global session ids are 0..sessions-1. Everything a session is made of
+//     derives from its *global* id — its head trace (id % trace_pool), its
+//     start time (id * start_stagger), its config (session_for(id)) — never
+//     from its position within a shard.
+//   * Sessions couple only through their shared access link (Hosseini &
+//     Swaminathan's divide-and-conquer tiling): consecutive global ids share
+//     links in groups of sessions_per_link, and the link group is the unit
+//     of partitioning. Group g maps to shard g % shards, so a group's
+//     dynamics are identical no matter how many shards (or threads) run.
+//   * The shard count is part of the WORLD, not of the runtime: merged
+//     metrics depend on `shards` (partial-sum order), while the thread
+//     count executing those shards never changes a single byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/session.h"
+#include "hmp/head_trace.h"
+#include "hmp/heatmap.h"
+#include "media/video_model.h"
+#include "net/link.h"
+#include "sim/time.h"
+
+namespace sperke::engine {
+
+struct WorldSpec {
+  // Content. Every shard builds its own VideoModel from this config: the
+  // model is logically immutable, but its TileGeometry carries a lazily
+  // filled visibility LUT (a mutable cache), so sharing one instance across
+  // threads is not const-safe. Construction is deterministic in the config,
+  // so per-shard copies are identical.
+  media::VideoModelConfig video;
+
+  // Head traces: a pool of `trace_pool` traces generated once on the
+  // calling thread (seed trace_template.seed + k for pool index k) and
+  // shared read-only by every shard — HeadTrace is genuinely const.
+  // Session i plays trace i % trace_pool.
+  hmp::HeadTraceConfig trace_template;
+  int trace_pool = 1;
+
+  // Link topology: global sessions [g*sessions_per_link, (g+1)*...) share
+  // one access link, built from `link` — or from link_for_group(g) when
+  // set, e.g. to give each group a decorrelated bandwidth-trace seed. The
+  // hook is called from shard threads and must be thread-safe (pure).
+  net::LinkConfig link;
+  std::function<net::LinkConfig(int group)> link_for_group;
+  int sessions_per_link = 16;
+  int transport_max_concurrent = 16;
+
+  // Sessions. `session` is the template config; session_for(i), when set,
+  // overrides it per global session id (same thread-safety rule as
+  // link_for_group). Any telemetry pointer inside is ignored — shards
+  // inject their own sink when session_telemetry is on.
+  int sessions = 1;
+  core::SessionConfig session;
+  std::function<core::SessionConfig(int session)> session_for;
+
+  // Cross-user crowd prior shared read-only by every session (may be null).
+  // Must be a frozen snapshot: its version() must not change while running.
+  const hmp::ViewingHeatmap* crowd = nullptr;
+
+  // Consecutive global sessions start this far apart.
+  sim::Duration start_stagger{sim::milliseconds(10)};
+
+  // Each shard runs its simulator until this virtual time.
+  sim::Time horizon{sim::seconds(600.0)};
+
+  // Partitioning and reproducibility. Shard k derives its private RNG
+  // stream as Rng(seed ^ k).
+  int shards = 1;
+  std::uint64_t seed = 1;
+
+  // Observability: per-session metrics/trace into the shard's Telemetry,
+  // and/or a per-shard SimMonitor watching the shard's event loop.
+  bool session_telemetry = false;
+  bool monitor = false;
+};
+
+// Number of link groups (= partition units) the spec induces.
+[[nodiscard]] int group_count(const WorldSpec& spec);
+
+// Stable identity mapping: global session -> link group -> shard.
+[[nodiscard]] int group_of_session(const WorldSpec& spec, int session);
+[[nodiscard]] int shard_of_group(const WorldSpec& spec, int group);
+
+// Throws std::invalid_argument on nonsensical specs (no sessions, bad
+// group size, shards < 1, empty trace pool).
+void validate(const WorldSpec& spec);
+
+// Generate the shared head-trace pool (trace_template with seed + k).
+[[nodiscard]] std::vector<hmp::HeadTrace> build_trace_pool(const WorldSpec& spec);
+
+}  // namespace sperke::engine

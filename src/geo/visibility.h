@@ -125,6 +125,11 @@ class TileGeometry {
   // Lazily-filled LUT cells (yaw-major per pitch row); bound to the first
   // viewport that queries the LUT. A filled cell is never empty — the
   // frustum always hits at least one tile — so empty marks "not yet built".
+  // thread-safety: this cache mutates under const visible_tiles_lut()
+  // calls, so a TileGeometry (and the VideoModel that owns it) is NOT
+  // const-shareable across threads. The sharded engine therefore builds one
+  // VideoModel per shard (deterministic in the config) instead of sharing
+  // one instance; see engine/world.h.
   struct Lut {
     bool bound = false;
     Viewport viewport{};

@@ -116,6 +116,11 @@ class FusionPredictor {
   std::vector<double> center_lon_deg_;  // per-tile center longitude (pruning)
 
   std::uint64_t observe_gen_ = 0;
+  // thread-safety: these memos make the const prediction/probability calls
+  // write-on-read caches, so a FusionPredictor is NOT const-shareable across
+  // threads. Each predictor lives inside exactly one StreamingSession, which
+  // lives inside exactly one engine::Shard (one thread) — shard confinement,
+  // not locking, is what makes the engine race-free.
   mutable PredictMemo predict_memo_;
   mutable DistanceMemo predicted_dist_memo_;
   mutable DistanceMemo current_dist_memo_;

@@ -32,6 +32,22 @@ double Histogram::mean() const {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (upper_bounds_ != other.upper_bounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge_from: mismatched bucket layouts");
+  }
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    bucket_counts_[i] += other.bucket_counts_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::string_view metric_kind_name(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter: return "counter";
@@ -100,6 +116,40 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   const auto it = index_.find(name);
   if (it == index_.end()) return nullptr;
   return entries_[it->second].histogram.get();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const Entry& theirs : other.entries()) {
+    // resolve() throws on a kind mismatch and appends unknown names in
+    // `other`'s registration order, keeping the merged export deterministic.
+    switch (theirs.kind) {
+      case MetricKind::kCounter:
+        counter(theirs.name).merge_from(*theirs.counter);
+        break;
+      case MetricKind::kGauge:
+        gauge(theirs.name).merge_from(*theirs.gauge);
+        break;
+      case MetricKind::kHistogram:
+        histogram(theirs.name, theirs.histogram->upper_bounds())
+            .merge_from(*theirs.histogram);
+        break;
+    }
+  }
+}
+
+double histogram_quantile_bound(const Histogram& hist, double q) {
+  const auto& counts = hist.bucket_counts();
+  const auto& bounds = hist.upper_bounds();
+  const auto total = hist.count();
+  if (total <= 0) return 0.0;
+  const auto target =
+      static_cast<std::int64_t>(q * static_cast<double>(total));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative > target) return bounds[i];
+  }
+  return hist.max();  // fell into the +inf overflow bucket
 }
 
 std::vector<double> decade_buckets() {

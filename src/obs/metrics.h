@@ -20,6 +20,9 @@ class Counter {
   void increment() { ++value_; }
   [[nodiscard]] std::int64_t value() const { return value_; }
 
+  // Fold another counter in (shard merge): counts add.
+  void merge_from(const Counter& other) { value_ += other.value_; }
+
  private:
   std::int64_t value_ = 0;
 };
@@ -28,6 +31,11 @@ class Gauge {
  public:
   void set(double value) { value_ = value; }
   [[nodiscard]] double value() const { return value_; }
+
+  // Fold another gauge in (shard merge): values add. A gauge sampled
+  // per shard (queue depth, events/sec) aggregates to the fleet total;
+  // there is no meaningful "last write" across concurrent shards.
+  void merge_from(const Gauge& other) { value_ += other.value_; }
 
  private:
   double value_ = 0.0;
@@ -51,6 +59,12 @@ class Histogram {
   [[nodiscard]] const std::vector<std::int64_t>& bucket_counts() const {
     return bucket_counts_;
   }
+
+  // Fold another histogram in (shard merge): bucket counts, count and sum
+  // add; min/max combine. Throws std::invalid_argument unless the bucket
+  // layouts are identical — silently mis-merging mismatched bounds would
+  // corrupt every quantile derived from the result.
+  void merge_from(const Histogram& other);
 
  private:
   std::vector<double> upper_bounds_;
@@ -92,6 +106,13 @@ class MetricsRegistry {
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  // Fold `other` in, name-matched: counters/gauges add, histograms merge
+  // bucket-wise (identical bounds required). Instruments absent here are
+  // created in `other`'s registration order, so merging shard registries in
+  // shard-id order yields one deterministic export order. Throws
+  // std::invalid_argument on kind or histogram-bound mismatches.
+  void merge_from(const MetricsRegistry& other);
+
  private:
   Entry& resolve(std::string_view name, MetricKind kind);
 
@@ -102,5 +123,11 @@ class MetricsRegistry {
 // Default latency-ish bucket ladder (milliseconds/seconds agnostic):
 // 1, 2, 5, 10, ... decades up to 10000.
 [[nodiscard]] std::vector<double> decade_buckets();
+
+// Quantile upper bound from a fixed-bucket histogram: the bucket ceiling
+// under which a `q` fraction (q in [0,1]) of the samples fall, or max()
+// when the quantile lands in the +inf overflow bucket. 0 for an empty
+// histogram. q=0.99 is the p99 the benches and SimMonitor report.
+[[nodiscard]] double histogram_quantile_bound(const Histogram& hist, double q);
 
 }  // namespace sperke::obs

@@ -24,6 +24,12 @@ class SimMonitor {
   void stop() { task_.stop(); }
   [[nodiscard]] bool running() const { return task_.running(); }
 
+  // Queue-depth quantile bound over all samples so far (q in [0,1]),
+  // straight from sim.queue_depth_hist via histogram_quantile_bound().
+  [[nodiscard]] double queue_depth_quantile(double q) const {
+    return histogram_quantile_bound(queue_depth_hist_, q);
+  }
+
  private:
   void sample();
 

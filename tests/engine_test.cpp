@@ -1,0 +1,261 @@
+// Sharded session engine tests: the MetricsRegistry merge semantics and the
+// engine determinism contract (DESIGN.md §9) — for a given (spec, seed) the
+// merged metrics are byte-identical no matter how many threads execute the
+// shards, and a session's report depends only on its link group, not on the
+// partitioning.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/world.h"
+#include "net/link.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace sperke {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsMerge, CountersAndGaugesAdd) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("c").add(3);
+  b.counter("c").add(4);
+  a.gauge("g").set(1.5);
+  b.gauge("g").set(2.25);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c").value(), 7);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 3.75);
+  // b is untouched.
+  EXPECT_EQ(b.counter("c").value(), 4);
+}
+
+TEST(MetricsMerge, HistogramsMergeBucketwise) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  obs::Histogram& ha = a.histogram("h", bounds);
+  obs::Histogram& hb = b.histogram("h", bounds);
+  ha.observe(0.5);
+  ha.observe(50.0);
+  hb.observe(5.0);
+  hb.observe(1'000.0);  // overflow bucket
+  a.merge_from(b);
+  EXPECT_EQ(ha.count(), 4);
+  EXPECT_DOUBLE_EQ(ha.sum(), 1'055.5);
+  EXPECT_DOUBLE_EQ(ha.min(), 0.5);
+  EXPECT_DOUBLE_EQ(ha.max(), 1'000.0);
+  const std::vector<std::int64_t> expected{1, 1, 1, 1};
+  EXPECT_EQ(ha.bucket_counts(), expected);
+}
+
+TEST(MetricsMerge, EmptySidesKeepMinMaxSane) {
+  obs::Histogram empty({1.0, 2.0});
+  obs::Histogram full({1.0, 2.0});
+  full.observe(1.5);
+  empty.merge_from(full);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.5);
+  EXPECT_DOUBLE_EQ(empty.max(), 1.5);
+  full.merge_from(obs::Histogram({1.0, 2.0}));  // merging empty changes nothing
+  EXPECT_EQ(full.count(), 1);
+  EXPECT_DOUBLE_EQ(full.min(), 1.5);
+}
+
+TEST(MetricsMerge, MismatchedBucketLayoutsThrow) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.histogram("h", {1.0, 2.0});
+  b.histogram("h", {1.0, 3.0});
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+
+  obs::Histogram x({1.0});
+  obs::Histogram y({1.0, 2.0});
+  EXPECT_THROW(x.merge_from(y), std::invalid_argument);
+}
+
+TEST(MetricsMerge, KindMismatchThrows) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("m");
+  b.gauge("m");
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(MetricsMerge, NewInstrumentsAppendInRegistrationOrder) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("a1");
+  b.counter("b1").add(2);
+  b.histogram("b2", {1.0}).observe(0.5);
+  a.merge_from(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.entries()[0].name, "a1");
+  EXPECT_EQ(a.entries()[1].name, "b1");
+  EXPECT_EQ(a.entries()[2].name, "b2");
+  EXPECT_EQ(a.counter("b1").value(), 2);
+  EXPECT_EQ(a.histogram("b2", {1.0}).count(), 1);
+}
+
+TEST(MetricsMerge, QuantileBound) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(h, 0.99), 0.0);  // empty
+  for (int i = 0; i < 98; ++i) h.observe(0.5);
+  h.observe(1.5);
+  h.observe(4.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(h, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(h, 0.99), 5.0);
+  h.observe(50.0);  // overflow bucket holds the tail
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(h, 1.0), 50.0);
+}
+
+// ----------------------------------------------------------------- engine
+
+// A small but non-trivial world: 6 link groups of 4 sessions each, every
+// group on its own 20 Mbps link, full per-session telemetry.
+engine::WorldSpec small_world(int shards) {
+  engine::WorldSpec spec;
+  spec.video.duration_s = 8.0;
+  spec.video.chunk_duration_s = 1.0;
+  spec.video.tile_rows = 4;
+  spec.video.tile_cols = 6;
+  spec.video.seed = 11;
+
+  spec.trace_template.duration_s = 60.0;
+  spec.trace_template.sample_rate_hz = 25.0;
+  spec.trace_template.attractors = hmp::default_attractors(60.0, 99);
+  spec.trace_template.seed = 21;
+  spec.trace_pool = 5;
+
+  spec.link.name = "link";
+  spec.link.bandwidth = net::BandwidthTrace::constant(20'000.0);
+  spec.link.rtt = sim::milliseconds(30);
+  spec.sessions_per_link = 4;
+  spec.transport_max_concurrent = 4;
+
+  spec.sessions = 24;
+  spec.horizon = sim::seconds(120.0);
+  spec.shards = shards;
+  spec.seed = 5;
+  spec.session_telemetry = true;
+  spec.monitor = true;
+  return spec;
+}
+
+std::string metrics_csv(const obs::MetricsRegistry& registry) {
+  std::ostringstream out;
+  obs::write_metrics_csv(out, registry);
+  return out.str();
+}
+
+TEST(EngineDeterminism, MergedMetricsIdenticalAcrossThreadCounts) {
+  // The headline contract: threads only change wall time, never a byte of
+  // the merged metrics. Compare the full CSV export — names, order, every
+  // count/sum/min/max — between a serial and a heavily threaded run.
+  engine::EngineResult serial = engine::run_world(small_world(6), {.threads = 1});
+  engine::EngineResult threaded = engine::run_world(small_world(6), {.threads = 8});
+  EXPECT_EQ(serial.threads_used, 1);
+  EXPECT_EQ(threaded.threads_used, 6);  // clamped to shard count
+  EXPECT_EQ(metrics_csv(serial.metrics), metrics_csv(threaded.metrics));
+  EXPECT_EQ(serial.events_executed, threaded.events_executed);
+  EXPECT_EQ(serial.completed, threaded.completed);
+  EXPECT_EQ(serial.completed, 24);
+
+  // Per-shard telemetry lines up too (same shard decomposition).
+  ASSERT_EQ(serial.shard_telemetry.size(), threaded.shard_telemetry.size());
+  for (std::size_t s = 0; s < serial.shard_telemetry.size(); ++s) {
+    EXPECT_EQ(metrics_csv(serial.shard_telemetry[s]->metrics()),
+              metrics_csv(threaded.shard_telemetry[s]->metrics()));
+    EXPECT_EQ(serial.shard_telemetry[s]->trace().size(),
+              threaded.shard_telemetry[s]->trace().size());
+  }
+}
+
+TEST(EngineDeterminism, ReportsInvariantAcrossShardCounts) {
+  // Sessions couple only through their link group, and the group mapping
+  // follows the *global* session id — so each session's own report must be
+  // bit-identical whether its group shares a simulator with every other
+  // group (shards=1) or runs alone (shards=6).
+  engine::EngineResult mono = engine::run_world(small_world(1), {.threads = 1});
+  engine::EngineResult sharded = engine::run_world(small_world(6), {.threads = 3});
+  ASSERT_EQ(mono.reports.size(), sharded.reports.size());
+  for (std::size_t i = 0; i < mono.reports.size(); ++i) {
+    const core::SessionReport& a = mono.reports[i];
+    const core::SessionReport& b = sharded.reports[i];
+    EXPECT_EQ(a.completed, b.completed) << i;
+    EXPECT_EQ(a.qoe.chunks_played, b.qoe.chunks_played) << i;
+    EXPECT_EQ(a.qoe.bytes_downloaded, b.qoe.bytes_downloaded) << i;
+    EXPECT_EQ(a.qoe.bytes_wasted, b.qoe.bytes_wasted) << i;
+    EXPECT_EQ(a.qoe.stall_seconds, b.qoe.stall_seconds) << i;
+    EXPECT_EQ(a.qoe.score, b.qoe.score) << i;
+    EXPECT_EQ(a.fetches, b.fetches) << i;
+    EXPECT_EQ(a.upgrades, b.upgrades) << i;
+    EXPECT_EQ(a.startup_delay, b.startup_delay) << i;
+    EXPECT_EQ(a.viewport_utility_per_chunk, b.viewport_utility_per_chunk) << i;
+  }
+  // Counters are order-independent, so they survive re-partitioning too
+  // (histogram double-sums may not, which is why the byte-identity
+  // contract pins the shard count into the spec).
+  EXPECT_EQ(mono.metrics.find_counter("session.fetches")->value(),
+            sharded.metrics.find_counter("session.fetches")->value());
+  EXPECT_EQ(mono.metrics.find_counter("session.chunks_played")->value(),
+            sharded.metrics.find_counter("session.chunks_played")->value());
+}
+
+TEST(Engine, ValidateRejectsBadSpecs) {
+  engine::WorldSpec spec = small_world(1);
+  spec.sessions = 0;
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.shards = 0;
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.trace_pool = 0;
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.sessions_per_link = 0;
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+}
+
+TEST(Engine, ShardErrorsPropagateToCaller) {
+  engine::WorldSpec spec = small_world(6);
+  // Session 13 (group 3 -> shard 3) gets an invalid config; the worker
+  // thread's exception must surface on the calling thread.
+  spec.session_for = [&spec](int i) {
+    core::SessionConfig config = spec.session;
+    if (i == 13) config.prefetch_horizon_chunks = 0;
+    return config;
+  };
+  engine::ShardedEngine engine(spec);
+  EXPECT_THROW((void)engine.run({.threads = 4}), std::invalid_argument);
+}
+
+TEST(Engine, PerGroupLinkFactoryIsAppliedByGlobalGroupId) {
+  engine::WorldSpec spec = small_world(6);
+  // Give each group a distinct capacity; group 0 (sessions 0..3) gets a
+  // starved link, the rest stay fast. The starved sessions must be exactly
+  // the global ids 0..3, regardless of shard assignment.
+  spec.link_for_group = [&spec](int group) {
+    net::LinkConfig link = spec.link;
+    if (group == 0) link.bandwidth = net::BandwidthTrace::constant(600.0);
+    return link;
+  };
+  spec.horizon = sim::seconds(400.0);
+  engine::EngineResult result = engine::run_world(spec, {.threads = 2});
+  ASSERT_EQ(result.reports.size(), 24u);
+  for (std::size_t i = 4; i < result.reports.size(); ++i) {
+    EXPECT_TRUE(result.reports[i].completed) << i;
+  }
+  // The starved group either stalls hard or is still crawling at the
+  // horizon; either way it must look worse than the fast groups.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(result.reports[i].qoe.score, result.reports[4].qoe.score) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sperke

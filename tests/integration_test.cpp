@@ -1,12 +1,20 @@
 // Cross-module integration tests: whole streaming sessions exercising the
 // paper's claims end to end (FoV-guided savings, SVC upgrades, crowd-aware
 // HMP, multipath), at small scale so they run fast under ctest.
+//
+// Single-link worlds are described as engine::WorldSpec and run through
+// engine::ShardedEngine — the declarative path shared with the benches and
+// examples. Multipath topologies are not (yet) part of the engine's link
+// model and keep wiring the simulator directly.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 #include "core/session.h"
 #include "core/transport.h"
+#include "engine/engine.h"
+#include "engine/world.h"
 #include "hmp/heatmap.h"
 #include "mp/multipath.h"
 #include "net/link.h"
@@ -17,42 +25,64 @@ namespace {
 
 constexpr double kVideoSeconds = 20.0;
 
-std::shared_ptr<media::VideoModel> make_video() {
+media::VideoModelConfig video_config() {
   media::VideoModelConfig cfg;
   cfg.duration_s = kVideoSeconds;
   cfg.chunk_duration_s = 1.0;
   cfg.tile_rows = 4;
   cfg.tile_cols = 6;
   cfg.seed = 11;
-  return std::make_shared<media::VideoModel>(cfg);
+  return cfg;
 }
 
-hmp::HeadTrace make_trace(std::uint64_t seed) {
+std::shared_ptr<media::VideoModel> make_video() {
+  return std::make_shared<media::VideoModel>(video_config());
+}
+
+hmp::HeadTraceConfig trace_config(std::uint64_t seed) {
   hmp::HeadTraceConfig cfg;
   cfg.duration_s = kVideoSeconds + 60.0;
   cfg.sample_rate_hz = 25.0;
   cfg.profile = hmp::UserProfile::adult();
   cfg.attractors = hmp::default_attractors(cfg.duration_s, 99);
   cfg.seed = seed;
-  return hmp::generate_head_trace(cfg);
+  return cfg;
+}
+
+hmp::HeadTrace make_trace(std::uint64_t seed) {
+  return hmp::generate_head_trace(trace_config(seed));
+}
+
+// One-session world on one link, the workhorse harness of this suite.
+core::SessionReport run_one_session(net::LinkConfig link,
+                                    core::SessionConfig config,
+                                    std::uint64_t trace_seed,
+                                    const hmp::ViewingHeatmap* crowd,
+                                    double horizon_s) {
+  engine::WorldSpec spec;
+  spec.video = video_config();
+  spec.trace_template = trace_config(trace_seed);
+  spec.trace_pool = 1;
+  spec.link = std::move(link);
+  spec.transport_max_concurrent = 4;
+  spec.sessions = 1;
+  spec.session = std::move(config);
+  spec.crowd = crowd;
+  spec.horizon = sim::seconds(horizon_s);
+  spec.shards = 1;
+  engine::EngineResult result = engine::run_world(std::move(spec));
+  return std::move(result.reports.front());
 }
 
 core::SessionReport run_single_link(double kbps, core::SessionConfig config,
                                     std::uint64_t trace_seed = 21,
                                     const hmp::ViewingHeatmap* crowd = nullptr) {
-  sim::Simulator simulator;
-  net::Link link(simulator,
-                 net::LinkConfig{.name = "link",
-                                 .bandwidth = net::BandwidthTrace::constant(kbps),
-                                 .rtt = sim::milliseconds(30),
-                                 .loss_rate = 0.0});
-  core::SingleLinkTransport transport(link);
-  auto video = make_video();
-  const auto trace = make_trace(trace_seed);
-  core::StreamingSession session(simulator, video, transport, trace, config, crowd);
-  session.start();
-  simulator.run_until(sim::seconds(kVideoSeconds + 200.0));
-  return session.report();
+  net::LinkConfig link{.name = "link",
+                       .bandwidth = net::BandwidthTrace::constant(kbps),
+                       .rtt = sim::milliseconds(30),
+                       .loss_rate = 0.0};
+  return run_one_session(std::move(link), std::move(config), trace_seed, crowd,
+                         kVideoSeconds + 200.0);
 }
 
 TEST(Integration, FovGuidedSavesSubstantialBandwidth) {
@@ -183,21 +213,13 @@ TEST(Integration, MultipathAggregatesBandwidthUnderLoad) {
 }
 
 TEST(Integration, FluctuatingBandwidthStillCompletes) {
-  core::SessionConfig config;
-  sim::Simulator simulator;
-  net::Link link(simulator,
-                 net::LinkConfig{.name = "lte",
-                                 .bandwidth = net::BandwidthTrace::random_walk(
-                                     10'000.0, 0.4, 1.0, 300.0, 3, 1'500.0, 40'000.0),
-                                 .rtt = sim::milliseconds(40),
-                                 .loss_rate = 0.0});
-  core::SingleLinkTransport transport(link);
-  auto video = make_video();
-  const auto trace = make_trace(55);
-  core::StreamingSession session(simulator, video, transport, trace, config);
-  session.start();
-  simulator.run_until(sim::seconds(400.0));
-  const auto report = session.report();
+  net::LinkConfig link{.name = "lte",
+                       .bandwidth = net::BandwidthTrace::random_walk(
+                           10'000.0, 0.4, 1.0, 300.0, 3, 1'500.0, 40'000.0),
+                       .rtt = sim::milliseconds(40),
+                       .loss_rate = 0.0};
+  const auto report = run_one_session(std::move(link), core::SessionConfig{},
+                                      55, nullptr, 400.0);
   EXPECT_TRUE(report.completed);
   EXPECT_EQ(report.qoe.chunks_played, static_cast<int>(kVideoSeconds));
 }
@@ -205,20 +227,12 @@ TEST(Integration, FluctuatingBandwidthStillCompletes) {
 TEST(Integration, TotalOutageStallsThenRecovers) {
   // Failure injection: the link goes fully dark for 10 s mid-session. The
   // session must stall (not crash, not skip) and finish after recovery.
-  sim::Simulator simulator;
-  net::Link link(simulator,
-                 net::LinkConfig{.name = "flaky",
-                                 .bandwidth = net::BandwidthTrace::steps(
-                                     {{0.0, 20'000.0}, {6.0, 0.0}, {16.0, 20'000.0}}),
-                                 .rtt = sim::milliseconds(30)});
-  core::SingleLinkTransport transport(link);
-  auto video = make_video();
-  const auto trace = make_trace(66);
-  core::StreamingSession session(simulator, video, transport, trace,
-                                 core::SessionConfig{});
-  session.start();
-  simulator.run_until(sim::seconds(300.0));
-  const auto report = session.report();
+  net::LinkConfig link{.name = "flaky",
+                       .bandwidth = net::BandwidthTrace::steps(
+                           {{0.0, 20'000.0}, {6.0, 0.0}, {16.0, 20'000.0}}),
+                       .rtt = sim::milliseconds(30)};
+  const auto report = run_one_session(std::move(link), core::SessionConfig{},
+                                      66, nullptr, 300.0);
   EXPECT_TRUE(report.completed);
   EXPECT_EQ(report.qoe.chunks_played, static_cast<int>(kVideoSeconds));
   EXPECT_GT(report.qoe.stall_seconds, 1.0);   // the outage hurt...
@@ -227,21 +241,13 @@ TEST(Integration, TotalOutageStallsThenRecovers) {
 
 TEST(Integration, LossySpikyLinkStillCompletes) {
   // Failure injection: heavy random loss plus a bursty two-state channel.
-  sim::Simulator simulator;
-  net::Link link(simulator,
-                 net::LinkConfig{.name = "lossy",
-                                 .bandwidth = net::BandwidthTrace::markov_two_state(
-                                     12'000.0, 800.0, 6.0, 3.0, 400.0, 9),
-                                 .rtt = sim::milliseconds(80),
-                                 .loss_rate = 0.01});
-  core::SingleLinkTransport transport(link);
-  auto video = make_video();
-  const auto trace = make_trace(77);
-  core::StreamingSession session(simulator, video, transport, trace,
-                                 core::SessionConfig{});
-  session.start();
-  simulator.run_until(sim::seconds(2'000.0));
-  const auto report = session.report();
+  net::LinkConfig link{.name = "lossy",
+                       .bandwidth = net::BandwidthTrace::markov_two_state(
+                           12'000.0, 800.0, 6.0, 3.0, 400.0, 9),
+                       .rtt = sim::milliseconds(80),
+                       .loss_rate = 0.01};
+  const auto report = run_one_session(std::move(link), core::SessionConfig{},
+                                      77, nullptr, 2'000.0);
   EXPECT_TRUE(report.completed);
   EXPECT_EQ(report.qoe.chunks_played, static_cast<int>(kVideoSeconds));
 }

@@ -20,7 +20,37 @@ threshold — the gate exists to catch algorithmic regressions, not noise.
 
 import argparse
 import json
+import re
 import sys
+
+_THREADS_RE = re.compile(r"^(?P<stem>.+)/threads=(?P<t>[^/]+)$")
+
+
+def derive_speedups(benchmarks):
+    """Speedup rows from ``/threads=`` pairs: t(threads=1) / t(threads=K).
+
+    For every benchmark family that was measured both at threads=1 and at
+    some other thread count (``threads=hw`` is the machine-portable
+    hardware-concurrency label written by bench_scale_sessions), emit a
+    higher-is-better ``<stem>/speedup@threads=K`` row. A speedup that
+    *drops* versus the baseline means the sharded engine stopped scaling —
+    exactly the regression the multi-thread baseline row exists to catch.
+    """
+    by_stem = {}
+    for name, t in benchmarks.items():
+        m = _THREADS_RE.match(name)
+        if m:
+            by_stem.setdefault(m.group("stem"), {})[m.group("t")] = t
+    out = {}
+    for stem, runs in by_stem.items():
+        t1 = runs.get("1")
+        if t1 is None or t1 <= 0:
+            continue
+        for label, tk in runs.items():
+            if label == "1" or tk <= 0:
+                continue
+            out[f"{stem}/speedup@threads={label}"] = t1 / tk
+    return out
 
 
 def load_benchmarks(path):
@@ -74,6 +104,25 @@ def main():
     for name in current:
         if name not in baseline:
             print(f"{name:<{width}}  {'absent':>12}  {current[name]:>12.1f}  {'new':>8}")
+
+    # Derived speedup rows (higher is better): the gate flips — a speedup
+    # *loss* beyond the threshold fails.
+    sp_base = derive_speedups(baseline)
+    sp_cur = derive_speedups(current)
+    if sp_base or sp_cur:
+        swidth = max(len(n) for n in sorted(set(sp_base) | set(sp_cur)))
+        print()
+        for name in sorted(set(sp_base) | set(sp_cur)):
+            if name not in sp_base or name not in sp_cur:
+                side = sp_base.get(name, sp_cur.get(name))
+                print(f"{name:<{swidth}}  {side:>11.2f}x  (one side only)")
+                continue
+            base, cur = sp_base[name], sp_cur[name]
+            loss = (base - cur) / base if base > 0 else 0.0
+            flag = "  <-- REGRESSION" if loss > args.threshold else ""
+            print(f"{name:<{swidth}}  {base:>11.2f}x  {cur:>11.2f}x  {-loss:>+7.1%}{flag}")
+            if loss > args.threshold:
+                regressions.append((name, -loss))
 
     if regressions:
         print(
