@@ -164,7 +164,8 @@ int main() {
           net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(kbps),
                           .rtt = sim::milliseconds(30)}));
       transports.push_back(
-          std::make_unique<core::SingleLinkTransport>(*links.back(), 12));
+          std::make_unique<core::SingleLinkTransport>(*links.back(),
+                                                      core::TransportOptions{.max_concurrent = 12}));
       traces.push_back(std::make_unique<hmp::HeadTrace>(standard_trace(seed)));
       live::TiledLiveConfig cfg;
       cfg.e2e_target_s = latency_s;

@@ -1,0 +1,212 @@
+// Fault-recovery QoE bench (DESIGN.md §10): does the recovery layer —
+// transport retries with backoff, deadline-derived timeouts, base-tier
+// degradation — actually buy QoE when the last mile misbehaves?
+//
+// Two arms share one seeded fault schedule per sweep point (a mid-stream
+// outage of D seconds plus a background per-transfer failure probability),
+// each run twice, with recovery off and on:
+//
+//   * VOD: a StreamingSession on a faulted 12 Mbps link. Headline metric:
+//     stall seconds (paper §3.1's QoE killer).
+//   * Tiled live: a TiledLiveSession on a faulted 20 Mbps link. Live never
+//     stalls — losses surface as blank FoV tiles, so the headline metric is
+//     the mean blank-tile fraction.
+//
+// Everything is a deterministic simulation: the numbers are bit-stable
+// across machines, which is why bench/baselines/fault_recovery.json can be
+// gated by tools/bench_compare.py (a rise in stall seconds or blank
+// fraction beyond threshold = the recovery layer regressed).
+//
+// Usage: bench_fault_recovery [--smoke] [--json PATH]
+//
+//   --smoke      single sweep point (outage = 2 s) for ctest
+//   --json PATH  google-benchmark-compatible JSON for bench_compare.py;
+//                "real_time" carries stall seconds (VOD) or blank
+//                percentage (live), lower is better for both
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/transport.h"
+#include "hmp/head_trace.h"
+#include "live/tiled_viewer.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace sperke;
+
+constexpr double kVodVideoSeconds = 20.0;
+constexpr double kLiveVideoSeconds = 30.0;
+
+std::shared_ptr<media::VideoModel> make_video(double duration_s) {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.chunk_duration_s = 1.0;
+  cfg.tile_rows = 4;
+  cfg.tile_cols = 6;
+  cfg.seed = 7;
+  return std::make_shared<media::VideoModel>(cfg);
+}
+
+hmp::HeadTrace make_trace(std::uint64_t seed) {
+  hmp::HeadTraceConfig cfg;
+  cfg.duration_s = 120.0;
+  cfg.sample_rate_hz = 25.0;
+  cfg.attractors = hmp::default_attractors(120.0, 77);
+  cfg.seed = seed;
+  return hmp::generate_head_trace(cfg);
+}
+
+// One storm per sweep point: an outage of `outage_s` starting mid-stream
+// plus a constant background failure probability. Identical (same seed)
+// for the recovery and no-recovery arms.
+net::FaultPlan storm(double outage_s, double failure_prob) {
+  net::FaultPlan plan;
+  if (outage_s > 0.0) {
+    plan.outages.push_back({.start_s = 6.0, .duration_s = outage_s});
+  }
+  plan.transfer_failure_prob = failure_prob;
+  plan.seed = 42;
+  return plan;
+}
+
+core::SessionReport run_vod(double outage_s, bool recovery) {
+  sim::Simulator simulator;
+  net::Link link(simulator,
+                 net::LinkConfig{.name = "dl",
+                                 .bandwidth = net::BandwidthTrace::constant(12'000.0),
+                                 .rtt = sim::milliseconds(30),
+                                 .loss_rate = 0.0,
+                                 .faults = storm(outage_s, 0.05)});
+  core::TransportOptions options;
+  options.recovery.enabled = recovery;
+  core::SingleLinkTransport transport(link, options);
+  core::SessionConfig config;
+  config.fetch_recovery = recovery;
+  auto video = make_video(kVodVideoSeconds);
+  const auto trace = make_trace(33);
+  core::StreamingSession session(simulator, video, transport, trace, config);
+  session.start();
+  simulator.run_until(sim::seconds(kVodVideoSeconds + 300.0));
+  return session.report();
+}
+
+live::TiledLiveReport run_live(double outage_s, bool recovery) {
+  sim::Simulator simulator;
+  net::Link link(simulator,
+                 net::LinkConfig{.name = "dl",
+                                 .bandwidth = net::BandwidthTrace::constant(20'000.0),
+                                 .rtt = sim::milliseconds(30),
+                                 .loss_rate = 0.0,
+                                 .faults = storm(outage_s, 0.10)});
+  core::TransportOptions options;
+  options.max_concurrent = 12;
+  options.recovery.enabled = recovery;
+  core::SingleLinkTransport transport(link, options);
+  live::TiledLiveConfig config;
+  config.fetch_recovery = recovery;
+  auto video = make_video(kLiveVideoSeconds);
+  const auto trace = make_trace(5);
+  live::TiledLiveSession session(simulator, video, transport, trace, config);
+  session.start();
+  simulator.run_until(sim::seconds(kLiveVideoSeconds + 120.0));
+  return session.report();
+}
+
+struct JsonRow {
+  std::string name;
+  double value = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"context\": {\"executable\": \"bench_fault_recovery\"},\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                  "\"real_time\": %.6f, \"time_unit\": \"s\"}%s\n",
+                  rows[i].name.c_str(), rows[i].value,
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+std::string row_name(const char* metric, double outage_s, bool recovery) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "FaultRecovery/%s/outage=%g/recovery=%s",
+                metric, outage_s, recovery ? "on" : "off");
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const std::vector<double> sweep =
+      smoke ? std::vector<double>{2.0}
+            : std::vector<double>{0.0, 1.0, 2.0, 3.0, 5.0, 8.0};
+
+  std::printf("Fault recovery sweep: outage of D s at t=6 s + background "
+              "transfer failures (VOD p=0.05, live p=0.10), recovery off/on\n\n");
+  std::printf("%8s | %28s | %28s\n", "", "VOD stall s (score)",
+              "live blank % (skips)");
+  std::printf("%8s | %13s %14s | %13s %14s\n", "outage s", "off", "on", "off",
+              "on");
+
+  std::vector<JsonRow> rows;
+  bool stall_dominates = true;
+  bool blank_dominates = true;
+  for (const double outage_s : sweep) {
+    const auto vod_off = run_vod(outage_s, false);
+    const auto vod_on = run_vod(outage_s, true);
+    const auto live_off = run_live(outage_s, false);
+    const auto live_on = run_live(outage_s, true);
+
+    std::printf("%8.1f | %6.2f (%5.1f) %6.2f (%6.1f) | %6.2f (%5d) %6.2f (%6d)\n",
+                outage_s, vod_off.qoe.stall_seconds, vod_off.qoe.score,
+                vod_on.qoe.stall_seconds, vod_on.qoe.score,
+                100.0 * live_off.mean_blank_fraction, live_off.chunks_skipped,
+                100.0 * live_on.mean_blank_fraction, live_on.chunks_skipped);
+
+    if (vod_on.qoe.stall_seconds >= vod_off.qoe.stall_seconds) {
+      stall_dominates = false;
+    }
+    if (live_on.mean_blank_fraction >= live_off.mean_blank_fraction) {
+      blank_dominates = false;
+    }
+    rows.push_back({row_name("vod_stall_s", outage_s, false),
+                    vod_off.qoe.stall_seconds});
+    rows.push_back({row_name("vod_stall_s", outage_s, true),
+                    vod_on.qoe.stall_seconds});
+    rows.push_back({row_name("live_blank_pct", outage_s, false),
+                    100.0 * live_off.mean_blank_fraction});
+    rows.push_back({row_name("live_blank_pct", outage_s, true),
+                    100.0 * live_on.mean_blank_fraction});
+  }
+
+  std::printf("\nrecovery strictly dominates: stall time %s, blank ratio %s\n",
+              stall_dominates ? "yes" : "NO", blank_dominates ? "yes" : "NO");
+  if (!json_path.empty()) write_json(json_path, rows);
+  return 0;
+}

@@ -91,7 +91,7 @@ int main() {
         sim::Simulator simulator;
         net::Link link(simulator, net::LinkConfig{.bandwidth = bandwidth,
                                                   .rtt = sim::milliseconds(30)});
-        core::SingleLinkTransport transport(link, /*max_concurrent=*/16);
+        core::SingleLinkTransport transport(link, {.max_concurrent = 16});
         auto video = standard_video();
         const auto trace = standard_trace(300 + seed, user.profile);
         core::StreamingSession session(simulator, video, transport, trace, config);

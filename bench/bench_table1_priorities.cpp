@@ -30,9 +30,9 @@ int main() {
                                 .bandwidth = net::BandwidthTrace::constant(8'000.0),
                                 .rtt = sim::milliseconds(60),
                                 .loss_rate = 0.005});
-  mp::MultipathTransport transport(simulator, {&wifi, &lte},
-                                   std::make_unique<mp::ContentAwareScheduler>(),
-                                   /*max_concurrent_per_path=*/2, &telemetry);
+  mp::MultipathTransport transport(
+      simulator, {&wifi, &lte}, std::make_unique<mp::ContentAwareScheduler>(),
+      {.max_concurrent = 2, .telemetry = &telemetry});
   auto video = standard_video();
   const auto trace = standard_trace(17);
   core::SessionConfig config;

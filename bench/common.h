@@ -74,7 +74,8 @@ inline core::SessionReport run_vod(const net::BandwidthTrace& bandwidth,
                                             .loss_rate = 0.0});
   // HTTP/2-style multiplexing: fine tile grids issue hundreds of small
   // requests per chunk, which would otherwise serialize on the RTT.
-  core::SingleLinkTransport transport(link, /*max_concurrent=*/16, telemetry);
+  core::SingleLinkTransport transport(
+      link, {.max_concurrent = 16, .telemetry = telemetry});
   if (!video) video = standard_video();
   const auto trace = standard_trace(trace_seed);
   config.telemetry = telemetry;

@@ -47,6 +47,10 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
     metrics_.hmp_error_deg = &m.histogram(
         "session.hmp_error_deg", {5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 180.0});
+    if (config_.fetch_recovery) {
+      metrics_.fetch_failures = &m.counter("session.fetch_failures");
+      metrics_.degraded_retries = &m.counter("session.degraded_retries");
+    }
   }
   if (config_.prefetch_horizon_chunks < 1) {
     throw std::invalid_argument("Session: prefetch horizon < 1");
@@ -212,25 +216,60 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
   request.spatial = spatial;
   request.urgent = urgent;
   request.deadline = deadline;
-  request.on_done = [this, alive = alive_, address, bytes, dispatched, urgent](
-                        sim::Time finished, bool delivered) {
+  request.on_done = [this, alive = alive_, address, bytes, dispatched, urgent,
+                     spatial, deadline](sim::Time finished, FetchOutcome outcome) {
     if (!*alive) return;
     in_flight_.erase(address);
+    const bool ok = delivered(outcome);
     if (config_.telemetry != nullptr) {
-      if (delivered) {
+      if (ok) {
         metrics_.fetch_latency_ms->observe(
             sim::to_milliseconds(finished - dispatched));
       }
-      record_trace({.type = delivered ? obs::TraceEventType::kFetchDone
-                                      : obs::TraceEventType::kFetchDropped,
-                    .ts = finished,
-                    .tile = address.key.tile,
-                    .chunk = address.key.index,
-                    .quality = address.level,
-                    .bytes = bytes,
-                    .urgent = urgent});
+      obs::TraceEvent event{.type = ok ? obs::TraceEventType::kFetchDone
+                                       : obs::TraceEventType::kFetchDropped,
+                            .ts = finished,
+                            .tile = address.key.tile,
+                            .chunk = address.key.index,
+                            .quality = address.level,
+                            .bytes = bytes,
+                            .urgent = urgent};
+      // Fault outcomes ride the kFetchDropped event with the outcome in
+      // `value`; kDropped keeps value 0.0 so fault-free traces stay
+      // byte-identical.
+      if (outcome == FetchOutcome::kTimedOut || outcome == FetchOutcome::kFailed) {
+        event.value = static_cast<double>(outcome);
+      }
+      record_trace(event);
     }
-    if (delivered) on_fetch_done(address, bytes);
+    if (ok) {
+      on_fetch_done(address, bytes);
+      return;
+    }
+    if (outcome == FetchOutcome::kDropped) return;  // best-effort loss
+    // Injected-fault loss (timed out / failed after retries).
+    ++fetch_failures_;
+    if (metrics_.fetch_failures != nullptr) metrics_.fetch_failures->increment();
+    if (config_.fetch_recovery && spatial == abr::SpatialClass::kFov &&
+        address.key.index >= current_chunk_ && deadline > simulator_.now()) {
+      // Graceful degradation: re-request the tile at the base tier while
+      // the deadline still stands rather than leaving a hole in the FoV.
+      const media::ChunkAddress fallback =
+          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
+           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
+              ? media::ChunkAddress{address.key, media::Encoding::kAvc, 0}
+              : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
+      if (!buffer_.contains(fallback) && !in_flight_.contains(fallback)) {
+        ++degraded_retries_;
+        if (metrics_.degraded_retries != nullptr) {
+          metrics_.degraded_retries->increment();
+        }
+        dispatch(fallback, abr::SpatialClass::kFov, deadline, false, false);
+      }
+    }
+    // A failed emergency fetch must not leave a stall unresolved: re-enter
+    // the coverage check, which re-issues the missing tiles.
+    if (stalled_) try_resume_from_stall();
   };
   transport_.fetch(std::move(request));
 }
@@ -453,6 +492,8 @@ SessionReport StreamingSession::report() const {
   report.urgent_fetches = urgent_fetches_;
   report.upgrades = upgrades_;
   report.late_corrections = late_corrections_;
+  report.fetch_failures = fetch_failures_;
+  report.degraded_retries = degraded_retries_;
   report.viewport_utility_per_chunk = utility_per_chunk_;
   report.completed = finished_;
   return report;

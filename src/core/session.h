@@ -60,6 +60,11 @@ struct SessionConfig {
   // Telemetry sink (not owned; must outlive the session). Null = disabled,
   // the no-op fast path.
   obs::Telemetry* telemetry = nullptr;
+  // Graceful degradation on fetch failures (DESIGN.md §10): when true, an
+  // FoV chunk whose fetch failed or timed out is re-requested at the base
+  // quality tier while its deadline still stands; OOS losses are abandoned.
+  // Off by default — fault-free worlds behave byte-identically either way.
+  bool fetch_recovery = false;
 };
 
 struct SessionReport {
@@ -70,6 +75,8 @@ struct SessionReport {
   int urgent_fetches = 0;
   int upgrades = 0;             // §3.1.1 incremental upgrades performed
   int late_corrections = 0;     // tiles first fetched inside the window
+  int fetch_failures = 0;       // fetches that timed out / failed outright
+  int degraded_retries = 0;     // failed FoV fetches re-issued at base tier
   std::vector<double> viewport_utility_per_chunk;
   bool completed = false;
 };
@@ -141,6 +148,8 @@ class StreamingSession {
   int urgent_fetches_ = 0;
   int upgrades_ = 0;
   int late_corrections_ = 0;
+  int fetch_failures_ = 0;
+  int degraded_retries_ = 0;
   std::vector<double> utility_per_chunk_;
   sim::Time last_observed_{sim::Duration{-1}};
 
@@ -154,6 +163,10 @@ class StreamingSession {
     obs::Counter* late_corrections = nullptr;
     obs::Counter* chunks_played = nullptr;
     obs::Counter* stall_events = nullptr;
+    // Bound iff fetch_recovery is on, so fault-free worlds keep their
+    // exact pre-fault metric set.
+    obs::Counter* fetch_failures = nullptr;
+    obs::Counter* degraded_retries = nullptr;
     obs::Histogram* fetch_latency_ms = nullptr;
     obs::Histogram* stall_s = nullptr;
     obs::Histogram* viewport_utility = nullptr;

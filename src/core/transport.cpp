@@ -2,21 +2,44 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace sperke::core {
 
-SingleLinkTransport::SingleLinkTransport(net::Link& link, int max_concurrent,
-                                         obs::Telemetry* telemetry)
-    : link_(link), max_concurrent_(max_concurrent), telemetry_(telemetry) {
-  if (max_concurrent_ < 1) {
+void RecoveryMetrics::bind(obs::Telemetry& telemetry, const char* prefix) {
+  obs::MetricsRegistry& m = telemetry.metrics();
+  const std::string p(prefix);
+  retries = &m.counter(p + ".retries");
+  timeouts = &m.counter(p + ".timeouts");
+  failed_requests = &m.counter(p + ".failed_requests");
+  recovered_requests = &m.counter(p + ".recovered_requests");
+  recovery_latency_ms = &m.histogram(p + ".recovery_latency_ms");
+}
+
+SingleLinkTransport::SingleLinkTransport(net::Link& link, TransportOptions options)
+    : link_(link), options_(std::move(options)) {
+  if (options_.max_concurrent < 1) {
     throw std::invalid_argument("SingleLinkTransport: max_concurrent < 1");
   }
-  if (telemetry_ != nullptr) {
-    obs::MetricsRegistry& m = telemetry_->metrics();
+  if (options_.recovery.enabled) {
+    if (options_.recovery.max_retries < 0) {
+      throw std::invalid_argument("RecoveryPolicy: negative retry budget");
+    }
+    if (options_.recovery.backoff_multiplier < 1.0) {
+      throw std::invalid_argument("RecoveryPolicy: backoff multiplier < 1");
+    }
+  }
+  if (options_.telemetry != nullptr) {
+    obs::MetricsRegistry& m = options_.telemetry->metrics();
     requests_metric_ = &m.counter("transport.requests");
     bytes_metric_ = &m.counter("transport.bytes");
     queue_wait_ms_metric_ = &m.histogram("transport.queue_wait_ms");
     in_flight_metric_ = &m.gauge("transport.in_flight");
+    // Recovery metrics exist iff recovery is on, so fault-free worlds keep
+    // their exact pre-fault metric set.
+    if (options_.recovery.enabled) {
+      recovery_metrics_.bind(*options_.telemetry, "transport");
+    }
   }
 }
 
@@ -24,10 +47,10 @@ SingleLinkTransport::~SingleLinkTransport() { *alive_ = false; }
 
 void SingleLinkTransport::fetch(ChunkRequest request) {
   if (request.bytes <= 0) throw std::invalid_argument("fetch: non-positive bytes");
-  if (telemetry_ != nullptr) requests_metric_->increment();
+  if (options_.telemetry != nullptr) requests_metric_->increment();
   queue_.push_back({std::move(request), next_seq_++, link_.simulator().now()});
   pump();
-  if (telemetry_ != nullptr) in_flight_metric_->set(in_flight());
+  if (options_.telemetry != nullptr) in_flight_metric_->set(in_flight());
 }
 
 double SingleLinkTransport::estimated_kbps() const {
@@ -35,11 +58,43 @@ double SingleLinkTransport::estimated_kbps() const {
 }
 
 int SingleLinkTransport::in_flight() const {
-  return active_ + static_cast<int>(queue_.size());
+  return active_ + static_cast<int>(queue_.size()) + retry_waiting_;
+}
+
+sim::Duration retry_backoff(const RecoveryPolicy& policy, int retry_number) {
+  double scale = 1.0;
+  for (int i = 1; i < retry_number; ++i) scale *= policy.backoff_multiplier;
+  return sim::seconds(sim::to_seconds(policy.base_backoff) * scale);
+}
+
+bool retry_allowed(const RecoveryPolicy& policy, const ChunkRequest& request,
+                   int attempts) {
+  if (!policy.enabled || attempts >= policy.max_retries) return false;
+  // Abandon OOS first: regular out-of-sight prefetch never competes with
+  // FoV traffic for retry capacity.
+  if (policy.abandon_oos && request.spatial == abr::SpatialClass::kOos &&
+      !request.urgent) {
+    return false;
+  }
+  return true;
+}
+
+void SingleLinkTransport::finish_without_delivery(ChunkRequest& request,
+                                                  sim::Time when,
+                                                  FetchOutcome outcome) {
+  if (outcome == FetchOutcome::kFailed &&
+      recovery_metrics_.failed_requests != nullptr) {
+    recovery_metrics_.failed_requests->increment();
+  }
+  if (outcome == FetchOutcome::kTimedOut &&
+      recovery_metrics_.timeouts != nullptr) {
+    recovery_metrics_.timeouts->increment();
+  }
+  if (request.on_done) request.on_done(when, outcome);
 }
 
 void SingleLinkTransport::pump() {
-  while (active_ < max_concurrent_ && !queue_.empty()) {
+  while (active_ < options_.max_concurrent && !queue_.empty()) {
     // Pick the best queued request: urgent beats non-urgent; within a
     // class, earlier submission wins.
     auto best = queue_.begin();
@@ -48,35 +103,103 @@ void SingleLinkTransport::pump() {
       const bool same_urgency = it->request.urgent == best->request.urgent;
       if (better_urgency || (same_urgency && it->seq < best->seq)) best = it;
     }
-    ChunkRequest request = std::move(best->request);
-    const sim::Time enqueued = best->enqueued;
+    Pending pending = std::move(*best);
     queue_.erase(best);
-    ++active_;
     const sim::Time started = link_.simulator().now();
-    if (telemetry_ != nullptr) {
-      queue_wait_ms_metric_->observe(sim::to_milliseconds(started - enqueued));
+    // A retry never starts at or past the playback deadline: fetching a
+    // chunk the player has already given up on only wastes capacity.
+    if (pending.attempts > 0 && pending.request.deadline <= started) {
+      finish_without_delivery(pending.request, started, FetchOutcome::kTimedOut);
+      continue;
     }
-    const std::int64_t bytes = request.bytes;
+    ++active_;
+    if (options_.telemetry != nullptr) {
+      queue_wait_ms_metric_->observe(sim::to_milliseconds(started - pending.enqueued));
+    }
+    const std::int64_t bytes = pending.request.bytes;
     // HTTP/2-style stream weights: urgent chunks outweigh regular ones,
     // and within a class FoV outweighs OOS (Table 1).
-    const double weight = (request.urgent ? 4.0 : 1.0) *
-                          (request.spatial == abr::SpatialClass::kFov ? 2.0 : 1.0);
-    auto on_done = std::make_shared<ChunkRequest>(std::move(request));
-    link_.start_transfer(bytes, [this, alive = alive_, on_done, started,
-                                 bytes](sim::Time finished) {
-      if (!*alive) return;
-      --active_;
-      bytes_fetched_ += bytes;
-      // Small tile objects are RTT-dominated; measure from the start of
-      // data flow, and let the aggregate estimator fold in concurrency.
-      estimator_.record(started + link_.rtt(), finished, bytes);
-      if (telemetry_ != nullptr) {
-        bytes_metric_->add(bytes);
-        in_flight_metric_->set(in_flight());
-      }
-      if (on_done->on_done) on_done->on_done(finished, true);
-      pump();
-    }, weight);
+    const double weight = (pending.request.urgent ? 4.0 : 1.0) *
+                          (pending.request.spatial == abr::SpatialClass::kFov ? 2.0 : 1.0);
+    if (pending.attempts == 0) pending.first_dispatched = started;
+    pending.settled = false;
+    auto flight = std::make_shared<Pending>(std::move(pending));
+    const net::TransferId id = link_.start_transfer(
+        bytes,
+        [this, alive = alive_, flight, started, bytes](const net::TransferResult& r) {
+          if (!*alive) return;
+          flight->settled = true;
+          --active_;
+          if (r.completed()) {
+            bytes_fetched_ += bytes;
+            // Small tile objects are RTT-dominated; measure from the start
+            // of data flow, and let the aggregate estimator fold in
+            // concurrency.
+            estimator_.record(started + link_.rtt(), r.time, bytes);
+            if (options_.telemetry != nullptr) {
+              bytes_metric_->add(bytes);
+              in_flight_metric_->set(in_flight());
+            }
+            if (flight->attempts > 0 &&
+                recovery_metrics_.recovered_requests != nullptr) {
+              recovery_metrics_.recovered_requests->increment();
+              recovery_metrics_.recovery_latency_ms->observe(
+                  sim::to_milliseconds(r.time - flight->first_dispatched));
+            }
+            if (flight->request.on_done) {
+              flight->request.on_done(r.time, FetchOutcome::kDelivered);
+            }
+            pump();
+            return;
+          }
+          if (options_.telemetry != nullptr) in_flight_metric_->set(in_flight());
+          if (r.status == net::TransferStatus::kCancelled) {
+            // Only our own deadline timeout cancels transfers.
+            finish_without_delivery(flight->request, r.time, FetchOutcome::kTimedOut);
+            pump();
+            return;
+          }
+          // Injected fault (kFailed): retry with exponential backoff while
+          // the budget and the deadline both allow it.
+          const sim::Duration backoff =
+              retry_backoff(options_.recovery, flight->attempts + 1);
+          const bool budget_left =
+              retry_allowed(options_.recovery, flight->request, flight->attempts);
+          const bool deadline_left =
+              r.time + backoff < flight->request.deadline;
+          if (budget_left && deadline_left) {
+            ++flight->attempts;
+            if (recovery_metrics_.retries != nullptr) {
+              recovery_metrics_.retries->increment();
+            }
+            ++retry_waiting_;
+            link_.simulator().schedule_after(
+                backoff, [this, alive2 = alive_, flight] {
+                  if (!*alive2) return;
+                  --retry_waiting_;
+                  flight->enqueued = link_.simulator().now();
+                  queue_.push_back(std::move(*flight));
+                  pump();
+                });
+          } else {
+            finish_without_delivery(flight->request, r.time,
+                                    budget_left ? FetchOutcome::kTimedOut
+                                                : FetchOutcome::kFailed);
+          }
+          pump();
+        },
+        weight);
+    if (options_.recovery.enabled) {
+      // Deadline-derived timeout on the in-flight transfer. The min_timeout
+      // floor keeps already-late emergency fetches (deadline == now) alive
+      // long enough to have a chance.
+      const sim::Time timeout_at = std::max(
+          flight->request.deadline, started + options_.recovery.min_timeout);
+      link_.simulator().schedule_at(timeout_at, [this, alive = alive_, flight, id] {
+        if (!*alive || flight->settled) return;
+        link_.cancel(id);  // fires the kCancelled completion synchronously
+      });
+    }
   }
 }
 

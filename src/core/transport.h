@@ -2,11 +2,18 @@
 // the client submits chunk requests tagged with the Table 1 priorities;
 // a transport delivers them over one link (SingleLinkTransport) or several
 // (mp::MultipathTransport).
+//
+// Failure recovery (DESIGN.md §10): with RecoveryPolicy::enabled a
+// transport retries failed transfers with exponential backoff under a
+// per-request retry budget, arms a deadline-derived timeout on every
+// in-flight transfer, and reports how each request ended through the typed
+// FetchOutcome instead of a bare bool.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "abr/plan.h"
 #include "media/chunk.h"
@@ -17,16 +24,69 @@
 
 namespace sperke::core {
 
+// How a chunk request ended, from the client's point of view.
+enum class FetchOutcome : std::uint8_t {
+  kDelivered,  // every byte arrived
+  kDropped,    // transport abandoned it (best-effort deadline miss)
+  kTimedOut,   // deadline-derived timeout expired while fetching/retrying
+  kFailed,     // transfer failed and the retry budget is exhausted
+};
+
+[[nodiscard]] constexpr bool delivered(FetchOutcome outcome) {
+  return outcome == FetchOutcome::kDelivered;
+}
+
 struct ChunkRequest {
   media::ChunkAddress address;
   std::int64_t bytes = 0;
   abr::SpatialClass spatial = abr::SpatialClass::kFov;
   bool urgent = false;                 // temporal priority (Table 1)
   sim::Time deadline{sim::kTimeZero};  // playback deadline (wall clock)
-  // Called exactly once: delivered=true with the completion time, or
-  // delivered=false if the transport dropped/abandoned the request.
-  std::function<void(sim::Time, bool delivered)> on_done;
+  // Called exactly once with the time the request settled and its outcome.
+  std::function<void(sim::Time, FetchOutcome)> on_done;
 };
+
+// Failure-recovery policy shared by both transports (DESIGN.md §10).
+// Disabled by default: a transport without recovery never retries, never
+// times out, and is byte-identical to the pre-fault-model behaviour.
+struct RecoveryPolicy {
+  bool enabled = false;
+  // Per-request retry budget: a request is attempted at most 1 + max_retries
+  // times. Retry k (1-based) waits base_backoff * backoff_multiplier^(k-1).
+  int max_retries = 2;
+  sim::Duration base_backoff{sim::milliseconds(100)};
+  double backoff_multiplier = 2.0;
+  // In-flight timeout = max(deadline, start + min_timeout): a transfer may
+  // run slightly past an already-blown deadline, but a retry is never
+  // *started* at or past the deadline.
+  sim::Duration min_timeout{sim::milliseconds(250)};
+  // Graceful degradation order (§3.3): regular OOS prefetch is abandoned on
+  // first failure instead of competing with FoV traffic for retries.
+  bool abandon_oos = true;
+  // Multipath path-failure detection: this many consecutive transfer
+  // failures (or an outage signal) marks a path down; a down path is
+  // re-probed every probe_interval until it carries traffic again.
+  int path_failure_threshold = 3;
+  sim::Duration probe_interval{sim::seconds(1.0)};
+};
+
+// Construction options shared by SingleLinkTransport and
+// mp::MultipathTransport (per-path concurrency for the latter).
+struct TransportOptions {
+  int max_concurrent = 4;
+  // Optional metrics/trace sink (not owned; must outlive the transport).
+  obs::Telemetry* telemetry = nullptr;
+  RecoveryPolicy recovery;
+};
+
+// Backoff before retry k (1-based): base_backoff * multiplier^(k-1).
+[[nodiscard]] sim::Duration retry_backoff(const RecoveryPolicy& policy,
+                                          int retry_number);
+
+// Whether a request that has already consumed `attempts` retries may retry
+// again (budget + abandon-OOS rule); the deadline gate is checked separately.
+[[nodiscard]] bool retry_allowed(const RecoveryPolicy& policy,
+                                 const ChunkRequest& request, int attempts);
 
 class ChunkTransport {
  public:
@@ -43,41 +103,60 @@ class ChunkTransport {
   [[nodiscard]] virtual std::int64_t bytes_fetched() const = 0;
 };
 
+// Recovery metric handles, resolved once per transport when both telemetry
+// and recovery are on (so fault-free worlds keep their metric set).
+struct RecoveryMetrics {
+  obs::Counter* retries = nullptr;
+  obs::Counter* timeouts = nullptr;
+  obs::Counter* failed_requests = nullptr;
+  obs::Counter* recovered_requests = nullptr;  // delivered after >= 1 retry
+  obs::Histogram* recovery_latency_ms = nullptr;  // first dispatch -> delivery
+
+  void bind(obs::Telemetry& telemetry, const char* prefix);
+};
+
 // Queued dispatch over a single net::Link with bounded concurrency.
 // Urgent requests jump the queue (ahead of non-urgent, behind other
 // urgent); ties keep FIFO order. Throughput is estimated aggregate-wise
 // across concurrent transfers (net::AggregateWindowEstimator).
 class SingleLinkTransport final : public ChunkTransport {
  public:
-  // `link` must outlive the transport. `telemetry` (optional, not owned)
-  // receives per-request queue-wait and byte metrics.
-  explicit SingleLinkTransport(net::Link& link, int max_concurrent = 4,
-                               obs::Telemetry* telemetry = nullptr);
+  // `link` must outlive the transport.
+  explicit SingleLinkTransport(net::Link& link, TransportOptions options = {});
 
   void fetch(ChunkRequest request) override;
   [[nodiscard]] double estimated_kbps() const override;
   [[nodiscard]] int in_flight() const override;
   [[nodiscard]] std::int64_t bytes_fetched() const override { return bytes_fetched_; }
 
+  [[nodiscard]] const TransportOptions& options() const { return options_; }
+
  private:
+  struct Pending {
+    ChunkRequest request;
+    std::uint64_t seq = 0;
+    sim::Time enqueued{sim::kTimeZero};
+    int attempts = 0;  // completed (failed) dispatch attempts so far
+    sim::Time first_dispatched{sim::kTimeZero};
+    bool settled = false;  // guards the timeout event against re-fire
+  };
+
   void pump();
+  void finish_without_delivery(ChunkRequest& request, sim::Time when,
+                               FetchOutcome outcome);
 
   net::Link& link_;
-  int max_concurrent_;
-  obs::Telemetry* telemetry_;
+  TransportOptions options_;
   obs::Counter* requests_metric_ = nullptr;
   obs::Counter* bytes_metric_ = nullptr;
   obs::Histogram* queue_wait_ms_metric_ = nullptr;
   obs::Gauge* in_flight_metric_ = nullptr;
+  RecoveryMetrics recovery_metrics_;
   net::AggregateWindowEstimator estimator_;
-  struct Pending {
-    ChunkRequest request;
-    std::uint64_t seq;
-    sim::Time enqueued{sim::kTimeZero};
-  };
   std::vector<Pending> queue_;
   std::uint64_t next_seq_ = 0;
   int active_ = 0;
+  int retry_waiting_ = 0;  // retries parked in a backoff wait
   std::int64_t bytes_fetched_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 

@@ -15,11 +15,20 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
   const int groups = group_count(spec);
   for (int g = 0; g < groups; ++g) {
     if (shard_of_group(spec, g) != shard_id_) continue;
-    links_.push_back(std::make_unique<net::Link>(
-        simulator_, spec.link_for_group ? spec.link_for_group(g) : spec.link));
+    net::LinkConfig link_config =
+        spec.link_for_group ? spec.link_for_group(g) : spec.link;
+    net::FaultPlan faults = faults_of_group(spec, g);
+    if (!faults.empty()) link_config.faults = std::move(faults);
+    link_has_faults_.push_back(!link_config.faults.empty());
+    links_.push_back(
+        std::make_unique<net::Link>(simulator_, std::move(link_config)));
+    core::TransportOptions transport_options;
+    transport_options.max_concurrent = spec.transport_max_concurrent;
+    transport_options.telemetry =
+        spec.session_telemetry ? telemetry_.get() : nullptr;
+    transport_options.recovery = spec.transport_recovery;
     transports_.push_back(std::make_unique<core::SingleLinkTransport>(
-        *links_.back(), spec.transport_max_concurrent,
-        spec.session_telemetry ? telemetry_.get() : nullptr));
+        *links_.back(), transport_options));
     core::SingleLinkTransport& transport = *transports_.back();
 
     const int first = g * spec.sessions_per_link;
@@ -53,6 +62,17 @@ void Shard::run() {
   }
   ran_ = true;
   simulator_.run_until(spec_.horizon);
+  // Fault observability (DESIGN.md §10): each faulted link group's outage
+  // exposure, observed once at the horizon. Links are visited in ascending
+  // group order, so the merged histogram is deterministic; fault-free
+  // worlds register nothing.
+  if (spec_.session_telemetry) {
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (!link_has_faults_[i]) continue;
+      telemetry_->metrics().histogram("net.outage_s")
+          .observe(links_[i]->outage_seconds());
+    }
+  }
 }
 
 int Shard::completed() const {

@@ -76,6 +76,9 @@ class Shard {
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<const media::VideoModel> video_;
   std::vector<std::unique_ptr<net::Link>> links_;
+  // Which links carry a non-empty FaultPlan: gates the post-run outage
+  // metric so fault-free worlds register nothing (byte-identity).
+  std::vector<bool> link_has_faults_;
   std::vector<std::unique_ptr<core::SingleLinkTransport>> transports_;
   std::vector<std::unique_ptr<core::StreamingSession>> sessions_;
   std::vector<int> session_ids_;  // global ids, ascending

@@ -16,6 +16,17 @@ int shard_of_group(const WorldSpec& spec, int group) {
   return group % spec.shards;
 }
 
+net::FaultPlan faults_of_group(const WorldSpec& spec, int group) {
+  if (spec.faults_for_group) return spec.faults_for_group(group);
+  net::FaultPlan plan = spec.faults;
+  if (!plan.empty()) {
+    // Decorrelate the per-transfer failure stream across groups while
+    // keeping it independent of shard/thread placement.
+    plan.seed = spec.faults.seed + static_cast<std::uint64_t>(group);
+  }
+  return plan;
+}
+
 void validate(const WorldSpec& spec) {
   if (spec.sessions < 1) {
     throw std::invalid_argument("WorldSpec: sessions < 1");
@@ -35,6 +46,7 @@ void validate(const WorldSpec& spec) {
   if (spec.horizon <= sim::kTimeZero) {
     throw std::invalid_argument("WorldSpec: horizon <= 0");
   }
+  net::validate(spec.faults);
 }
 
 std::vector<hmp::HeadTrace> build_trace_pool(const WorldSpec& spec) {

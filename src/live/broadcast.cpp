@@ -22,12 +22,14 @@ LiveBroadcastSession::LiveBroadcastSession(Config config)
       simulator_, net::LinkConfig{.name = "uplink",
                                   .bandwidth = net::BandwidthTrace::constant(up),
                                   .rtt = config_.link_rtt,
-                                  .loss_rate = 0.0});
+                                  .loss_rate = 0.0,
+                                  .faults = config_.uplink_faults});
   downlink_ = std::make_unique<net::Link>(
       simulator_, net::LinkConfig{.name = "downlink",
                                   .bandwidth = net::BandwidthTrace::constant(down),
                                   .rtt = config_.link_rtt,
-                                  .loss_rate = 0.0});
+                                  .loss_rate = 0.0,
+                                  .faults = config_.downlink_faults});
   downlink_est_kbps_ = config_.platform.initial_downlink_estimate_kbps;
   if (config_.telemetry != nullptr) {
     obs::MetricsRegistry& m = config_.telemetry->metrics();
@@ -165,8 +167,15 @@ void LiveBroadcastSession::server_push() {
   const auto bytes = static_cast<std::int64_t>(rung * 1000.0 / 8.0 *
                                                config_.platform.segment_s);
   ++push_next_;
-  downlink_->start_transfer(bytes, [this, segment, rung](sim::Time) {
+  downlink_->start_transfer(bytes, [this, segment, rung](const net::TransferResult& r) {
     pushing_ = false;
+    if (!r.completed()) {
+      // Push failed mid-flight: retry from this segment (the backlog cap in
+      // the next round decides whether it is still worth pushing).
+      push_next_ = std::min(push_next_, segment.index);
+      server_push();
+      return;
+    }
     viewer_buffer_.emplace(segment.index, std::make_pair(segment, rung));
     viewer_play_loop();
     server_push();
@@ -227,9 +236,16 @@ void LiveBroadcastSession::viewer_maybe_request() {
   ++viewer_next_fetch_;
   const sim::Time started = simulator_.now();
   downlink_->start_transfer(bytes, [this, segment, rung, bytes,
-                                    started](sim::Time finished) {
+                                    started](const net::TransferResult& r) {
     viewer_fetching_ = false;
-    const double secs = sim::to_seconds(finished - started);
+    if (!r.completed()) {
+      // Fetch failed: re-request from this segment (skip-to-live in the
+      // next round decides whether it is still worth fetching).
+      viewer_next_fetch_ = std::min(viewer_next_fetch_, segment.index);
+      viewer_maybe_request();
+      return;
+    }
+    const double secs = sim::to_seconds(r.time - started);
     if (secs > 0.0) {
       const double sample = static_cast<double>(bytes) * 8.0 / secs / 1000.0;
       downlink_est_kbps_ = 0.4 * sample + 0.6 * downlink_est_kbps_;

@@ -63,6 +63,12 @@ class LiveBroadcastSession {
     // have none (null); with one, each segment's bitrate/horizon follows
     // policy->decide(uplink capacity). Not owned; must outlive the session.
     const UploadPolicy* upload_policy = nullptr;
+    // Fault schedules (DESIGN.md §10). An uplink disruption collapses the
+    // capacity the upload VRA reads, triggering its spatial fallback; a
+    // downlink fault fails the in-flight segment transfer, which the
+    // server/viewer retries from the same segment index.
+    net::FaultPlan uplink_faults;
+    net::FaultPlan downlink_faults;
     // Telemetry sink (not owned; must outlive the session). Null = disabled.
     obs::Telemetry* telemetry = nullptr;
   };

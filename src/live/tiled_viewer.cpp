@@ -144,16 +144,36 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
   request.spatial = spatial;
   request.urgent = (deadline - simulator_.now()) < video_->chunk_duration();
   request.deadline = deadline;
-  request.on_done = [this, alive = alive_, address](sim::Time, bool delivered) {
+  request.on_done = [this, alive = alive_, address, spatial,
+                     deadline](sim::Time, core::FetchOutcome outcome) {
     if (!*alive) return;
     in_flight_.erase(address);
-    if (!delivered || finished_) return;
-    const std::int64_t bytes = video_->size_bytes(address);
-    qoe_.record_downloaded(bytes);
-    if (address.key.index < next_play_) {
-      qoe_.record_wasted(bytes);  // arrived after its live deadline
-    } else {
-      buffer_.add(address);
+    if (finished_) return;
+    if (core::delivered(outcome)) {
+      const std::int64_t bytes = video_->size_bytes(address);
+      qoe_.record_downloaded(bytes);
+      if (address.key.index < next_play_) {
+        qoe_.record_wasted(bytes);  // arrived after its live deadline
+      } else {
+        buffer_.add(address);
+      }
+      return;
+    }
+    if (outcome == core::FetchOutcome::kDropped) return;  // best-effort loss
+    // Injected-fault loss (timed out / failed after retries).
+    ++fetch_failures_;
+    if (config_.fetch_recovery && spatial == abr::SpatialClass::kFov &&
+        address.key.index >= next_play_ && deadline > simulator_.now()) {
+      // Live degradation: a base-tier tile on time beats a blank tile.
+      const media::ChunkAddress fallback =
+          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
+           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
+              ? media::ChunkAddress{address.key, media::Encoding::kAvc, 0}
+              : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
+      if (!buffer_.contains(fallback) && !in_flight_.contains(fallback)) {
+        ++degraded_retries_;
+        dispatch(fallback, abr::SpatialClass::kFov, deadline, false);
+      }
     }
   };
   transport_.fetch(std::move(request));
@@ -264,6 +284,8 @@ TiledLiveReport TiledLiveSession::report() const {
       chunks_played_ > 0 ? blank_sum_ / chunks_played_ : 0.0;
   out.fetches = fetches_;
   out.upgrades = upgrades_;
+  out.fetch_failures = fetch_failures_;
+  out.degraded_retries = degraded_retries_;
   out.finished = finished_;
   return out;
 }

@@ -47,6 +47,10 @@ struct TiledLiveConfig {
   // Delay before this viewer's own displayed tiles reach the crowd map.
   sim::Duration crowd_report_delay{sim::milliseconds(300)};
   abr::QoeWeights qoe;
+  // Graceful degradation on fetch failures (DESIGN.md §10): re-request a
+  // failed FoV tile at the base quality tier while its live deadline still
+  // stands. Off by default (byte-identical without faults).
+  bool fetch_recovery = false;
 };
 
 struct TiledLiveReport {
@@ -56,6 +60,8 @@ struct TiledLiveReport {
   double mean_blank_fraction = 0.0;
   int fetches = 0;
   int upgrades = 0;
+  int fetch_failures = 0;    // fetches that timed out / failed outright
+  int degraded_retries = 0;  // failed FoV fetches re-issued at base tier
   bool finished = false;
 };
 
@@ -114,6 +120,8 @@ class TiledLiveSession {
   double blank_sum_ = 0.0;
   int fetches_ = 0;
   int upgrades_ = 0;
+  int fetch_failures_ = 0;
+  int degraded_retries_ = 0;
 
   std::optional<sim::PeriodicTask> head_task_;
   std::optional<sim::PeriodicTask> upgrade_task_;

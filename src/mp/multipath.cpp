@@ -117,16 +117,23 @@ std::unique_ptr<PathScheduler> make_path_scheduler(std::string_view name) {
 MultipathTransport::MultipathTransport(sim::Simulator& simulator,
                                        std::vector<net::Link*> links,
                                        std::unique_ptr<PathScheduler> scheduler,
-                                       int max_concurrent_per_path,
-                                       obs::Telemetry* telemetry)
+                                       core::TransportOptions options)
     : simulator_(simulator),
       scheduler_(std::move(scheduler)),
-      max_concurrent_per_path_(max_concurrent_per_path),
-      telemetry_(telemetry) {
+      options_(std::move(options)),
+      telemetry_(options_.telemetry) {
   if (links.empty()) throw std::invalid_argument("MultipathTransport: no links");
   if (!scheduler_) throw std::invalid_argument("MultipathTransport: null scheduler");
-  if (max_concurrent_per_path_ < 1) {
+  if (options_.max_concurrent < 1) {
     throw std::invalid_argument("MultipathTransport: max_concurrent < 1");
+  }
+  if (options_.recovery.enabled) {
+    if (options_.recovery.max_retries < 0) {
+      throw std::invalid_argument("RecoveryPolicy: negative retry budget");
+    }
+    if (options_.recovery.path_failure_threshold < 1) {
+      throw std::invalid_argument("RecoveryPolicy: path_failure_threshold < 1");
+    }
   }
   for (net::Link* link : links) {
     if (link == nullptr) throw std::invalid_argument("MultipathTransport: null link");
@@ -136,6 +143,10 @@ MultipathTransport::MultipathTransport(sim::Simulator& simulator,
       const std::string prefix = "mp.path" + std::to_string(paths_.size());
       path.requests_metric = &telemetry_->metrics().counter(prefix + ".requests");
       path.bytes_metric = &telemetry_->metrics().counter(prefix + ".bytes");
+      if (options_.recovery.enabled) {
+        path.down_events_metric =
+            &telemetry_->metrics().counter(prefix + ".down_events");
+      }
     }
     paths_.push_back(std::move(path));
   }
@@ -146,6 +157,13 @@ MultipathTransport::MultipathTransport(sim::Simulator& simulator,
                                          ".requests");
     }
     dropped_metric_ = &telemetry_->metrics().counter("mp.dropped_best_effort");
+    // Recovery metrics exist iff recovery is on, so fault-free worlds keep
+    // their exact pre-fault metric set.
+    if (options_.recovery.enabled) {
+      recovery_metrics_.bind(*telemetry_, "mp");
+      failovers_metric_ = &telemetry_->metrics().counter("mp.failovers");
+      path_downtime_metric_ = &telemetry_->metrics().histogram("mp.path_downtime_s");
+    }
   }
   stats_.bytes_per_path.assign(paths_.size(), 0);
   stats_.requests_per_path.assign(paths_.size(), 0);
@@ -173,8 +191,14 @@ void MultipathTransport::fetch(core::ChunkRequest request) {
   if (request.bytes <= 0) throw std::invalid_argument("fetch: non-positive bytes");
   const PriorityClass priority = classify(request);
   ++stats_.class_counts[static_cast<std::size_t>(rank(priority))];
-  const std::size_t index = scheduler_->pick(request, snapshot());
+  std::size_t index = scheduler_->pick(request, snapshot());
   if (index >= paths_.size()) throw std::out_of_range("scheduler picked bad path");
+  // Route around a path currently declared down (recovery only; without
+  // recovery no path is ever down).
+  if (paths_[index].down) {
+    const std::size_t up = best_up_path();
+    if (up < paths_.size()) index = up;
+  }
   ++stats_.requests_per_path[index];
   if (telemetry_ != nullptr) {
     class_metrics_[static_cast<std::size_t>(rank(priority))]->increment();
@@ -198,9 +222,107 @@ void MultipathTransport::fetch(core::ChunkRequest request) {
   pump(index);
 }
 
+void MultipathTransport::finish_without_delivery(core::ChunkRequest& request,
+                                                 sim::Time when,
+                                                 core::FetchOutcome outcome) {
+  if (outcome == core::FetchOutcome::kFailed &&
+      recovery_metrics_.failed_requests != nullptr) {
+    recovery_metrics_.failed_requests->increment();
+  }
+  if (outcome == core::FetchOutcome::kTimedOut &&
+      recovery_metrics_.timeouts != nullptr) {
+    recovery_metrics_.timeouts->increment();
+  }
+  if (request.on_done) request.on_done(when, outcome);
+}
+
+std::size_t MultipathTransport::best_up_path() const {
+  std::size_t best = paths_.size();
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].down) continue;
+    const double score = quality_of(*paths_[i].link);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void MultipathTransport::mark_down(std::size_t path_index) {
+  Path& path = paths_[path_index];
+  path.down = true;
+  path.down_since = simulator_.now();
+  ++stats_.path_down_events;
+  if (path.down_events_metric != nullptr) path.down_events_metric->increment();
+  // Fail queued FoV/urgent work over to the best surviving path; queued OOS
+  // prefetch waits for recovery (abandon OOS first).
+  const std::size_t up = best_up_path();
+  if (up < paths_.size()) {
+    auto& q = path.queue;
+    for (auto it = q.begin(); it != q.end();) {
+      const bool critical =
+          it->request.urgent || it->request.spatial == abr::SpatialClass::kFov;
+      if (critical) {
+        ++stats_.failovers;
+        if (failovers_metric_ != nullptr) failovers_metric_->increment();
+        paths_[up].queue.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    pump(up);
+  }
+  simulator_.schedule_after(options_.recovery.probe_interval,
+                            [this, alive = alive_, path_index] {
+                              if (!*alive) return;
+                              probe_path(path_index);
+                            });
+}
+
+void MultipathTransport::probe_path(std::size_t path_index) {
+  Path& path = paths_[path_index];
+  if (!path.down) return;
+  if (path.link->in_outage()) {
+    // Still dark; probe again later.
+    simulator_.schedule_after(options_.recovery.probe_interval,
+                              [this, alive = alive_, path_index] {
+                                if (!*alive) return;
+                                probe_path(path_index);
+                              });
+    return;
+  }
+  path.down = false;
+  // Probation: one more failure sends the path straight back down.
+  path.consecutive_failures =
+      std::max(0, options_.recovery.path_failure_threshold - 1);
+  const double downtime_s = sim::to_seconds(simulator_.now() - path.down_since);
+  stats_.path_downtime_s += downtime_s;
+  if (path_downtime_metric_ != nullptr) path_downtime_metric_->observe(downtime_s);
+  pump(path_index);
+}
+
+void MultipathTransport::requeue_retry(std::shared_ptr<Pending> flight,
+                                       std::size_t path_index) {
+  std::size_t target = path_index;
+  if (paths_[target].down) {
+    const std::size_t up = best_up_path();
+    if (up < paths_.size()) {
+      target = up;
+      ++stats_.failovers;
+      if (failovers_metric_ != nullptr) failovers_metric_->increment();
+    }
+  }
+  paths_[target].queue.push_back(std::move(*flight));
+  pump(target);
+}
+
 void MultipathTransport::pump(std::size_t path_index) {
   Path& path = paths_[path_index];
-  while (path.active < max_concurrent_per_path_ && !path.queue.empty()) {
+  if (path.down) return;  // queued work waits for probe recovery
+  while (path.active < options_.max_concurrent && !path.queue.empty()) {
     // Highest priority first (rank ascending), FIFO within a rank.
     auto best = path.queue.begin();
     for (auto it = std::next(path.queue.begin()); it != path.queue.end(); ++it) {
@@ -216,7 +338,15 @@ void MultipathTransport::pump(std::size_t path_index) {
     if (pending.best_effort && pending.request.deadline <= simulator_.now()) {
       ++stats_.dropped_best_effort;
       if (telemetry_ != nullptr) dropped_metric_->increment();
-      if (pending.request.on_done) pending.request.on_done(simulator_.now(), false);
+      if (pending.request.on_done) {
+        pending.request.on_done(simulator_.now(), core::FetchOutcome::kDropped);
+      }
+      continue;
+    }
+    // A retry never starts at or past the playback deadline.
+    if (pending.attempts > 0 && pending.request.deadline <= simulator_.now()) {
+      finish_without_delivery(pending.request, simulator_.now(),
+                              core::FetchOutcome::kTimedOut);
       continue;
     }
 
@@ -228,24 +358,88 @@ void MultipathTransport::pump(std::size_t path_index) {
     const double weight =
         (pending.request.urgent ? 4.0 : 1.0) *
         (pending.request.spatial == abr::SpatialClass::kFov ? 2.0 : 1.0);
+    if (pending.attempts == 0) pending.first_dispatched = started;
+    pending.settled = false;
     auto holder = std::make_shared<Pending>(std::move(pending));
-    path.link->start_transfer(
+    const net::TransferId id = path.link->start_transfer(
         bytes,
         [this, alive = alive_, path_index, holder, started,
-         bytes](sim::Time finished) {
+         bytes](const net::TransferResult& r) {
           if (!*alive) return;
+          holder->settled = true;
           Path& p = paths_[path_index];
           --p.active;
           p.in_flight_bytes -= bytes;
-          // Aggregate-wise goodput from the start of data flow.
-          p.estimator.record(started + p.link->rtt(), finished, bytes);
-          bytes_fetched_ += bytes;
-          stats_.bytes_per_path[path_index] += bytes;
-          if (p.bytes_metric != nullptr) p.bytes_metric->add(bytes);
-          if (holder->request.on_done) holder->request.on_done(finished, true);
+          if (r.completed()) {
+            p.consecutive_failures = 0;
+            // Aggregate-wise goodput from the start of data flow.
+            p.estimator.record(started + p.link->rtt(), r.time, bytes);
+            bytes_fetched_ += bytes;
+            stats_.bytes_per_path[path_index] += bytes;
+            if (p.bytes_metric != nullptr) p.bytes_metric->add(bytes);
+            if (holder->attempts > 0 &&
+                recovery_metrics_.recovered_requests != nullptr) {
+              recovery_metrics_.recovered_requests->increment();
+              recovery_metrics_.recovery_latency_ms->observe(
+                  sim::to_milliseconds(r.time - holder->first_dispatched));
+            }
+            if (holder->request.on_done) {
+              holder->request.on_done(r.time, core::FetchOutcome::kDelivered);
+            }
+            pump(path_index);
+            return;
+          }
+          if (r.status == net::TransferStatus::kCancelled) {
+            // Only our own deadline timeout cancels transfers.
+            finish_without_delivery(holder->request, r.time,
+                                    core::FetchOutcome::kTimedOut);
+            pump(path_index);
+            return;
+          }
+          // Injected fault (kFailed): feed path-failure detection, then
+          // retry under the shared budget/deadline gates.
+          ++p.consecutive_failures;
+          if (options_.recovery.enabled && !p.down &&
+              (p.consecutive_failures >=
+                   options_.recovery.path_failure_threshold ||
+               p.link->in_outage())) {
+            mark_down(path_index);
+          }
+          const sim::Duration backoff =
+              core::retry_backoff(options_.recovery, holder->attempts + 1);
+          const bool budget_left = core::retry_allowed(
+              options_.recovery, holder->request, holder->attempts);
+          const bool deadline_left = r.time + backoff < holder->request.deadline;
+          if (budget_left && deadline_left) {
+            ++holder->attempts;
+            if (recovery_metrics_.retries != nullptr) {
+              recovery_metrics_.retries->increment();
+            }
+            ++retry_waiting_;
+            simulator_.schedule_after(
+                backoff, [this, alive2 = alive_, holder, path_index] {
+                  if (!*alive2) return;
+                  --retry_waiting_;
+                  requeue_retry(holder, path_index);
+                });
+          } else {
+            finish_without_delivery(holder->request, r.time,
+                                    budget_left ? core::FetchOutcome::kTimedOut
+                                                : core::FetchOutcome::kFailed);
+          }
           pump(path_index);
         },
         weight);
+    if (options_.recovery.enabled) {
+      // Deadline-derived timeout on the in-flight transfer.
+      const sim::Time timeout_at = std::max(
+          holder->request.deadline, started + options_.recovery.min_timeout);
+      net::Link* link = path.link;
+      simulator_.schedule_at(timeout_at, [alive = alive_, holder, link, id] {
+        if (!*alive || holder->settled) return;
+        link->cancel(id);  // fires the kCancelled completion synchronously
+      });
+    }
   }
 }
 
@@ -263,7 +457,7 @@ double MultipathTransport::estimated_kbps() const {
 }
 
 int MultipathTransport::in_flight() const {
-  int total = 0;
+  int total = retry_waiting_;
   for (const Path& path : paths_) {
     total += path.active + static_cast<int>(path.queue.size());
   }

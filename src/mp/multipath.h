@@ -99,17 +99,25 @@ struct MultipathStats {
   // Table 1 accounting: requests observed per priority class, indexed by
   // rank() (0..3).
   std::array<int, 4> class_counts{};
+  // Failure-recovery accounting (zero unless RecoveryPolicy::enabled).
+  int failovers = 0;         // requests moved to a surviving path
+  int path_down_events = 0;  // times a path was declared down
+  double path_downtime_s = 0.0;  // total down-time across paths (recovered)
 };
 
 class MultipathTransport final : public core::ChunkTransport {
  public:
   // Links must outlive the transport; all links must share one simulator.
-  // `telemetry` (optional, not owned) receives per-path assignment traces
-  // and per-class/per-path counters.
+  // `options.max_concurrent` is the per-path concurrency (default 2 per
+  // path, tighter than the single-link default of 4); the optional
+  // telemetry sink receives per-path assignment traces and per-class/
+  // per-path counters. With options.recovery.enabled the transport detects
+  // failed paths (consecutive failures or an outage signal), fails queued
+  // and in-flight FoV/urgent work over to the best surviving path, and
+  // probes down paths back into service (DESIGN.md §10).
   MultipathTransport(sim::Simulator& simulator, std::vector<net::Link*> links,
                      std::unique_ptr<PathScheduler> scheduler,
-                     int max_concurrent_per_path = 2,
-                     obs::Telemetry* telemetry = nullptr);
+                     core::TransportOptions options = {.max_concurrent = 2});
   ~MultipathTransport() override;
 
   void fetch(core::ChunkRequest request) override;
@@ -119,12 +127,19 @@ class MultipathTransport final : public core::ChunkTransport {
 
   [[nodiscard]] const MultipathStats& stats() const { return stats_; }
   [[nodiscard]] const PathScheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] const core::TransportOptions& options() const { return options_; }
+  [[nodiscard]] bool path_down(std::size_t path_index) const {
+    return paths_.at(path_index).down;
+  }
 
  private:
   struct Pending {
     core::ChunkRequest request;
     std::uint64_t seq = 0;
     bool best_effort = false;
+    int attempts = 0;  // completed (failed) dispatch attempts so far
+    sim::Time first_dispatched{sim::kTimeZero};
+    bool settled = false;  // guards the timeout event against re-fire
   };
   struct Path {
     net::Link* link = nullptr;
@@ -134,22 +149,42 @@ class MultipathTransport final : public core::ChunkTransport {
     std::int64_t in_flight_bytes = 0;
     obs::Counter* requests_metric = nullptr;  // set iff telemetry attached
     obs::Counter* bytes_metric = nullptr;
+    // Path-failure detection state (RecoveryPolicy::enabled only).
+    int consecutive_failures = 0;
+    bool down = false;
+    sim::Time down_since{sim::kTimeZero};
+    obs::Counter* down_events_metric = nullptr;
   };
 
   [[nodiscard]] std::vector<PathState> snapshot() const;
   void pump(std::size_t path_index);
+  void finish_without_delivery(core::ChunkRequest& request, sim::Time when,
+                               core::FetchOutcome outcome);
+  // Declare `path_index` down, fail queued FoV/urgent work over to the best
+  // surviving path, and start probing for recovery.
+  void mark_down(std::size_t path_index);
+  void probe_path(std::size_t path_index);
+  // Best up path by quality score, or paths_.size() if every path is down.
+  [[nodiscard]] std::size_t best_up_path() const;
+  // Requeue a failed request after backoff, rerouting away from down paths.
+  void requeue_retry(std::shared_ptr<Pending> flight, std::size_t path_index);
 
   sim::Simulator& simulator_;
   std::vector<Path> paths_;
   std::unique_ptr<PathScheduler> scheduler_;
-  int max_concurrent_per_path_;
+  core::TransportOptions options_;
   std::uint64_t next_seq_ = 0;
+  int retry_waiting_ = 0;  // retries parked in a backoff wait
   std::int64_t bytes_fetched_ = 0;
   MultipathStats stats_;
   obs::Telemetry* telemetry_ = nullptr;
   // Table 1 class counters, indexed by rank(); mirror stats_.class_counts.
   std::array<obs::Counter*, 4> class_metrics_{};
   obs::Counter* dropped_metric_ = nullptr;
+  // Recovery metrics, bound iff telemetry && recovery.enabled.
+  core::RecoveryMetrics recovery_metrics_;
+  obs::Counter* failovers_metric_ = nullptr;
+  obs::Histogram* path_downtime_metric_ = nullptr;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

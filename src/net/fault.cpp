@@ -1,0 +1,36 @@
+#include "net/fault.h"
+
+#include <stdexcept>
+
+namespace sperke::net {
+namespace {
+
+void validate_windows(const std::vector<FaultWindow>& windows) {
+  for (const FaultWindow& w : windows) {
+    if (w.start_s < 0.0) throw std::invalid_argument("FaultPlan: negative window start");
+    if (w.duration_s <= 0.0) {
+      throw std::invalid_argument("FaultPlan: non-positive window duration");
+    }
+  }
+}
+
+}  // namespace
+
+void validate(const FaultPlan& plan) {
+  validate_windows(plan.outages);
+  validate_windows(plan.capacity_collapses);
+  validate_windows(plan.rtt_spikes);
+  for (const FaultWindow& w : plan.capacity_collapses) {
+    if (w.factor <= 0.0 || w.factor > 1.0) {
+      throw std::invalid_argument("FaultPlan: capacity collapse factor outside (0,1]");
+    }
+  }
+  for (const FaultWindow& w : plan.rtt_spikes) {
+    if (w.factor < 1.0) throw std::invalid_argument("FaultPlan: RTT spike factor < 1");
+  }
+  if (plan.transfer_failure_prob < 0.0 || plan.transfer_failure_prob >= 1.0) {
+    throw std::invalid_argument("FaultPlan: transfer_failure_prob outside [0,1)");
+  }
+}
+
+}  // namespace sperke::net

@@ -1,0 +1,62 @@
+// Deterministic fault injection for network links (DESIGN.md §10).
+//
+// A FaultPlan is a *schedule*, not a random process: outage / capacity /
+// RTT disturbances are fixed windows in simulation time, and the only
+// stochastic element — per-transfer failures — draws from a private stream
+// seeded by the plan, in transfer-start order. Two runs of the same
+// (LinkConfig, workload) therefore fail the exact same transfers at the
+// exact same instants, which is what lets chaos worlds run sharded and
+// byte-identically at any thread count (engine determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sperke::net {
+
+// One timed disturbance. `factor` is interpreted by the list the window
+// lives in (capacity multiplier or RTT multiplier); outages ignore it.
+struct FaultWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double factor = 1.0;
+
+  [[nodiscard]] double end_s() const { return start_s + duration_s; }
+  [[nodiscard]] bool contains_s(double t_s) const {
+    return t_s >= start_s && t_s < end_s();
+  }
+};
+
+// The complete fault schedule of one link. An empty plan is the default and
+// guarantees byte-identical behaviour to a fault-free link.
+struct FaultPlan {
+  // Hard outages: capacity is zero inside the window, every in-flight
+  // transfer fails at window start, and transfers issued during the window
+  // fail one RTT after they start (the request times out at the edge).
+  std::vector<FaultWindow> outages;
+  // Capacity collapses: link capacity is multiplied by factor ∈ (0, 1].
+  std::vector<FaultWindow> capacity_collapses;
+  // RTT spikes: effective RTT is multiplied by factor ≥ 1 (warmup delay and
+  // the Mathis cap both see the spike).
+  std::vector<FaultWindow> rtt_spikes;
+  // Per-transfer failure probability in [0, 1): each started transfer is
+  // independently marked to fail mid-flight, after delivering a seeded
+  // uniform fraction of its bytes.
+  double transfer_failure_prob = 0.0;
+  // Seeds the per-transfer failure stream. Engine worlds built from a
+  // template plan derive per-group seeds as `seed + group` (DESIGN.md §10).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return outages.empty() && capacity_collapses.empty() &&
+           rtt_spikes.empty() && transfer_failure_prob <= 0.0;
+  }
+};
+
+// Throws std::invalid_argument on malformed plans (negative windows,
+// factors outside their legal ranges, probability outside [0,1)).
+void validate(const FaultPlan& plan);
+
+}  // namespace sperke::net

@@ -17,23 +17,95 @@ constexpr double kCompleteEpsilonBytes = 0.5;
 }  // namespace
 
 Link::Link(sim::Simulator& simulator, LinkConfig config)
-    : simulator_(simulator), config_(std::move(config)) {
+    : simulator_(simulator),
+      config_(std::move(config)),
+      fault_rng_(config_.faults.seed) {
   if (config_.rtt < sim::Duration{0}) throw std::invalid_argument("Link: negative RTT");
   if (config_.loss_rate < 0.0 || config_.loss_rate >= 1.0) {
     throw std::invalid_argument("Link: loss_rate must be in [0,1)");
   }
+  validate(config_.faults);
+  has_faults_ = !config_.faults.empty();
   last_update_ = simulator_.now();
+  if (has_faults_) {
+    // Execute the schedule as simulation events. Outage starts fail the
+    // in-flight set; every other boundary just settles progress and
+    // recomputes rates under the new capacity/RTT factors.
+    for (const FaultWindow& w : config_.faults.outages) {
+      simulator_.schedule_at(sim::seconds(w.start_s), [this, alive = alive_] {
+        if (*alive) on_outage_begin();
+      });
+      simulator_.schedule_at(sim::seconds(w.end_s()), [this, alive = alive_] {
+        if (*alive) on_fault_boundary();
+      });
+    }
+    const auto boundary_events = [this](const std::vector<FaultWindow>& windows) {
+      for (const FaultWindow& w : windows) {
+        for (const double edge_s : {w.start_s, w.end_s()}) {
+          simulator_.schedule_at(sim::seconds(edge_s), [this, alive = alive_] {
+            if (*alive) on_fault_boundary();
+          });
+        }
+      }
+    };
+    boundary_events(config_.faults.capacity_collapses);
+    boundary_events(config_.faults.rtt_spikes);
+  }
 }
 
 Link::~Link() { *alive_ = false; }
 
+bool Link::in_outage_at(sim::Time t) const {
+  if (!has_faults_) return false;
+  const double t_s = sim::to_seconds(t);
+  for (const FaultWindow& w : config_.faults.outages) {
+    if (w.contains_s(t_s)) return true;
+  }
+  return false;
+}
+
+bool Link::in_outage() const { return in_outage_at(simulator_.now()); }
+
+double Link::outage_seconds() const {
+  if (!has_faults_) return 0.0;
+  const double now_s = sim::to_seconds(simulator_.now());
+  double total = 0.0;
+  for (const FaultWindow& w : config_.faults.outages) {
+    total += std::max(0.0, std::min(now_s, w.end_s()) - w.start_s);
+  }
+  return total;
+}
+
+double Link::fault_capacity_factor_at(sim::Time t) const {
+  if (in_outage_at(t)) return 0.0;
+  double factor = 1.0;
+  const double t_s = sim::to_seconds(t);
+  for (const FaultWindow& w : config_.faults.capacity_collapses) {
+    if (w.contains_s(t_s)) factor *= w.factor;
+  }
+  return factor;
+}
+
 double Link::capacity_kbps_now() const {
-  return config_.bandwidth.kbps_at(simulator_.now());
+  const double base = config_.bandwidth.kbps_at(simulator_.now());
+  if (!has_faults_) return base;
+  return base * fault_capacity_factor_at(simulator_.now());
+}
+
+sim::Duration Link::rtt() const {
+  if (!has_faults_) return config_.rtt;
+  double factor = 1.0;
+  const double now_s = sim::to_seconds(simulator_.now());
+  for (const FaultWindow& w : config_.faults.rtt_spikes) {
+    if (w.contains_s(now_s)) factor *= w.factor;
+  }
+  if (factor == 1.0) return config_.rtt;
+  return sim::seconds(sim::to_seconds(config_.rtt) * factor);
 }
 
 double Link::mathis_cap_kbps() const {
   if (config_.loss_rate <= 0.0) return std::numeric_limits<double>::infinity();
-  const double rtt_s = std::max(sim::to_seconds(config_.rtt), 1e-4);
+  const double rtt_s = std::max(sim::to_seconds(rtt()), 1e-4);
   const double bps =
       kMathisConstant * kMssBytes * 8.0 / (rtt_s * std::sqrt(config_.loss_rate));
   return bps / 1000.0;
@@ -71,8 +143,7 @@ void Link::deactivate(TransferId id) {
   if (pos != active_.end() && pos->first == id) active_.erase(pos);
 }
 
-TransferId Link::start_transfer(std::int64_t bytes,
-                                std::function<void(sim::Time)> on_complete,
+TransferId Link::start_transfer(std::int64_t bytes, TransferCallback on_complete,
                                 double weight) {
   if (bytes <= 0) throw std::invalid_argument("Link: transfer of non-positive size");
   if (weight <= 0.0) throw std::invalid_argument("Link: non-positive weight");
@@ -82,12 +153,33 @@ TransferId Link::start_transfer(std::int64_t bytes,
   t.total_bytes = bytes;
   t.weight = weight;
   t.on_complete = std::move(on_complete);
+  if (has_faults_ && config_.faults.transfer_failure_prob > 0.0 &&
+      fault_rng_.bernoulli(config_.faults.transfer_failure_prob)) {
+    // Seeded mid-flight failure: the connection dies after a uniform
+    // fraction of the payload has flowed. Drawn in transfer-start order,
+    // so the failure pattern is a pure function of (plan seed, workload).
+    const double delivered_fraction = fault_rng_.uniform(0.05, 0.95);
+    t.fail_at_remaining_bytes =
+        static_cast<double>(bytes) * (1.0 - delivered_fraction);
+  }
   transfers_.emplace(id, std::move(t));
   // First byte flows one RTT after the request is issued.
-  simulator_.schedule_after(config_.rtt, [this, id, alive = alive_] {
+  simulator_.schedule_after(rtt(), [this, id, alive = alive_] {
     if (!*alive) return;
     const auto it = transfers_.find(id);
-    if (it == transfers_.end()) return;  // cancelled during warmup
+    if (it == transfers_.end()) return;  // cancelled/failed during warmup
+    if (has_faults_ && in_outage()) {
+      // The request hit a dead link: the handshake times out after the RTT
+      // instead of ever activating.
+      Completion failed{std::move(it->second.on_complete),
+                        {TransferStatus::kFailed, simulator_.now(), 0}};
+      transfers_.erase(it);
+      std::vector<Completion> completions = std::move(completed_scratch_);
+      completions.clear();
+      completions.push_back(std::move(failed));
+      fire_completions(std::move(completions));
+      return;
+    }
     advance();
     activate(id);
     reflow();
@@ -97,12 +189,41 @@ TransferId Link::start_transfer(std::int64_t bytes,
 
 bool Link::cancel(TransferId id) {
   const auto it = transfers_.find(id);
-  if (it == transfers_.end()) return false;
+  if (it == transfers_.end()) return false;  // finished/failed: never re-fires
   advance();
+  Completion cancelled{std::move(it->second.on_complete),
+                       {TransferStatus::kCancelled, simulator_.now(),
+                        it->second.counted_bytes}};
   if (it->second.active) deactivate(id);
   transfers_.erase(it);
   reflow();
+  std::vector<Completion> completions = std::move(completed_scratch_);
+  completions.clear();
+  completions.push_back(std::move(cancelled));
+  fire_completions(std::move(completions));
   return true;
+}
+
+void Link::on_outage_begin() {
+  advance();
+  // Every transfer — active or still in RTT warmup — fails at the outage
+  // edge; partial progress stays counted in bytes_delivered().
+  std::vector<Completion> completions = std::move(completed_scratch_);
+  completions.clear();
+  const sim::Time now = simulator_.now();
+  for (auto& [id, t] : transfers_) {
+    completions.push_back({std::move(t.on_complete),
+                           {TransferStatus::kFailed, now, t.counted_bytes}});
+  }
+  transfers_.clear();
+  active_.clear();
+  reflow();
+  fire_completions(std::move(completions));
+}
+
+void Link::on_fault_boundary() {
+  advance();
+  reflow();
 }
 
 void Link::advance() {
@@ -169,11 +290,16 @@ void Link::recompute_rates() {
 }
 
 void Link::arm_wakeup() {
-  // Next wake-up: earliest completion or bandwidth-trace step.
+  // Next wake-up: earliest completion (or scheduled mid-flight failure) or
+  // bandwidth-trace step. Fault-window boundaries have their own events.
   sim::Time next = sim::Time{std::numeric_limits<std::int64_t>::max()};
   for (const auto& [id, t] : active_) {
     if (t->rate_bps <= 0.0) continue;
-    const double secs = std::max(t->remaining_bytes, 0.0) * 8.0 / t->rate_bps;
+    const double to_go =
+        t->fail_at_remaining_bytes >= 0.0
+            ? t->remaining_bytes - t->fail_at_remaining_bytes
+            : t->remaining_bytes;
+    const double secs = std::max(to_go, 0.0) * 8.0 / t->rate_bps;
     // Round *up* to at least one microsecond: rounding a sub-tick
     // completion down to zero would respawn this event at the same
     // instant forever.
@@ -203,27 +329,32 @@ void Link::on_wakeup() {
   // Collect completions before reflowing so freed capacity redistributes.
   // Compacting active_ in place preserves its ascending-id order, which is
   // also the callback firing order.
-  // The vector is moved out of the scratch while callbacks run: a callback
-  // may destroy the Link, and a local (like the old per-call vector) stays
-  // valid through that. The capacity returns to the scratch afterwards.
-  std::vector<std::function<void(sim::Time)>> callbacks =
-      std::move(completed_scratch_);
-  callbacks.clear();
+  std::vector<Completion> completions = std::move(completed_scratch_);
+  completions.clear();
+  const sim::Time now = simulator_.now();
   std::size_t keep = 0;
   for (std::size_t read = 0; read < active_.size(); ++read) {
     Transfer* t = active_[read].second;
-    if (t->remaining_bytes <= kCompleteEpsilonBytes) {
+    if (t->fail_at_remaining_bytes >= 0.0 &&
+        t->remaining_bytes <= t->fail_at_remaining_bytes + kCompleteEpsilonBytes) {
+      // Scheduled mid-flight failure: report the partial progress.
+      completions.push_back({std::move(t->on_complete),
+                             {TransferStatus::kFailed, now, t->counted_bytes}});
+      transfers_.erase(active_[read].first);
+    } else if (t->remaining_bytes <= kCompleteEpsilonBytes) {
       // Square up the fluid rounding: a completed transfer delivered
       // exactly its size, no matter how the increments rounded.
       bytes_delivered_ += t->total_bytes - t->counted_bytes;
-      callbacks.push_back(std::move(t->on_complete));
+      completions.push_back(
+          {std::move(t->on_complete),
+           {TransferStatus::kCompleted, now, t->total_bytes}});
       transfers_.erase(active_[read].first);
     } else {
       active_[keep++] = active_[read];
     }
   }
   active_.resize(keep);
-  if (callbacks.empty() && capacity_kbps_now() * 1000.0 == rates_capacity_bps_) {
+  if (completions.empty() && capacity_kbps_now() * 1000.0 == rates_capacity_bps_) {
     // Nothing changed: the active set is intact and capacity is what the
     // current rates were computed from, so recomputing would reproduce
     // them bit-for-bit. Just re-arm the next wake-up.
@@ -231,12 +362,18 @@ void Link::on_wakeup() {
   } else {
     reflow();
   }
-  const sim::Time now = simulator_.now();
+  fire_completions(std::move(completions));
+}
+
+void Link::fire_completions(std::vector<Completion> completions) {
+  // The vector is a local (not the scratch member) while callbacks run: a
+  // callback may destroy the Link, and a local stays valid through that.
+  // The capacity returns to the scratch afterwards.
   const auto alive = alive_;
-  for (auto& cb : callbacks) {
-    if (cb) cb(now);
+  for (Completion& c : completions) {
+    if (c.callback) c.callback(c.result);
   }
-  if (*alive) completed_scratch_ = std::move(callbacks);
+  if (*alive) completed_scratch_ = std::move(completions);
 }
 
 }  // namespace sperke::net

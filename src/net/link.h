@@ -7,6 +7,11 @@
 // delivers its first byte one RTT after it starts (request + ramp), then
 // progresses at its allocated rate; completions and bandwidth-trace steps
 // are simulation events.
+//
+// Links are also where faults happen (DESIGN.md §10): a seeded FaultPlan on
+// the config injects outages, capacity collapses, RTT spikes and
+// per-transfer failures as ordinary simulation events, and every transfer
+// reports how it ended through a typed TransferResult.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +23,9 @@
 #include <vector>
 
 #include "net/bandwidth_trace.h"
+#include "net/fault.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace sperke::net {
 
@@ -29,7 +36,28 @@ struct LinkConfig {
   BandwidthTrace bandwidth = BandwidthTrace::constant(10'000.0);
   sim::Duration rtt = sim::milliseconds(40);
   double loss_rate = 0.0;  // [0,1); enters via the Mathis throughput cap
+  FaultPlan faults;        // empty = the link never fails (byte-identical)
 };
+
+enum class TransferStatus : std::uint8_t {
+  kCompleted,  // every byte delivered
+  kFailed,     // injected fault: outage or seeded mid-flight failure
+  kCancelled,  // caller aborted via Link::cancel
+};
+
+// How a transfer ended. `bytes_delivered` is what actually flowed: the full
+// size for kCompleted, the partial progress for kFailed/kCancelled.
+struct TransferResult {
+  TransferStatus status = TransferStatus::kCompleted;
+  sim::Time time{sim::kTimeZero};
+  std::int64_t bytes_delivered = 0;
+
+  [[nodiscard]] bool completed() const {
+    return status == TransferStatus::kCompleted;
+  }
+};
+
+using TransferCallback = std::function<void(const TransferResult&)>;
 
 class Link {
  public:
@@ -38,28 +66,42 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  // Begin transferring `bytes`; `on_complete` fires (once) at completion.
-  // `weight` sets the transfer's share of the link under contention
-  // (HTTP/2-style stream priority): a weight-2 transfer receives twice the
-  // bandwidth of a weight-1 transfer while both are active.
-  TransferId start_transfer(std::int64_t bytes,
-                            std::function<void(sim::Time)> on_complete,
+  // Begin transferring `bytes`; `on_complete` fires exactly once with the
+  // transfer's TransferResult — kCompleted, kFailed (injected fault) or
+  // kCancelled (the caller's own cancel()). `weight` sets the transfer's
+  // share of the link under contention (HTTP/2-style stream priority): a
+  // weight-2 transfer receives twice the bandwidth of a weight-1 transfer
+  // while both are active.
+  TransferId start_transfer(std::int64_t bytes, TransferCallback on_complete,
                             double weight = 1.0);
 
-  // Abort a pending/in-flight transfer. Bytes already delivered still count
-  // toward bytes_delivered(). Returns false if already finished/cancelled.
+  // Abort a pending/in-flight transfer: fires its callback (synchronously)
+  // with kCancelled. Bytes already delivered still count toward
+  // bytes_delivered(). Returns false — and fires nothing — if the transfer
+  // already finished, failed or was cancelled: the completion callback can
+  // never double-fire.
   bool cancel(TransferId id);
 
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
-  [[nodiscard]] sim::Duration rtt() const { return config_.rtt; }
   [[nodiscard]] double loss_rate() const { return config_.loss_rate; }
 
-  // Capacity of the link right now (kbps) per the bandwidth trace.
+  // Effective RTT right now (config RTT scaled by any active spike window).
+  [[nodiscard]] sim::Duration rtt() const;
+
+  // Capacity of the link right now (kbps) per the bandwidth trace, scaled
+  // by any active fault window (zero during an outage).
   [[nodiscard]] double capacity_kbps_now() const;
 
   // Per-transfer Mathis ceiling (kbps); infinity when loss_rate == 0.
   [[nodiscard]] double mathis_cap_kbps() const;
+
+  // Is the link inside a scheduled outage window right now? (The path-down
+  // signal mp failover listens for.)
+  [[nodiscard]] bool in_outage() const;
+
+  // Scheduled outage time already elapsed, in seconds.
+  [[nodiscard]] double outage_seconds() const;
 
   // O(1): the active-transfer index is maintained incrementally.
   [[nodiscard]] int active_transfers() const {
@@ -82,7 +124,14 @@ class Link {
     double rate_bps = 0.0;
     double weight = 1.0;
     bool active = false;  // false while waiting out the initial RTT
-    std::function<void(sim::Time)> on_complete;
+    // Seeded mid-flight failure: the transfer fails once remaining_bytes
+    // drops to this threshold. Negative = will not fail.
+    double fail_at_remaining_bytes = -1.0;
+    TransferCallback on_complete;
+  };
+  struct Completion {
+    TransferCallback callback;
+    TransferResult result;
   };
 
   // Move all active transfers forward to now() at their current rates.
@@ -96,6 +145,14 @@ class Link {
   void on_wakeup();
   void activate(TransferId id);
   void deactivate(TransferId id);
+  // Outage start: fail every in-flight transfer (warmup included).
+  void on_outage_begin();
+  // Any fault-window boundary: settle progress and recompute rates.
+  void on_fault_boundary();
+  // Fault-window lookups at an absolute time.
+  [[nodiscard]] bool in_outage_at(sim::Time t) const;
+  [[nodiscard]] double fault_capacity_factor_at(sim::Time t) const;
+  void fire_completions(std::vector<Completion> completions);
 
   sim::Simulator& simulator_;
   LinkConfig config_;
@@ -106,7 +163,7 @@ class Link {
   // pointers survive unrelated inserts/erases.
   std::vector<std::pair<TransferId, Transfer*>> active_;
   std::vector<Transfer*> waterfill_scratch_;  // reused by recompute_rates()
-  std::vector<std::function<void(sim::Time)>> completed_scratch_;
+  std::vector<Completion> completed_scratch_;
   TransferId next_id_ = 1;
   sim::Time last_update_ = sim::kTimeZero;
   sim::EventId wakeup_{};
@@ -116,6 +173,10 @@ class Link {
   // (the recomputation would reproduce the current rates bit-for-bit).
   double rates_capacity_bps_ = -1.0;
   std::int64_t bytes_delivered_ = 0;
+  // Fault state. has_faults_ gates every fault check so an empty plan keeps
+  // the hot path (and its floating-point results) bit-identical.
+  bool has_faults_ = false;
+  Rng fault_rng_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

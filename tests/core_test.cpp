@@ -137,7 +137,9 @@ TEST_F(TransportTest, DeliversAndEstimates) {
   ChunkRequest req;
   req.address = {{0, 0}, Encoding::kAvc, 0};
   req.bytes = 1'000'000;
-  req.on_done = [&](sim::Time, bool delivered) { done = delivered; };
+  req.on_done = [&](sim::Time, FetchOutcome outcome) {
+    done = delivered(outcome);
+  };
   transport.fetch(std::move(req));
   EXPECT_EQ(transport.in_flight(), 1);
   simulator.run();
@@ -148,14 +150,14 @@ TEST_F(TransportTest, DeliversAndEstimates) {
 }
 
 TEST_F(TransportTest, ConcurrencyLimitQueues) {
-  SingleLinkTransport transport(link, /*max_concurrent=*/1);
+  SingleLinkTransport transport(link, {.max_concurrent = 1});
   std::vector<int> order;
   auto submit = [&](int id, bool urgent) {
     ChunkRequest req;
     req.address = {{id, 0}, Encoding::kAvc, 0};
     req.bytes = 100'000;
     req.urgent = urgent;
-    req.on_done = [&order, id](sim::Time, bool) { order.push_back(id); };
+    req.on_done = [&order, id](sim::Time, FetchOutcome) { order.push_back(id); };
     transport.fetch(std::move(req));
   };
   submit(0, false);  // starts immediately
@@ -170,7 +172,167 @@ TEST_F(TransportTest, RejectsBadRequests) {
   ChunkRequest req;
   req.bytes = 0;
   EXPECT_THROW(transport.fetch(std::move(req)), std::invalid_argument);
-  EXPECT_THROW(SingleLinkTransport(link, 0), std::invalid_argument);
+  EXPECT_THROW(SingleLinkTransport(link, {.max_concurrent = 0}),
+               std::invalid_argument);
+  TransportOptions bad_retries;
+  bad_retries.recovery.enabled = true;
+  bad_retries.recovery.max_retries = -1;
+  EXPECT_THROW(SingleLinkTransport(link, bad_retries), std::invalid_argument);
+}
+
+TEST(TransportRecovery, BackoffGrowsGeometrically) {
+  RecoveryPolicy policy;
+  policy.base_backoff = sim::milliseconds(100);
+  policy.backoff_multiplier = 2.0;
+  EXPECT_EQ(retry_backoff(policy, 1), sim::milliseconds(100));
+  EXPECT_EQ(retry_backoff(policy, 2), sim::milliseconds(200));
+  EXPECT_EQ(retry_backoff(policy, 3), sim::milliseconds(400));
+}
+
+TEST(TransportRecovery, RetryAllowedHonoursBudgetAndOosRule) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  policy.max_retries = 2;
+  ChunkRequest fov;
+  fov.spatial = abr::SpatialClass::kFov;
+  EXPECT_TRUE(retry_allowed(policy, fov, 0));
+  EXPECT_TRUE(retry_allowed(policy, fov, 1));
+  EXPECT_FALSE(retry_allowed(policy, fov, 2));  // budget fully consumed
+  ChunkRequest oos;
+  oos.spatial = abr::SpatialClass::kOos;
+  EXPECT_FALSE(retry_allowed(policy, oos, 0));
+  oos.urgent = true;  // urgent corrections keep their retry budget
+  EXPECT_TRUE(retry_allowed(policy, oos, 0));
+  policy.enabled = false;
+  EXPECT_FALSE(retry_allowed(policy, fov, 0));
+}
+
+class TransportRecoveryTest : public ::testing::Test {
+ protected:
+  net::Link make_faulty_link(net::FaultPlan faults, double kbps = 8000.0) {
+    return net::Link(simulator,
+                     net::LinkConfig{.name = "chaos",
+                                     .bandwidth = net::BandwidthTrace::constant(kbps),
+                                     .rtt = sim::Duration{0},
+                                     .loss_rate = 0.0,
+                                     .faults = std::move(faults)});
+  }
+
+  static TransportOptions recovery_options(int max_retries = 2) {
+    TransportOptions options;
+    options.recovery.enabled = true;
+    options.recovery.max_retries = max_retries;
+    options.recovery.base_backoff = sim::milliseconds(100);
+    options.recovery.backoff_multiplier = 2.0;
+    return options;
+  }
+
+  sim::Simulator simulator;
+};
+
+TEST_F(TransportRecoveryTest, RetriesThroughOutageAndDelivers) {
+  net::FaultPlan faults;
+  faults.outages.push_back({.start_s = 0.2, .duration_s = 0.3});
+  auto link = make_faulty_link(std::move(faults));
+  SingleLinkTransport transport(link, recovery_options());
+  std::optional<FetchOutcome> outcome;
+  ChunkRequest req;
+  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.bytes = 1'000'000;
+  req.deadline = sim::seconds(30.0);
+  req.on_done = [&](sim::Time, FetchOutcome o) { outcome = o; };
+  transport.fetch(std::move(req));
+  simulator.run();
+  // Attempt 0 dies when the outage starts; retries back off until the link
+  // returns, then the request completes in full.
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, FetchOutcome::kDelivered);
+  EXPECT_EQ(transport.bytes_fetched(), 1'000'000);
+  EXPECT_EQ(transport.in_flight(), 0);
+}
+
+TEST_F(TransportRecoveryTest, BudgetExhaustionReportsFailed) {
+  net::FaultPlan faults;
+  faults.outages.push_back({.start_s = 0.2, .duration_s = 60.0});
+  auto link = make_faulty_link(std::move(faults));
+  SingleLinkTransport transport(link, recovery_options(/*max_retries=*/1));
+  std::optional<FetchOutcome> outcome;
+  sim::Time settled{sim::kTimeZero};
+  ChunkRequest req;
+  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.bytes = 1'000'000;
+  req.deadline = sim::seconds(30.0);
+  req.on_done = [&](sim::Time t, FetchOutcome o) {
+    outcome = o;
+    settled = t;
+  };
+  transport.fetch(std::move(req));
+  simulator.run_until(sim::seconds(5.0));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, FetchOutcome::kFailed);
+  // Original attempt + one retry, both inside the outage.
+  EXPECT_LT(sim::to_seconds(settled), 1.0);
+  EXPECT_EQ(transport.in_flight(), 0);
+}
+
+TEST_F(TransportRecoveryTest, DeadlineDerivedTimeoutCancelsSlowTransfer) {
+  // 800 kbps = 100 kB/s: a 1 MB chunk needs 10 s, far past its deadline.
+  auto link = make_faulty_link({}, /*kbps=*/800.0);
+  SingleLinkTransport transport(link, recovery_options());
+  std::optional<FetchOutcome> outcome;
+  sim::Time settled{sim::kTimeZero};
+  ChunkRequest req;
+  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.bytes = 1'000'000;
+  req.deadline = sim::seconds(0.5);
+  req.on_done = [&](sim::Time t, FetchOutcome o) {
+    outcome = o;
+    settled = t;
+  };
+  transport.fetch(std::move(req));
+  simulator.run_until(sim::seconds(5.0));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, FetchOutcome::kTimedOut);
+  EXPECT_NEAR(sim::to_seconds(settled), 0.5, 0.01);
+  EXPECT_EQ(link.active_transfers(), 0);
+  EXPECT_EQ(transport.in_flight(), 0);
+}
+
+TEST_F(TransportRecoveryTest, OosPrefetchAbandonedOnFirstFailure) {
+  net::FaultPlan faults;
+  faults.outages.push_back({.start_s = 0.2, .duration_s = 0.3});
+  auto link = make_faulty_link(std::move(faults));
+  SingleLinkTransport transport(link, recovery_options());
+  std::optional<FetchOutcome> outcome;
+  ChunkRequest req;
+  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.bytes = 1'000'000;
+  req.spatial = abr::SpatialClass::kOos;
+  req.deadline = sim::seconds(30.0);
+  req.on_done = [&](sim::Time, FetchOutcome o) { outcome = o; };
+  transport.fetch(std::move(req));
+  simulator.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, FetchOutcome::kFailed);
+}
+
+TEST_F(TransportRecoveryTest, RecoveryDisabledKeepsLegacySemantics) {
+  net::FaultPlan faults;
+  faults.outages.push_back({.start_s = 0.2, .duration_s = 60.0});
+  auto link = make_faulty_link(std::move(faults));
+  SingleLinkTransport transport(link);  // recovery off
+  std::optional<FetchOutcome> outcome;
+  ChunkRequest req;
+  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.bytes = 1'000'000;
+  req.deadline = sim::seconds(30.0);
+  req.on_done = [&](sim::Time, FetchOutcome o) { outcome = o; };
+  transport.fetch(std::move(req));
+  simulator.run_until(sim::seconds(5.0));
+  // No retries, no timeout: the link failure surfaces directly.
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, FetchOutcome::kFailed);
+  EXPECT_EQ(transport.in_flight(), 0);
 }
 
 class SessionTest : public ::testing::Test {
@@ -327,6 +489,34 @@ TEST_F(SessionTest, RejectsBadConfig) {
   EXPECT_THROW(
       StreamingSession(simulator, video, transport, trace, bad),
       std::invalid_argument);
+}
+
+TEST_F(SessionTest, SessionRecoversAcrossMidStreamOutage) {
+  sim::Simulator simulator;
+  net::FaultPlan faults;
+  faults.outages.push_back({.start_s = 4.0, .duration_s = 1.5});
+  net::Link link(
+      simulator,
+      net::LinkConfig{.name = "dl",
+                      .bandwidth = net::BandwidthTrace::constant(20'000.0),
+                      .rtt = sim::milliseconds(30),
+                      .loss_rate = 0.0,
+                      .faults = std::move(faults)});
+  TransportOptions options;
+  options.recovery.enabled = true;
+  SingleLinkTransport transport(link, options);
+  SessionConfig config;
+  config.fetch_recovery = true;
+  auto video = make_video(15.0);
+  const auto trace = steady_trace(60.0);
+  StreamingSession session(simulator, video, transport, trace, config);
+  session.start();
+  simulator.run_until(sim::seconds(120.0));
+  const auto report = session.report();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.qoe.chunks_played, 15);
+  // The outage killed in-flight fetches; the session saw and survived them.
+  EXPECT_GT(report.fetch_failures, 0);
 }
 
 TEST_F(SessionTest, DoubleStartThrows) {

@@ -206,6 +206,64 @@ TEST(EngineDeterminism, ReportsInvariantAcrossShardCounts) {
             sharded.metrics.find_counter("session.chunks_played")->value());
 }
 
+TEST(EngineDeterminism, FaultedWorldMergesIdenticalAcrossThreadCounts) {
+  // The determinism contract must survive chaos (DESIGN.md §10): the fault
+  // schedule lives in the spec, per-transfer failure streams are reseeded
+  // per link group (seed + g), and retries/failovers are ordinary
+  // simulation events — so a faulted world merges byte-identical metrics
+  // no matter how many threads execute its shards.
+  auto chaos_world = [] {
+    engine::WorldSpec spec = small_world(6);
+    spec.faults.outages.push_back({.start_s = 3.0, .duration_s = 2.0});
+    spec.faults.capacity_collapses.push_back(
+        {.start_s = 10.0, .duration_s = 5.0, .factor = 0.25});
+    spec.faults.rtt_spikes.push_back(
+        {.start_s = 20.0, .duration_s = 5.0, .factor = 3.0});
+    spec.faults.transfer_failure_prob = 0.05;
+    spec.faults.seed = 99;
+    spec.transport_recovery.enabled = true;
+    spec.session.fetch_recovery = true;
+    spec.horizon = sim::seconds(240.0);
+    return spec;
+  };
+  engine::EngineResult serial = engine::run_world(chaos_world(), {.threads = 1});
+  engine::EngineResult threaded = engine::run_world(chaos_world(), {.threads = 8});
+  EXPECT_EQ(metrics_csv(serial.metrics), metrics_csv(threaded.metrics));
+  EXPECT_EQ(serial.events_executed, threaded.events_executed);
+  EXPECT_EQ(serial.completed, threaded.completed);
+
+  // The schedule actually injected faults and the recovery layer actually
+  // ran — otherwise this test pins nothing beyond the fault-free one.
+  const obs::Counter* failures =
+      serial.metrics.find_counter("session.fetch_failures");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_GT(failures->value(), 0);
+  const obs::Counter* retries = serial.metrics.find_counter("transport.retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GT(retries->value(), 0);
+}
+
+TEST(Engine, FaultsOfGroupReseedsTemplatePlanPerGroup) {
+  engine::WorldSpec spec = small_world(1);
+  // Empty template: groups keep whatever their LinkConfig carries.
+  EXPECT_TRUE(engine::faults_of_group(spec, 0).empty());
+
+  spec.faults.transfer_failure_prob = 0.1;
+  spec.faults.seed = 40;
+  EXPECT_EQ(engine::faults_of_group(spec, 0).seed, 40u);
+  EXPECT_EQ(engine::faults_of_group(spec, 3).seed, 43u);
+
+  // The hook overrides the template verbatim — no reseeding.
+  spec.faults_for_group = [](int group) {
+    net::FaultPlan plan;
+    plan.outages.push_back({.start_s = 1.0, .duration_s = double(1 + group)});
+    plan.seed = 7;
+    return plan;
+  };
+  EXPECT_EQ(engine::faults_of_group(spec, 5).seed, 7u);
+  EXPECT_DOUBLE_EQ(engine::faults_of_group(spec, 2).outages.at(0).duration_s, 3.0);
+}
+
 TEST(Engine, ValidateRejectsBadSpecs) {
   engine::WorldSpec spec = small_world(1);
   spec.sessions = 0;
@@ -218,6 +276,9 @@ TEST(Engine, ValidateRejectsBadSpecs) {
   EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
   spec = small_world(1);
   spec.sessions_per_link = 0;
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.faults.transfer_failure_prob = 1.5;  // net::validate runs on the spec
   EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
 }
 

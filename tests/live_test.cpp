@@ -125,6 +125,51 @@ TEST(LiveBroadcast, UploadPolicyPreventsBroadcasterDrops) {
   EXPECT_LT(adapted.mean_e2e_latency_s, fixed.mean_e2e_latency_s);
 }
 
+TEST(LiveBroadcast, UplinkDisruptionTriggersSpatialFallback) {
+  // A 4 Mbps feed over an ample 6 Mbps uplink — healthy until a scheduled
+  // mid-broadcast collapse to a quarter capacity (DESIGN.md §10). Without
+  // adaptation the encoder backlog grows and segments drop; the paper's
+  // spatial fallback rides out the disruption by shrinking the uploaded
+  // horizon only while the fault lasts.
+  auto cfg = config_for(PlatformProfile::facebook(),
+                        {.up_kbps = 6000.0, .down_kbps = 0.0});
+  cfg.platform.upload_kbps = 4000.0;
+  cfg.uplink_faults.capacity_collapses.push_back(
+      {.start_s = 50.0, .duration_s = 40.0, .factor = 0.25});
+  const auto fixed = LiveBroadcastSession(cfg).run();
+  EXPECT_GT(fixed.segments_dropped_at_broadcaster, 0);
+  EXPECT_DOUBLE_EQ(fixed.mean_uploaded_horizon_deg, 360.0);
+
+  SpatialFallbackPolicy policy(4000.0, 120.0);
+  cfg.upload_policy = &policy;
+  const auto adapted = LiveBroadcastSession(cfg).run();
+  // Only the segment straddling the collapse edge (decided at the pre-fault
+  // capacity) may still drop; every segment decided inside the window fits.
+  EXPECT_LE(adapted.segments_dropped_at_broadcaster, 1);
+  EXPECT_LT(adapted.segments_dropped_at_broadcaster,
+            fixed.segments_dropped_at_broadcaster);
+  // Shrunk during the disruption, full 360° outside it — the mean sits
+  // strictly between the fault-window horizon and the healthy one.
+  EXPECT_LT(adapted.mean_uploaded_horizon_deg, 360.0);
+  EXPECT_GT(adapted.mean_uploaded_horizon_deg, 130.0);
+}
+
+TEST(LiveBroadcast, DownlinkOutageIsRetriedNotFatal) {
+  // A hard mid-broadcast downlink outage kills the in-flight segment
+  // transfer; the viewer re-requests from the same index once the link
+  // returns, so the broadcast still plays out (at worse latency).
+  auto clean_cfg = config_for(PlatformProfile::facebook(), {});
+  const auto clean = LiveBroadcastSession(clean_cfg).run();
+
+  auto faulted_cfg = config_for(PlatformProfile::facebook(), {});
+  faulted_cfg.downlink_faults.outages.push_back(
+      {.start_s = 60.0, .duration_s = 8.0});
+  const auto faulted = LiveBroadcastSession(faulted_cfg).run();
+  EXPECT_GT(faulted.segments_displayed, 0);
+  EXPECT_GE(clean.segments_displayed, faulted.segments_displayed);
+  EXPECT_GT(faulted.mean_e2e_latency_s, clean.mean_e2e_latency_s);
+}
+
 TEST(UploadVra, FixedPolicyIgnoresCapacity) {
   FixedQualityPolicy policy(4000.0);
   const auto d = policy.decide(100.0);

@@ -104,13 +104,14 @@ TEST_F(MultipathTest, ContentAwareDropsExpiredBestEffort) {
     transport.fetch(request_of(abr::SpatialClass::kOos, false, 2'000'000));
   }
   // This OOS fetch has a deadline that will pass while queued.
-  bool delivered = true;
+  std::optional<core::FetchOutcome> outcome;
   auto req = request_of(abr::SpatialClass::kOos, false, 100'000,
                         sim::milliseconds(500));
-  req.on_done = [&](sim::Time, bool ok) { delivered = ok; };
+  req.on_done = [&](sim::Time, core::FetchOutcome o) { outcome = o; };
   transport.fetch(std::move(req));
   simulator.run();
-  EXPECT_FALSE(delivered);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, core::FetchOutcome::kDropped);
   EXPECT_GE(transport.stats().dropped_best_effort, 1);
 }
 
@@ -168,11 +169,13 @@ TEST_F(MultipathTest, ClassCountsTrackTable1) {
 TEST_F(MultipathTest, UrgentJumpsPathQueue) {
   auto transport = MultipathTransport(simulator, {wifi.get()},
                                       std::make_unique<SinglePathScheduler>(0),
-                                      /*max_concurrent_per_path=*/1);
+                                      {.max_concurrent = 1});
   std::vector<int> order;
   auto submit = [&](int id, bool urgent) {
     auto req = request_of(abr::SpatialClass::kFov, urgent, 200'000);
-    req.on_done = [&order, id](sim::Time, bool) { order.push_back(id); };
+    req.on_done = [&order, id](sim::Time, core::FetchOutcome) {
+      order.push_back(id);
+    };
     transport.fetch(std::move(req));
   };
   submit(0, false);
@@ -187,7 +190,9 @@ TEST_F(MultipathTest, CompletionsAggregateBytes) {
   int done = 0;
   for (int i = 0; i < 4; ++i) {
     auto req = request_of(abr::SpatialClass::kFov, false, 250'000);
-    req.on_done = [&](sim::Time, bool ok) { done += ok ? 1 : 0; };
+    req.on_done = [&](sim::Time, core::FetchOutcome o) {
+      done += core::delivered(o) ? 1 : 0;
+    };
     transport.fetch(std::move(req));
   }
   simulator.run();
@@ -203,8 +208,106 @@ TEST_F(MultipathTest, RejectsBadConstruction) {
   EXPECT_THROW(MultipathTransport(simulator, {wifi.get()}, nullptr),
                std::invalid_argument);
   EXPECT_THROW(MultipathTransport(simulator, {wifi.get()},
-                                  std::make_unique<MinRttScheduler>(), 0),
+                                  std::make_unique<MinRttScheduler>(),
+                                  {.max_concurrent = 0}),
                std::invalid_argument);
+}
+
+class MultipathFailoverTest : public ::testing::Test {
+ protected:
+  // Wifi goes dark at t=0.5s; LTE stays clean throughout.
+  MultipathFailoverTest() { rebuild(/*wifi_outage_s=*/60.0); }
+
+  void rebuild(double wifi_outage_s) {
+    net::FaultPlan faults;
+    faults.outages.push_back({.start_s = 0.5, .duration_s = wifi_outage_s});
+    wifi = std::make_unique<net::Link>(
+        simulator, net::LinkConfig{.name = "wifi",
+                                   .bandwidth = net::BandwidthTrace::constant(20'000.0),
+                                   .rtt = sim::milliseconds(20),
+                                   .loss_rate = 0.0,
+                                   .faults = std::move(faults)});
+    lte = std::make_unique<net::Link>(
+        simulator, net::LinkConfig{.name = "lte",
+                                   .bandwidth = net::BandwidthTrace::constant(8'000.0),
+                                   .rtt = sim::milliseconds(60),
+                                   .loss_rate = 0.0});
+  }
+
+  MultipathTransport make_recovering(sim::Duration probe_interval =
+                                         sim::seconds(0.5)) {
+    core::TransportOptions options;
+    options.recovery.enabled = true;
+    options.recovery.max_retries = 3;
+    options.recovery.base_backoff = sim::milliseconds(100);
+    options.recovery.probe_interval = probe_interval;
+    return MultipathTransport(simulator, {wifi.get(), lte.get()},
+                              std::make_unique<ContentAwareScheduler>(),
+                              options);
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::Link> wifi;
+  std::unique_ptr<net::Link> lte;
+};
+
+TEST_F(MultipathFailoverTest, OutageFailsOverInFlightFovToSurvivingPath) {
+  auto transport = make_recovering();
+  int delivered_count = 0;
+  // 2 MB at 2.5 MB/s: still in flight on wifi when the outage hits.
+  for (int i = 0; i < 2; ++i) {
+    auto req = request_of(abr::SpatialClass::kFov, false, 2'000'000,
+                          sim::seconds(100.0));
+    req.on_done = [&](sim::Time, core::FetchOutcome o) {
+      delivered_count += core::delivered(o) ? 1 : 0;
+    };
+    transport.fetch(std::move(req));
+  }
+  simulator.run_until(sim::seconds(30.0));
+  const auto& stats = transport.stats();
+  EXPECT_EQ(delivered_count, 2);
+  EXPECT_GE(stats.path_down_events, 1);
+  EXPECT_GE(stats.failovers, 1);
+  EXPECT_TRUE(transport.path_down(0));
+  EXPECT_FALSE(transport.path_down(1));
+}
+
+TEST_F(MultipathFailoverTest, DownPathRecoversViaProbing) {
+  rebuild(/*wifi_outage_s=*/1.0);  // outage [0.5, 1.5)
+  auto transport = make_recovering(sim::seconds(0.5));
+  auto req = request_of(abr::SpatialClass::kFov, false, 2'000'000,
+                        sim::seconds(100.0));
+  std::optional<core::FetchOutcome> outcome;
+  req.on_done = [&](sim::Time, core::FetchOutcome o) { outcome = o; };
+  transport.fetch(std::move(req));
+  simulator.run_until(sim::seconds(30.0));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, core::FetchOutcome::kDelivered);
+  EXPECT_GE(transport.stats().path_down_events, 1);
+  // Probes at 1.0s (still dark) and 1.5s (clear): ~1s of downtime.
+  EXPECT_FALSE(transport.path_down(0));
+  EXPECT_NEAR(transport.stats().path_downtime_s, 1.0, 0.1);
+}
+
+TEST_F(MultipathFailoverTest, NewFetchesRouteAroundDownPath) {
+  auto transport = make_recovering();
+  // Trip the wifi path with one in-flight casualty.
+  auto tripwire = request_of(abr::SpatialClass::kFov, false, 2'000'000,
+                             sim::seconds(100.0));
+  transport.fetch(std::move(tripwire));
+  simulator.run_until(sim::seconds(2.0));
+  ASSERT_TRUE(transport.path_down(0));
+  const int lte_before = transport.stats().requests_per_path[1];
+  // Content-aware would pick wifi for FoV; the down path forces LTE.
+  std::optional<core::FetchOutcome> outcome;
+  auto req = request_of(abr::SpatialClass::kFov, false, 100'000,
+                        sim::seconds(100.0));
+  req.on_done = [&](sim::Time, core::FetchOutcome o) { outcome = o; };
+  transport.fetch(std::move(req));
+  simulator.run_until(sim::seconds(10.0));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, core::FetchOutcome::kDelivered);
+  EXPECT_EQ(transport.stats().requests_per_path[1], lte_before + 1);
 }
 
 TEST(PathSchedulerFactory, MakesKnownKinds) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -100,7 +102,7 @@ TEST_F(LinkTest, SingleTransferTakesBandwidthPlusRtt) {
   cfg.rtt = sim::milliseconds(100);
   Link link(simulator, cfg);
   std::optional<Time> done;
-  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { done = r.time; });
   simulator.run();
   ASSERT_TRUE(done.has_value());
   // 1 MB at 1 MB/s = 1 s + 0.1 s RTT warmup.
@@ -114,8 +116,8 @@ TEST_F(LinkTest, TwoTransfersShareFairly) {
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
   std::optional<Time> t1, t2;
-  link.start_transfer(1'000'000, [&](Time t) { t1 = t; });
-  link.start_transfer(1'000'000, [&](Time t) { t2 = t; });
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { t1 = r.time; });
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { t2 = r.time; });
   simulator.run();
   ASSERT_TRUE(t1 && t2);
   // Both share 1 MB/s -> each runs at 0.5 MB/s -> both done at ~2 s.
@@ -129,8 +131,8 @@ TEST_F(LinkTest, ShorterTransferFinishesFirstAndFreesCapacity) {
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
   std::optional<Time> small, big;
-  link.start_transfer(500'000, [&](Time t) { small = t; });
-  link.start_transfer(1'500'000, [&](Time t) { big = t; });
+  link.start_transfer(500'000, [&](const TransferResult& r) { small = r.time; });
+  link.start_transfer(1'500'000, [&](const TransferResult& r) { big = r.time; });
   simulator.run();
   ASSERT_TRUE(small && big);
   // Shared until small is done at t=1s (0.5MB at 0.5MB/s); big then has
@@ -145,7 +147,7 @@ TEST_F(LinkTest, BandwidthStepChangesRate) {
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
   std::optional<Time> done;
-  link.start_transfer(1'500'000, [&](Time t) { done = t; });
+  link.start_transfer(1'500'000, [&](const TransferResult& r) { done = r.time; });
   simulator.run();
   ASSERT_TRUE(done);
   // 1 MB in first second, remaining 0.5 MB at 0.5 MB/s -> 2 s total.
@@ -158,7 +160,7 @@ TEST_F(LinkTest, ZeroBandwidthStallsUntilRecovery) {
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
   std::optional<Time> done;
-  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { done = r.time; });
   simulator.run();
   ASSERT_TRUE(done);
   EXPECT_NEAR(sim::to_seconds(*done), 6.0, 0.02);
@@ -169,14 +171,186 @@ TEST_F(LinkTest, CancelStopsTransfer) {
   cfg.bandwidth = BandwidthTrace::constant(8000.0);
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
-  bool completed = false;
-  const TransferId id = link.start_transfer(1'000'000, [&](Time) { completed = true; });
+  std::optional<TransferResult> result;
+  const TransferId id =
+      link.start_transfer(1'000'000, [&](const TransferResult& r) { result = r; });
   simulator.schedule_at(seconds(0.5), [&] { EXPECT_TRUE(link.cancel(id)); });
   simulator.run();
-  EXPECT_FALSE(completed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kCancelled);
   EXPECT_FALSE(link.cancel(id));
   // Roughly half the bytes were delivered before the cancel.
   EXPECT_NEAR(static_cast<double>(link.bytes_delivered()), 500'000.0, 20'000.0);
+  EXPECT_NEAR(static_cast<double>(result->bytes_delivered), 500'000.0, 20'000.0);
+}
+
+TEST_F(LinkTest, CancelAfterCompletionReturnsFalseAndDoesNotDoubleFire) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  Link link(simulator, cfg);
+  int fires = 0;
+  const TransferId id =
+      link.start_transfer(100'000, [&](const TransferResult&) { ++fires; });
+  simulator.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(link.cancel(id));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(LinkTest, CancelAfterFailureReturnsFalseAndDoesNotDoubleFire) {
+  // Regression: cancelling a transfer that an outage already failed must
+  // return false and must not fire the callback a second time.
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::Duration{0};
+  cfg.faults.outages = {{.start_s = 0.5, .duration_s = 1.0}};
+  Link link(simulator, cfg);
+  int fires = 0;
+  std::optional<TransferResult> result;
+  const TransferId id = link.start_transfer(
+      2'000'000, [&](const TransferResult& r) {
+        ++fires;
+        result = r;
+      });
+  simulator.run_until(seconds(0.75));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kFailed);
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(link.cancel(id));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(LinkTest, OutageFailsInFlightTransfersAtWindowStart) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);  // 1 MB/s
+  cfg.rtt = sim::Duration{0};
+  cfg.faults.outages = {{.start_s = 1.0, .duration_s = 2.0}};
+  Link link(simulator, cfg);
+  std::optional<TransferResult> result;
+  link.start_transfer(2'000'000, [&](const TransferResult& r) { result = r; });
+  simulator.run_until(seconds(2.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kFailed);
+  EXPECT_NEAR(sim::to_seconds(result->time), 1.0, 0.01);
+  // ~1 MB flowed before the lights went out; partial progress is reported.
+  EXPECT_NEAR(static_cast<double>(result->bytes_delivered), 1'000'000.0, 20'000.0);
+  EXPECT_TRUE(link.in_outage());
+  EXPECT_EQ(link.active_transfers(), 0);
+}
+
+TEST_F(LinkTest, TransferStartedDuringOutageFailsAtActivation) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::milliseconds(100);
+  cfg.faults.outages = {{.start_s = 1.0, .duration_s = 2.0}};
+  Link link(simulator, cfg);
+  std::optional<TransferResult> result;
+  simulator.schedule_at(seconds(1.5), [&] {
+    link.start_transfer(1'000'000, [&](const TransferResult& r) { result = r; });
+  });
+  simulator.run_until(seconds(2.0));
+  // Fails one RTT after the attempt (the request times out into the void).
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kFailed);
+  EXPECT_NEAR(sim::to_seconds(result->time), 1.6, 0.01);
+  EXPECT_EQ(result->bytes_delivered, 0);
+}
+
+TEST_F(LinkTest, TransferCompletesAfterOutageEnds) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);  // 1 MB/s
+  cfg.rtt = sim::Duration{0};
+  cfg.faults.outages = {{.start_s = 0.0, .duration_s = 2.0}};
+  Link link(simulator, cfg);
+  std::optional<TransferResult> result;
+  // Started after the outage is over: completes normally.
+  simulator.schedule_at(seconds(2.5), [&] {
+    link.start_transfer(1'000'000, [&](const TransferResult& r) { result = r; });
+  });
+  simulator.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kCompleted);
+  EXPECT_NEAR(sim::to_seconds(result->time), 3.5, 0.02);
+  EXPECT_NEAR(link.outage_seconds(), 2.0, 1e-9);
+}
+
+TEST_F(LinkTest, CapacityCollapseSlowsTransfer) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);  // 1 MB/s
+  cfg.rtt = sim::Duration{0};
+  // Half capacity in [1s, 3s): 1 MB in the first second, then 0.5 MB/s.
+  cfg.faults.capacity_collapses = {{.start_s = 1.0, .duration_s = 2.0, .factor = 0.5}};
+  Link link(simulator, cfg);
+  std::optional<TransferResult> result;
+  link.start_transfer(2'000'000, [&](const TransferResult& r) { result = r; });
+  simulator.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, TransferStatus::kCompleted);
+  EXPECT_NEAR(sim::to_seconds(result->time), 3.0, 0.03);
+}
+
+TEST_F(LinkTest, RttSpikeScalesEffectiveRtt) {
+  LinkConfig cfg;
+  cfg.bandwidth = BandwidthTrace::constant(8000.0);
+  cfg.rtt = sim::milliseconds(100);
+  cfg.faults.rtt_spikes = {{.start_s = 0.0, .duration_s = 5.0, .factor = 4.0}};
+  Link link(simulator, cfg);
+  EXPECT_EQ(link.rtt(), sim::milliseconds(400));
+  std::optional<TransferResult> result;
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { result = r; });
+  simulator.run();
+  ASSERT_TRUE(result.has_value());
+  // 0.4 s spiked warmup + 1 s of data.
+  EXPECT_NEAR(sim::to_seconds(result->time), 1.4, 0.02);
+  // Outside the spike window the configured RTT is back.
+  EXPECT_EQ(link.rtt(), sim::milliseconds(100));
+}
+
+TEST_F(LinkTest, PerTransferFailuresAreSeededAndDeterministic) {
+  const auto run_once = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::constant(8000.0);
+    cfg.rtt = sim::Duration{0};
+    cfg.faults.transfer_failure_prob = 0.5;
+    cfg.faults.seed = seed;
+    Link link(simulator, cfg);
+    std::vector<TransferStatus> statuses;
+    for (int i = 0; i < 32; ++i) {
+      link.start_transfer(100'000, [&statuses](const TransferResult& r) {
+        statuses.push_back(r.status);
+      });
+    }
+    simulator.run();
+    return statuses;
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  const auto c = run_once(8);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, b);  // same seed, same failure stream
+  EXPECT_NE(a, c);  // different seed, different stream
+  EXPECT_TRUE(std::count(a.begin(), a.end(), TransferStatus::kFailed) > 0);
+  EXPECT_TRUE(std::count(a.begin(), a.end(), TransferStatus::kCompleted) > 0);
+}
+
+TEST_F(LinkTest, FaultPlanValidation) {
+  FaultPlan bad;
+  bad.outages = {{.start_s = -1.0, .duration_s = 1.0}};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = {};
+  bad.capacity_collapses = {{.start_s = 0.0, .duration_s = 1.0, .factor = 0.0}};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = {};
+  bad.rtt_spikes = {{.start_s = 0.0, .duration_s = 1.0, .factor = 0.5}};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = {};
+  bad.transfer_failure_prob = 1.5;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  LinkConfig cfg;
+  cfg.faults.outages = {{.start_s = 0.0, .duration_s = 0.0}};
+  EXPECT_THROW(Link(simulator, cfg), std::invalid_argument);
 }
 
 TEST_F(LinkTest, WeightedTransfersShareProportionally) {
@@ -186,8 +360,8 @@ TEST_F(LinkTest, WeightedTransfersShareProportionally) {
   Link link(simulator, cfg);
   std::optional<Time> heavy, light;
   // Weight 3:1 — the heavy transfer runs at 750 KB/s, the light at 250 KB/s.
-  link.start_transfer(750'000, [&](Time t) { heavy = t; }, 3.0);
-  link.start_transfer(750'000, [&](Time t) { light = t; }, 1.0);
+  link.start_transfer(750'000, [&](const TransferResult& r) { heavy = r.time; }, 3.0);
+  link.start_transfer(750'000, [&](const TransferResult& r) { light = r.time; }, 1.0);
   simulator.run();
   ASSERT_TRUE(heavy && light);
   // Heavy: 750 KB at 750 KB/s = 1 s. Light: 250 KB in the first second,
@@ -205,8 +379,8 @@ TEST_F(LinkTest, WeightedShareRespectsMathisCap) {
   std::optional<Time> heavy, light;
   // Weight 10:1 — the heavy transfer would claim ~7.3 Mbps but is capped,
   // so the light one picks up the slack.
-  link.start_transfer(1'000'000, [&](Time t) { heavy = t; }, 10.0);
-  link.start_transfer(1'000'000, [&](Time t) { light = t; }, 1.0);
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { heavy = r.time; }, 10.0);
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { light = r.time; }, 1.0);
   simulator.run();
   ASSERT_TRUE(heavy && light);
   const double cap_kbps = link.mathis_cap_kbps();
@@ -233,7 +407,7 @@ TEST_F(LinkTest, MathisCapLimitsLossyLink) {
   const double cap = link.mathis_cap_kbps();
   EXPECT_NEAR(cap, 1.22 * 1460.0 * 8.0 / (0.05 * 0.1) / 1000.0, 1.0);
   std::optional<Time> done;
-  link.start_transfer(1'000'000, [&](Time t) { done = t; });
+  link.start_transfer(1'000'000, [&](const TransferResult& r) { done = r.time; });
   simulator.run();
   ASSERT_TRUE(done);
   const double expected_s = 1'000'000.0 * 8.0 / (cap * 1000.0) + 0.05;
@@ -260,8 +434,9 @@ TEST_F(LinkTest, CompletionCallbackCanStartNewTransfer) {
   cfg.rtt = sim::Duration{0};
   Link link(simulator, cfg);
   std::optional<Time> second_done;
-  link.start_transfer(1'000'000, [&](Time) {
-    link.start_transfer(1'000'000, [&](Time t2) { second_done = t2; });
+  link.start_transfer(1'000'000, [&](const TransferResult&) {
+    link.start_transfer(1'000'000,
+                        [&](const TransferResult& r) { second_done = r.time; });
   });
   simulator.run();
   ASSERT_TRUE(second_done);
@@ -272,7 +447,7 @@ TEST_F(LinkTest, ActiveTransfersCountsWarmupSeparately) {
   LinkConfig cfg;
   cfg.rtt = sim::milliseconds(100);
   Link link(simulator, cfg);
-  link.start_transfer(1'000'000, [](Time) {});
+  link.start_transfer(1'000'000, [](const TransferResult&) {});
   EXPECT_EQ(link.active_transfers(), 0);  // still in RTT warmup
   simulator.run_until(seconds(0.2));
   EXPECT_EQ(link.active_transfers(), 1);

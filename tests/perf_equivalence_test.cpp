@@ -390,9 +390,12 @@ TEST(LinkEquivalence, ActiveTransferCounterTracksWarmupChurnAndCancel) {
                  net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(8'000.0),
                                  .rtt = sim::milliseconds(20)});
   int completions = 0;
-  const auto id1 = link.start_transfer(100'000, [&](sim::Time) { ++completions; });
-  const auto id2 = link.start_transfer(200'000, [&](sim::Time) { ++completions; });
-  link.start_transfer(50'000, [&](sim::Time) { ++completions; });
+  const auto count_completed = [&](const net::TransferResult& r) {
+    if (r.completed()) ++completions;
+  };
+  const auto id1 = link.start_transfer(100'000, count_completed);
+  const auto id2 = link.start_transfer(200'000, count_completed);
+  link.start_transfer(50'000, count_completed);
   EXPECT_EQ(link.active_transfers(), 0);  // all in RTT warmup
   simulator.run_until(sim::milliseconds(25));
   EXPECT_EQ(link.active_transfers(), 3);
@@ -415,12 +418,14 @@ TEST(LinkEquivalence, ChurnIsDeterministicAcrossRuns) {
     std::vector<std::int64_t> completion_ticks;
     for (int i = 0; i < 24; ++i) {
       simulator.schedule_at(sim::milliseconds(i * 7), [&link, &completion_ticks] {
-        link.start_transfer(60'000, [&link, &completion_ticks](sim::Time t) {
-          completion_ticks.push_back(t.count());
-          link.start_transfer(30'000, [&completion_ticks](sim::Time t2) {
-            completion_ticks.push_back(t2.count());
-          });
-        });
+        link.start_transfer(
+            60'000, [&link, &completion_ticks](const net::TransferResult& r) {
+              completion_ticks.push_back(r.time.count());
+              link.start_transfer(
+                  30'000, [&completion_ticks](const net::TransferResult& r2) {
+                    completion_ticks.push_back(r2.time.count());
+                  });
+            });
       });
     }
     simulator.run_until(sim::seconds(5.0));

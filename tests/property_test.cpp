@@ -14,6 +14,7 @@
 #include "hmp/fusion.h"
 #include "hmp/head_trace.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -168,16 +169,103 @@ TEST(LinkProperty, DeliveredBytesMatchCompletedTransfers) {
       const auto bytes = static_cast<std::int64_t>(rng.uniform(10'000.0, 2e6));
       ++started;
       simulator.schedule_at(sim::seconds(t), [&link, &expected, &completed, bytes] {
-        link.start_transfer(bytes, [&expected, &completed, bytes](sim::Time) {
-          expected += bytes;
-          ++completed;
-        });
+        link.start_transfer(bytes,
+                            [&expected, &completed, bytes](const net::TransferResult& r) {
+                              ASSERT_EQ(r.status, net::TransferStatus::kCompleted);
+                              expected += bytes;
+                              ++completed;
+                            });
       });
     }
     simulator.run();
     EXPECT_EQ(completed, started);
     EXPECT_EQ(link.bytes_delivered(), expected);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Retry-with-backoff invariants (DESIGN.md §10): across randomized outage
+// plans, deadlines and retry policies, a request (a) settles exactly once,
+// (b) never retries past its budget, and (c) never *starts* a retry at or
+// past its playback deadline.
+
+TEST(RecoveryProperty, RetryBudgetAndDeadlineNeverExceeded) {
+  Rng rng(77);
+  int delivered_total = 0;
+  int unfinished_total = 0;
+  for (int round = 0; round < 8; ++round) {
+    sim::Simulator simulator;
+    obs::Telemetry telemetry;
+    // One outage covering every first attempt: all requests go out at t=0
+    // and fail fast (RTT), so every delivery is a retry delivery and the
+    // deadline gate applies to it.
+    net::FaultPlan faults;
+    const double outage_s = rng.uniform(0.8, 1.2);
+    faults.outages.push_back({.start_s = 0.0, .duration_s = outage_s});
+    net::Link link(simulator,
+                   net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(8'000.0),
+                                   .rtt = sim::milliseconds(20),
+                                   .loss_rate = 0.0,
+                                   .faults = std::move(faults)});
+    core::TransportOptions options;
+    options.max_concurrent = 1;
+    options.telemetry = &telemetry;
+    options.recovery.enabled = true;
+    options.recovery.max_retries = rng.uniform_int(1, 4);
+    options.recovery.base_backoff =
+        sim::milliseconds(rng.uniform_int(150, 400));
+    options.recovery.backoff_multiplier = rng.uniform(1.0, 2.5);
+    core::SingleLinkTransport transport(link, options);
+
+    const int requests = 12;
+    std::vector<int> fired(requests, 0);
+    std::vector<sim::Time> settled(requests, sim::kTimeZero);
+    std::vector<core::FetchOutcome> outcomes(
+        requests, core::FetchOutcome::kDropped);
+    std::vector<sim::Time> deadlines(requests, sim::kTimeZero);
+    for (int i = 0; i < requests; ++i) {
+      core::ChunkRequest req;
+      req.address = {{static_cast<geo::TileId>(i % 8), 0},
+                     media::Encoding::kAvc, 0};
+      req.bytes = rng.uniform_int(50'000, 500'000);
+      req.deadline = sim::seconds(rng.uniform(outage_s + 0.1, 5.0));
+      deadlines[static_cast<std::size_t>(i)] = req.deadline;
+      req.on_done = [&fired, &settled, &outcomes, i](sim::Time t,
+                                                     core::FetchOutcome o) {
+        ++fired[static_cast<std::size_t>(i)];
+        settled[static_cast<std::size_t>(i)] = t;
+        outcomes[static_cast<std::size_t>(i)] = o;
+      };
+      transport.fetch(std::move(req));
+    }
+    simulator.run_until(sim::seconds(60.0));
+
+    const auto* retries = telemetry.metrics().find_counter("transport.retries");
+    ASSERT_NE(retries, nullptr);
+    // (b) Aggregate retry budget: never more than max_retries per request.
+    EXPECT_LE(retries->value(),
+              static_cast<std::int64_t>(requests) *
+                  options.recovery.max_retries);
+    // A retry dispatch is gated on `now < deadline` and (with one transfer
+    // at a time on an 8 Mbps link) finishes within bytes/capacity + RTT.
+    const sim::Duration max_transfer =
+        sim::seconds(500'000.0 / 1'000'000.0) + sim::milliseconds(100);
+    for (int i = 0; i < requests; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      // (a) Exactly-once settlement.
+      EXPECT_EQ(fired[s], 1) << "request " << i;
+      if (core::delivered(outcomes[s])) {
+        ++delivered_total;
+        // (c) Delivery implies its (retry) dispatch started pre-deadline.
+        EXPECT_LT(settled[s], deadlines[s] + max_transfer) << "request " << i;
+      } else {
+        ++unfinished_total;
+      }
+    }
+  }
+  // Non-vacuity: the sweep produced both recoveries and casualties.
+  EXPECT_GT(delivered_total, 0);
+  EXPECT_GT(unfinished_total, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -284,7 +372,7 @@ TEST_P(SessionProperty, InvariantsHoldEndToEnd) {
   net::Link link(simulator,
                  net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(15'000.0),
                                  .rtt = sim::milliseconds(25)});
-  core::SingleLinkTransport transport(link, 8);
+  core::SingleLinkTransport transport(link, {.max_concurrent = 8});
   core::SessionConfig config;
   config.vra.mode = mode;
   config.planner = planner;
@@ -321,7 +409,7 @@ TEST_P(SessionProperty, DeterministicAcrossRuns) {
                    net::LinkConfig{.bandwidth = net::BandwidthTrace::random_walk(
                                        9'000.0, 0.3, 1.0, 200.0, 4),
                                    .rtt = sim::milliseconds(25)});
-    core::SingleLinkTransport transport(link, 8);
+    core::SingleLinkTransport transport(link, {.max_concurrent = 8});
     core::SessionConfig config;
     config.vra.mode = mode;
     config.planner = planner;

@@ -36,7 +36,7 @@ TiledLiveReport run_viewer(double link_kbps, TiledLiveConfig config,
                  net::LinkConfig{.name = "dl",
                                  .bandwidth = net::BandwidthTrace::constant(link_kbps),
                                  .rtt = sim::milliseconds(30)});
-  core::SingleLinkTransport transport(link, 12);
+  core::SingleLinkTransport transport(link, {.max_concurrent = 12});
   auto video = live_video();
   const auto trace = viewer_trace(trace_seed);
   TiledLiveSession session(simulator, video, transport, trace, config, crowd);
@@ -149,7 +149,8 @@ TEST(TiledLive, EndToEndCrowdHelpsLaggard) {
           net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(30'000.0),
                           .rtt = sim::milliseconds(25)}));
       transports.push_back(
-          std::make_unique<core::SingleLinkTransport>(*links.back(), 12));
+          std::make_unique<core::SingleLinkTransport>(*links.back(),
+                                                      core::TransportOptions{.max_concurrent = 12}));
       traces.push_back(
           std::make_unique<hmp::HeadTrace>(viewer_trace(100 + v)));
       TiledLiveConfig cfg;
@@ -164,7 +165,8 @@ TEST(TiledLive, EndToEndCrowdHelpsLaggard) {
         net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(5'000.0),
                         .rtt = sim::milliseconds(40)}));
     transports.push_back(
-        std::make_unique<core::SingleLinkTransport>(*links.back(), 12));
+        std::make_unique<core::SingleLinkTransport>(*links.back(),
+                                                      core::TransportOptions{.max_concurrent = 12}));
     traces.push_back(std::make_unique<hmp::HeadTrace>(viewer_trace(200)));
     TiledLiveConfig laggard_cfg;
     laggard_cfg.e2e_target_s = 25.0;
