@@ -55,7 +55,7 @@ int main() {
   // the knob behind the 45% [16] vs 60-80% [37] spread in the literature.
   std::cout << "Saving vs tile granularity (quality pinned to level 2):\n";
   TextTable grid_table({"Tile grid", "Agnostic MB", "Guided MB", "Saving %"});
-  for (const auto [rows, cols] : {std::pair{2, 4}, {4, 6}, {6, 8}, {8, 12}}) {
+  for (const auto& [rows, cols] : {std::pair{2, 4}, {4, 6}, {6, 8}, {8, 12}}) {
     media::VideoModelConfig vcfg;
     vcfg.duration_s = kVideoSeconds;
     vcfg.tile_rows = rows;

@@ -162,10 +162,10 @@ int main() {
       links.push_back(std::make_unique<net::Link>(
           simulator,
           net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(kbps),
-                          .rtt = sim::milliseconds(30)}));
+                          .rtt = sim::milliseconds(30), .faults = {}}));
       transports.push_back(
           std::make_unique<core::SingleLinkTransport>(*links.back(),
-                                                      core::TransportOptions{.max_concurrent = 12}));
+                                                      core::TransportOptions{.max_concurrent = 12, .recovery = {}}));
       traces.push_back(std::make_unique<hmp::HeadTrace>(standard_trace(seed)));
       live::TiledLiveConfig cfg;
       cfg.e2e_target_s = latency_s;

@@ -101,7 +101,7 @@ void BM_LinkReflowUnderLoad(benchmark::State& state) {
     sim::Simulator simulator;
     net::Link link(simulator,
                    net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(50'000.0),
-                                   .rtt = sim::milliseconds(10)});
+                                   .rtt = sim::milliseconds(10), .faults = {}});
     for (int i = 0; i < n; ++i) {
       // Staggered small transfers keep the active set changing.
       simulator.schedule_at(sim::milliseconds(i * 7), [&link] {

@@ -38,13 +38,13 @@ Outcome run_with(const char* scheduler_name, std::uint64_t seed) {
                      .bandwidth = net::BandwidthTrace::markov_two_state(
                          15'000.0, 2'500.0, 12.0, 4.0, kVideoSeconds + 600.0, seed),
                      .rtt = sim::milliseconds(20),
-                     .loss_rate = 0.0});
+                     .loss_rate = 0.0, .faults = {}});
   // LTE: steady 7 Mbps, some loss, longer RTT.
   net::Link lte(simulator,
                 net::LinkConfig{.name = "lte",
                                 .bandwidth = net::BandwidthTrace::constant(7'000.0),
                                 .rtt = sim::milliseconds(55),
-                                .loss_rate = 0.002});
+                                .loss_rate = 0.002, .faults = {}});
   std::unique_ptr<mp::PathScheduler> scheduler;
   if (std::string_view(scheduler_name) == "wifi-only") {
     scheduler = std::make_unique<mp::SinglePathScheduler>(0);

@@ -90,8 +90,8 @@ int main() {
         config.vra.mode = mode.mode;
         sim::Simulator simulator;
         net::Link link(simulator, net::LinkConfig{.bandwidth = bandwidth,
-                                                  .rtt = sim::milliseconds(30)});
-        core::SingleLinkTransport transport(link, {.max_concurrent = 16});
+                                                  .rtt = sim::milliseconds(30), .faults = {}});
+        core::SingleLinkTransport transport(link, {.max_concurrent = 16, .recovery = {}});
         auto video = standard_video();
         const auto trace = standard_trace(300 + seed, user.profile);
         core::StreamingSession session(simulator, video, transport, trace, config);

@@ -24,15 +24,15 @@ int main() {
                  net::LinkConfig{.name = "wifi",
                                  .bandwidth = net::BandwidthTrace::constant(15'000.0),
                                  .rtt = sim::milliseconds(20),
-                                 .loss_rate = 0.0});
+                                 .loss_rate = 0.0, .faults = {}});
   net::Link lte(simulator,
                 net::LinkConfig{.name = "lte",
                                 .bandwidth = net::BandwidthTrace::constant(8'000.0),
                                 .rtt = sim::milliseconds(60),
-                                .loss_rate = 0.005});
+                                .loss_rate = 0.005, .faults = {}});
   mp::MultipathTransport transport(
       simulator, {&wifi, &lte}, std::make_unique<mp::ContentAwareScheduler>(),
-      {.max_concurrent = 2, .telemetry = &telemetry});
+      {.max_concurrent = 2, .telemetry = &telemetry, .recovery = {}});
   auto video = standard_video();
   const auto trace = standard_trace(17);
   core::SessionConfig config;

@@ -71,11 +71,11 @@ inline core::SessionReport run_vod(const net::BandwidthTrace& bandwidth,
   net::Link link(simulator, net::LinkConfig{.name = "link",
                                             .bandwidth = bandwidth,
                                             .rtt = sim::milliseconds(30),
-                                            .loss_rate = 0.0});
+                                            .loss_rate = 0.0, .faults = {}});
   // HTTP/2-style multiplexing: fine tile grids issue hundreds of small
   // requests per chunk, which would otherwise serialize on the RTT.
   core::SingleLinkTransport transport(
-      link, {.max_concurrent = 16, .telemetry = telemetry});
+      link, {.max_concurrent = 16, .telemetry = telemetry, .recovery = {}});
   if (!video) video = standard_video();
   const auto trace = standard_trace(trace_seed);
   config.telemetry = telemetry;

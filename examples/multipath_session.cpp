@@ -35,13 +35,13 @@ int main(int argc, char** argv) {
                  net::LinkConfig{.name = "wifi",
                                  .bandwidth = net::BandwidthTrace::markov_two_state(
                                      16'000.0, 2'000.0, 14.0, 4.0, 400.0, 7),
-                                 .rtt = sim::milliseconds(18)});
+                                 .rtt = sim::milliseconds(18), .faults = {}});
   // LTE: steadier but slower, lossy and with a longer RTT.
   net::Link lte(simulator,
                 net::LinkConfig{.name = "lte",
                                 .bandwidth = net::BandwidthTrace::constant(7'000.0),
                                 .rtt = sim::milliseconds(55),
-                                .loss_rate = 0.003});
+                                .loss_rate = 0.003, .faults = {}});
   mp::MultipathTransport transport(simulator, {&wifi, &lte},
                                    mp::make_path_scheduler(scheduler_name));
 

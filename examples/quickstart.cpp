@@ -44,8 +44,8 @@ int main() {
                  net::LinkConfig{.name = "lte",
                                  .bandwidth = net::BandwidthTrace::random_walk(
                                      12'000.0, 0.3, 1.0, 300.0, 3),
-                                 .rtt = sim::milliseconds(40)});
-  core::SingleLinkTransport transport(link, {.max_concurrent = 8});
+                                 .rtt = sim::milliseconds(40), .faults = {}});
+  core::SingleLinkTransport transport(link, {.max_concurrent = 8, .recovery = {}});
 
   // 4. The session: FoV-guided, SVC incremental upgrades, LR head prediction.
   core::SessionConfig session_cfg;

@@ -7,6 +7,7 @@
 // upgrades are plausible.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

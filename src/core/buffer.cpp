@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace sperke::core {
 
 PlaybackBuffer::PlaybackBuffer(std::shared_ptr<const media::VideoModel> video)
@@ -10,14 +12,36 @@ PlaybackBuffer::PlaybackBuffer(std::shared_ptr<const media::VideoModel> video)
 }
 
 void PlaybackBuffer::add(const media::ChunkAddress& address) {
+  // Chunk state-machine legality: a negative level would corrupt the
+  // best_avc / svc_layers lattice silently (displayable_quality compares
+  // against -1 as "nothing buffered").
+  SPERKE_CHECK(address.level >= 0,
+               "PlaybackBuffer: negative quality/layer ", address.level);
+  SPERKE_DCHECK(address.key.tile >= 0 &&
+                    address.key.tile < video_->tile_count(),
+                "PlaybackBuffer: tile out of grid: ", address.key.tile);
+  SPERKE_DCHECK(address.key.index >= 0 &&
+                    address.key.index < video_->chunk_count(),
+                "PlaybackBuffer: chunk index out of range: ",
+                address.key.index);
   Cell& cell = cells_[address.key];
   if (!cell.objects.insert(address).second) return;  // duplicate
+#if SPERKE_DCHECK_IS_ON
+  const media::QualityLevel before = displayable_quality(address.key);
+#endif
   total_bytes_ += video_->size_bytes(address);
   if (address.encoding == media::Encoding::kAvc) {
     cell.best_avc = std::max(cell.best_avc, address.level);
   } else {
     cell.svc_layers.insert(address.level);
   }
+#if SPERKE_DCHECK_IS_ON
+  // Adding an object can only raise (or keep) what the cell can display —
+  // the download state machine never moves a cell backwards.
+  SPERKE_DCHECK(displayable_quality(address.key) >= before,
+                "PlaybackBuffer: add lowered displayable quality of cell");
+#endif
+  SPERKE_DCHECK(total_bytes_ >= 0, "PlaybackBuffer: negative total bytes");
 }
 
 media::QualityLevel PlaybackBuffer::displayable_quality(
@@ -80,6 +104,16 @@ void PlaybackBuffer::evict_before(media::ChunkIndex index) {
       it = cells_.erase(it);
     } else {
       ++it;
+    }
+  }
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    // The erase loop above must leave no played-out cell behind; a stale
+    // cell would let contiguous_chunks() report buffer the player already
+    // discarded.
+    for (const auto& [key, cell] : cells_) {
+      SPERKE_DCHECK(key.index >= index,
+                    "PlaybackBuffer: evict_before left stale cell at chunk ",
+                    key.index);
     }
   }
 }

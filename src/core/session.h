@@ -12,6 +12,7 @@
 // datasets): a stall freezes both the playhead and the sensor stream.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "engine/shard.h"
+#include "util/check.h"
 
 namespace sperke::engine {
 
@@ -56,16 +57,38 @@ EngineResult ShardedEngine::run(const EngineOptions& options) {
   result.threads_used = threads;
   result.reports.resize(static_cast<std::size_t>(spec_.sessions));
   result.shard_telemetry.reserve(static_cast<std::size_t>(shard_count));
+  // Merge preconditions: every shard fills a disjoint, in-range slice of
+  // the report vector — exactly once across all shards.
+  std::vector<bool> filled;
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    filled.assign(static_cast<std::size_t>(spec_.sessions), false);
+  }
   for (auto& shard : shards) {
     result.events_executed += shard->events_executed();
     result.completed += shard->completed();
     const std::vector<int>& ids = shard->session_ids();
     for (std::size_t local = 0; local < ids.size(); ++local) {
-      result.reports[static_cast<std::size_t>(ids[local])] =
+      const int id = ids[local];
+      SPERKE_CHECK(id >= 0 && id < spec_.sessions,
+                   "ShardedEngine: shard ", shard->id(),
+                   " reports out-of-range session ", id);
+      if constexpr (SPERKE_DCHECK_IS_ON) {
+        SPERKE_DCHECK(!filled[static_cast<std::size_t>(id)],
+                      "ShardedEngine: session ", id,
+                      " reported by two shards");
+        filled[static_cast<std::size_t>(id)] = true;
+      }
+      result.reports[static_cast<std::size_t>(id)] =
           shard->report(static_cast<int>(local));
     }
     result.metrics.merge_from(shard->telemetry().metrics());
     result.shard_telemetry.push_back(shard->release_telemetry());
+  }
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    for (std::size_t i = 0; i < filled.size(); ++i) {
+      SPERKE_DCHECK(filled[i], "ShardedEngine: session ", i,
+                    " reported by no shard");
+    }
   }
   return result;
 }

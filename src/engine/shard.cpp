@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace sperke::engine {
 
 Shard::Shard(const WorldSpec& spec, int shard_id,
@@ -12,6 +14,13 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
       rng_(spec.seed ^ static_cast<std::uint64_t>(shard_id)),
       telemetry_(std::make_unique<obs::Telemetry>()),
       video_(std::make_shared<media::VideoModel>(spec.video)) {
+  // The engine validates the spec before fanning out; a shard constructed
+  // outside those bounds would silently own the wrong session slice.
+  SPERKE_CHECK(shard_id >= 0 && shard_id < spec.shards,
+               "Shard: id ", shard_id, " outside [0, ", spec.shards, ")");
+  SPERKE_CHECK(!traces.empty(), "Shard: empty head-trace pool");
+  SPERKE_CHECK(spec.sessions_per_link > 0,
+               "Shard: sessions_per_link must be positive");
   const int groups = group_count(spec);
   for (int g = 0; g < groups; ++g) {
     if (shard_of_group(spec, g) != shard_id_) continue;
@@ -45,6 +54,15 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
     }
   }
   if (spec.monitor) monitor_.emplace(simulator_, *telemetry_);
+
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    // session_ids_ ascending is what makes the merged report order (and
+    // therefore every merged metric) independent of shard count.
+    for (std::size_t s = 1; s < session_ids_.size(); ++s) {
+      SPERKE_DCHECK(session_ids_[s - 1] < session_ids_[s],
+                    "Shard: session ids not strictly ascending");
+    }
+  }
 
   // Starts are staggered by *global* id, so a group's timeline is the same
   // whether it shares a simulator with every other group or runs alone.

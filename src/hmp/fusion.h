@@ -8,6 +8,7 @@
 // candidate tiles, context *prunes* them.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>

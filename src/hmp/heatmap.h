@@ -4,6 +4,7 @@
 // viewers (live crowd-sourced HMP, §3.4.2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -8,6 +8,7 @@
 // feeds into fusion pruning.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

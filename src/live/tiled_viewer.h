@@ -16,6 +16,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "abr/qoe.h"
 #include "abr/sperke_vra.h"

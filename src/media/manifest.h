@@ -6,7 +6,9 @@
 // that metadata.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "media/video_model.h"
 

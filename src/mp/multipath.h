@@ -17,6 +17,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -117,7 +119,9 @@ class MultipathTransport final : public core::ChunkTransport {
   // probes down paths back into service (DESIGN.md §10).
   MultipathTransport(sim::Simulator& simulator, std::vector<net::Link*> links,
                      std::unique_ptr<PathScheduler> scheduler,
-                     core::TransportOptions options = {.max_concurrent = 2});
+                     core::TransportOptions options = {.max_concurrent = 2,
+                                                       .telemetry = nullptr,
+                                                       .recovery = {}});
   ~MultipathTransport() override;
 
   void fetch(core::ChunkRequest request) override;

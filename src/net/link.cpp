@@ -126,6 +126,9 @@ std::int64_t Link::transfer_remaining_bytes(TransferId id) const {
 
 void Link::activate(TransferId id) {
   Transfer& t = transfers_.at(id);
+  // Double activation would insert a duplicate active_ entry and count the
+  // transfer twice in every water-filling weight sum.
+  SPERKE_CHECK(!t.active, "Link: transfer activated twice");
   t.active = true;
   // Activations arrive in id order (same RTT for every transfer), so this
   // is effectively a push_back; lower_bound keeps the id ordering an
@@ -171,7 +174,7 @@ TransferId Link::start_transfer(std::int64_t bytes, TransferCallback on_complete
     if (has_faults_ && in_outage()) {
       // The request hit a dead link: the handshake times out after the RTT
       // instead of ever activating.
-      Completion failed{std::move(it->second.on_complete),
+      Completion failed{id, std::move(it->second.on_complete),
                         {TransferStatus::kFailed, simulator_.now(), 0}};
       transfers_.erase(it);
       std::vector<Completion> completions = std::move(completed_scratch_);
@@ -183,6 +186,7 @@ TransferId Link::start_transfer(std::int64_t bytes, TransferCallback on_complete
     advance();
     activate(id);
     reflow();
+    dcheck_active_consistent();
   });
   return id;
 }
@@ -191,12 +195,13 @@ bool Link::cancel(TransferId id) {
   const auto it = transfers_.find(id);
   if (it == transfers_.end()) return false;  // finished/failed: never re-fires
   advance();
-  Completion cancelled{std::move(it->second.on_complete),
+  Completion cancelled{id, std::move(it->second.on_complete),
                        {TransferStatus::kCancelled, simulator_.now(),
                         it->second.counted_bytes}};
   if (it->second.active) deactivate(id);
   transfers_.erase(it);
   reflow();
+  dcheck_active_consistent();
   std::vector<Completion> completions = std::move(completed_scratch_);
   completions.clear();
   completions.push_back(std::move(cancelled));
@@ -212,7 +217,7 @@ void Link::on_outage_begin() {
   completions.clear();
   const sim::Time now = simulator_.now();
   for (auto& [id, t] : transfers_) {
-    completions.push_back({std::move(t.on_complete),
+    completions.push_back({id, std::move(t.on_complete),
                            {TransferStatus::kFailed, now, t.counted_bytes}});
   }
   transfers_.clear();
@@ -229,6 +234,9 @@ void Link::on_fault_boundary() {
 void Link::advance() {
   const sim::Time now = simulator_.now();
   const double dt = sim::to_seconds(now - last_update_);
+  // last_update_ only ever moves forward with the simulator clock; a
+  // negative dt means time ran backwards and every fluid integral is wrong.
+  SPERKE_DCHECK(dt >= 0.0, "Link: advance with negative dt=", dt);
   if (dt > 0.0) {
     for (auto& [id, t] : active_) {
       if (t->rate_bps <= 0.0) continue;
@@ -238,6 +246,11 @@ void Link::advance() {
       const auto inc = static_cast<std::int64_t>(std::llround(delivered));
       t->counted_bytes += inc;
       bytes_delivered_ += inc;
+      // Byte conservation per transfer: the fluid model can neither deliver
+      // more than the object holds nor drive the residue negative.
+      SPERKE_DCHECK(t->remaining_bytes >= 0.0 &&
+                        t->remaining_bytes <= static_cast<double>(t->total_bytes),
+                    "Link: remaining_bytes out of [0, total] for transfer ", id);
     }
   }
   last_update_ = now;
@@ -286,6 +299,20 @@ void Link::recompute_rates() {
     for (Transfer* t : unallocated) {
       t->rate_bps = remaining_capacity * t->weight / total_weight;
     }
+  }
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    // Rate conservation: the water-filling never allocates more than the
+    // link's capacity (1e-9 relative slack for the divisions above), and
+    // no transfer exceeds its Mathis ceiling.
+    double allocated_bps = 0.0;
+    for (const auto& [id, t] : active_) {
+      allocated_bps += t->rate_bps;
+      SPERKE_DCHECK(t->rate_bps <= cap_bps * (1.0 + 1e-9) + 1e-6,
+                    "Link: transfer ", id, " exceeds Mathis cap");
+    }
+    SPERKE_DCHECK(allocated_bps <= capacity_bps * (1.0 + 1e-9) + 1e-6,
+                  "Link: water-filling over-allocated ", allocated_bps,
+                  " bps of ", capacity_bps);
   }
 }
 
@@ -338,7 +365,7 @@ void Link::on_wakeup() {
     if (t->fail_at_remaining_bytes >= 0.0 &&
         t->remaining_bytes <= t->fail_at_remaining_bytes + kCompleteEpsilonBytes) {
       // Scheduled mid-flight failure: report the partial progress.
-      completions.push_back({std::move(t->on_complete),
+      completions.push_back({active_[read].first, std::move(t->on_complete),
                              {TransferStatus::kFailed, now, t->counted_bytes}});
       transfers_.erase(active_[read].first);
     } else if (t->remaining_bytes <= kCompleteEpsilonBytes) {
@@ -346,7 +373,7 @@ void Link::on_wakeup() {
       // exactly its size, no matter how the increments rounded.
       bytes_delivered_ += t->total_bytes - t->counted_bytes;
       completions.push_back(
-          {std::move(t->on_complete),
+          {active_[read].first, std::move(t->on_complete),
            {TransferStatus::kCompleted, now, t->total_bytes}});
       transfers_.erase(active_[read].first);
     } else {
@@ -354,6 +381,7 @@ void Link::on_wakeup() {
     }
   }
   active_.resize(keep);
+  dcheck_active_consistent();
   if (completions.empty() && capacity_kbps_now() * 1000.0 == rates_capacity_bps_) {
     // Nothing changed: the active set is intact and capacity is what the
     // current rates were computed from, so recomputing would reproduce
@@ -371,9 +399,36 @@ void Link::fire_completions(std::vector<Completion> completions) {
   // The capacity returns to the scratch afterwards.
   const auto alive = alive_;
   for (Completion& c : completions) {
+    if (*alive) {  // members are gone once a callback destroys the Link
+      // No-double-fire: a completion only exists for a transfer already
+      // erased from the tracked set — cancel() on a finished/failed id must
+      // find nothing and return false, never re-fire (DESIGN.md §10).
+      SPERKE_CHECK(transfers_.find(c.id) == transfers_.end(),
+                   "Link: completion fired for still-tracked transfer ", c.id);
+      if constexpr (SPERKE_DCHECK_IS_ON) {
+        SPERKE_DCHECK(fired_ids_.insert(c.id).second,
+                      "Link: completion double-fired for transfer ", c.id);
+      }
+    }
     if (c.callback) c.callback(c.result);
   }
   if (*alive) completed_scratch_ = std::move(completions);
+}
+
+void Link::dcheck_active_consistent() const {
+  if constexpr (SPERKE_DCHECK_IS_ON) {
+    TransferId prev = 0;
+    for (const auto& [id, t] : active_) {
+      SPERKE_DCHECK(prev < id || prev == 0,
+                    "Link: active_ ids not strictly ascending at ", id);
+      prev = id;
+      const auto it = transfers_.find(id);
+      SPERKE_DCHECK(it != transfers_.end(),
+                    "Link: active_ references erased transfer ", id);
+      SPERKE_DCHECK(&it->second == t && it->second.active,
+                    "Link: active_ entry stale for transfer ", id);
+    }
+  }
 }
 
 }  // namespace sperke::net

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "net/bandwidth_trace.h"
 #include "net/fault.h"
 #include "sim/simulator.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace sperke::net {
@@ -130,6 +132,7 @@ class Link {
     TransferCallback on_complete;
   };
   struct Completion {
+    TransferId id = 0;
     TransferCallback callback;
     TransferResult result;
   };
@@ -153,6 +156,10 @@ class Link {
   [[nodiscard]] bool in_outage_at(sim::Time t) const;
   [[nodiscard]] double fault_capacity_factor_at(sim::Time t) const;
   void fire_completions(std::vector<Completion> completions);
+  // DCHECK-build verification that active_ mirrors transfers_: strictly
+  // ascending ids, every entry present and flagged active, pointers fresh.
+  // Compiled out entirely (if constexpr) outside the check preset.
+  void dcheck_active_consistent() const;
 
   sim::Simulator& simulator_;
   LinkConfig config_;
@@ -173,6 +180,10 @@ class Link {
   // (the recomputation would reproduce the current rates bit-for-bit).
   double rates_capacity_bps_ = -1.0;
   std::int64_t bytes_delivered_ = 0;
+  // Check-preset-only double-fire detector: every TransferId whose
+  // completion callback has already run. Populated under
+  // SPERKE_DCHECK_IS_ON only; stays empty (and untouched) in release.
+  std::set<TransferId> fired_ids_;
   // Fault state. has_faults_ gates every fault check so an empty plan keeps
   // the hot path (and its floating-point results) bit-identical.
   bool has_faults_ = false;

@@ -4,6 +4,7 @@
 // last K samples (robust to outliers; used by MPC-style controllers).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace sperke::obs {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -14,6 +16,8 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double x) {
+  SPERKE_DCHECK(bucket_counts_.size() == upper_bounds_.size() + 1,
+                "Histogram: bucket/bound arrays out of sync");
   const auto it =
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
   ++bucket_counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
@@ -37,6 +41,8 @@ void Histogram::merge_from(const Histogram& other) {
     throw std::invalid_argument(
         "Histogram::merge_from: mismatched bucket layouts");
   }
+  SPERKE_DCHECK(bucket_counts_.size() == other.bucket_counts_.size(),
+                "Histogram: merge with out-of-sync bucket arrays");
   for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
     bucket_counts_[i] += other.bucket_counts_[i];
   }
@@ -46,6 +52,7 @@ void Histogram::merge_from(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  SPERKE_DCHECK(count_ >= other.count_, "Histogram: merge lost samples");
 }
 
 std::string_view metric_kind_name(MetricKind kind) {
@@ -119,22 +126,37 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Shard-merge precondition: `other` must be self-consistent — the union
+  // members are only non-null for the entry's registered kind, and a
+  // registry can never merge into itself (counters would double).
+  SPERKE_CHECK(&other != this, "MetricsRegistry: merge_from(self)");
   for (const Entry& theirs : other.entries()) {
     // resolve() throws on a kind mismatch and appends unknown names in
     // `other`'s registration order, keeping the merged export deterministic.
     switch (theirs.kind) {
       case MetricKind::kCounter:
+        SPERKE_CHECK(theirs.counter != nullptr,
+                     "MetricsRegistry: counter entry '", theirs.name,
+                     "' has no instrument");
         counter(theirs.name).merge_from(*theirs.counter);
         break;
       case MetricKind::kGauge:
+        SPERKE_CHECK(theirs.gauge != nullptr,
+                     "MetricsRegistry: gauge entry '", theirs.name,
+                     "' has no instrument");
         gauge(theirs.name).merge_from(*theirs.gauge);
         break;
       case MetricKind::kHistogram:
+        SPERKE_CHECK(theirs.histogram != nullptr,
+                     "MetricsRegistry: histogram entry '", theirs.name,
+                     "' has no instrument");
         histogram(theirs.name, theirs.histogram->upper_bounds())
             .merge_from(*theirs.histogram);
         break;
     }
   }
+  SPERKE_DCHECK(entries_.size() == index_.size(),
+                "MetricsRegistry: name index out of sync with entries");
 }
 
 double histogram_quantile_bound(const Histogram& hist, double q) {

@@ -5,6 +5,7 @@
 // are deterministic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>

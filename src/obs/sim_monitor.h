@@ -9,6 +9,8 @@
 //   sim.samples          (counter)   number of samples taken
 #pragma once
 
+#include <cstdint>
+
 #include "obs/telemetry.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"

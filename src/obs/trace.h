@@ -5,6 +5,7 @@
 // recorded timeline into Chrome trace_event JSON / JSONL / CSV.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>

@@ -4,6 +4,7 @@
 // Figure 5 bench to *measure* FPS rather than compute it analytically.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

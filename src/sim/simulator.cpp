@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace sperke::sim {
 
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  // A null event would only be discovered when it fires, far from the
+  // scheduling bug that produced it.
+  SPERKE_CHECK(fn != nullptr, "Simulator: scheduling a null event");
   const EventId id{std::max(at, now_), next_seq_++};
   queue_.emplace(id, std::move(fn));
   return id;
@@ -20,6 +25,11 @@ void Simulator::run_until(Time deadline) {
   while (!queue_.empty()) {
     const auto it = queue_.begin();
     if (it->first.at > deadline) break;
+    // Event-time monotonicity: the clock never runs backwards. schedule_at
+    // clamps to now(), so a violation here means the queue ordering itself
+    // broke — every downstream timestamp would be silently wrong.
+    SPERKE_CHECK(it->first.at >= now_,
+                 "Simulator: event time precedes now; clock would reverse");
     now_ = it->first.at;
     auto fn = std::move(it->second);
     queue_.erase(it);
@@ -32,6 +42,8 @@ void Simulator::run_until(Time deadline) {
 void Simulator::run() {
   while (!queue_.empty()) {
     const auto it = queue_.begin();
+    SPERKE_CHECK(it->first.at >= now_,
+                 "Simulator: event time precedes now; clock would reverse");
     now_ = it->first.at;
     auto fn = std::move(it->second);
     queue_.erase(it);

@@ -6,6 +6,7 @@
 // is driven by one Simulator instance.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>

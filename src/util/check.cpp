@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace sperke::detail {
+
+void check_failed_abort(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::cerr << "SPERKE_CHECK failed: " << expr << " at " << file << ":"
+            << line;
+  if (!message.empty()) std::cerr << ": " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace sperke::detail

@@ -1,0 +1,60 @@
+// Compiled invariant checks (DESIGN.md §11).
+//
+// SPERKE_CHECK(cond, msg...)  — always on, in every build type. For cheap
+//   load-bearing invariants whose violation would silently corrupt results:
+//   event-time monotonicity, shard-merge preconditions, completion
+//   single-fire. A failed CHECK prints expression/file/line plus the
+//   optional streamed message and aborts; a wrong number is worse than a
+//   dead process.
+//
+// SPERKE_DCHECK(cond, msg...) — compiled in only under the "check" preset
+//   (-DSPERKE_DCHECKS=ON -> SPERKE_ENABLE_DCHECKS). For O(n) or hot-path
+//   invariants too expensive to carry in release builds: per-reflow rate
+//   conservation, active-index consistency, buffer cell legality. In
+//   release builds the condition is *unevaluated* (sizeof of an
+//   unevaluated operand), so it cannot perturb codegen, timing, or
+//   byte-identical goldens — but it still must compile.
+//
+// Both forms accept optional stream-style message arguments:
+//   SPERKE_CHECK(dt >= 0, "time ran backwards: dt=", dt);
+// The message is only materialized on failure, so a passing CHECK costs
+// one predictable branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sperke::detail {
+
+// Prints "CHECK failed: <expr> at <file>:<line>: <msg>" to stderr and
+// aborts. Out of line so the cold path stays out of callers' code.
+[[noreturn]] void check_failed_abort(const char* expr, const char* file,
+                                     int line, const std::string& message);
+
+template <typename... Args>
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  check_failed_abort(expr, file, line, os.str());
+}
+
+}  // namespace sperke::detail
+
+#define SPERKE_CHECK(cond, ...)                                      \
+  (static_cast<bool>(cond)                                           \
+       ? (void)0                                                     \
+       : ::sperke::detail::check_failed(#cond, __FILE__, __LINE__,   \
+                                        "" __VA_OPT__(, ) __VA_ARGS__))
+
+#if defined(SPERKE_ENABLE_DCHECKS)
+#define SPERKE_DCHECK(cond, ...) SPERKE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+// True in builds where DCHECK bodies run; lets call sites guard O(n)
+// verification loops that would be dead code in release.
+#define SPERKE_DCHECK_IS_ON 1
+#else
+// Unevaluated: sizeof's operand never executes, so release codegen is
+// untouched, but `cond` still has to name real variables and compile.
+#define SPERKE_DCHECK(cond, ...) ((void)sizeof(static_cast<bool>(cond)))
+#define SPERKE_DCHECK_IS_ON 0
+#endif

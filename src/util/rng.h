@@ -5,6 +5,7 @@
 // identically across runs and platforms.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <span>

@@ -123,7 +123,7 @@ TEST(Chaos, MultipathWifiOutageFailsOverAndProbesBack) {
                 net::LinkConfig{.name = "lte",
                                 .bandwidth = net::BandwidthTrace::constant(8'000.0),
                                 .rtt = sim::milliseconds(60),
-                                .loss_rate = 0.005});
+                                .loss_rate = 0.005, .faults = {}});
   core::TransportOptions options;
   options.max_concurrent = 2;
   options.recovery.enabled = true;

@@ -128,7 +128,7 @@ class TransportTest : public ::testing::Test {
                  net::LinkConfig{.name = "test",
                                  .bandwidth = net::BandwidthTrace::constant(8000.0),
                                  .rtt = sim::Duration{0},
-                                 .loss_rate = 0.0}};
+                                 .loss_rate = 0.0, .faults = {}}};
 };
 
 TEST_F(TransportTest, DeliversAndEstimates) {
@@ -150,7 +150,7 @@ TEST_F(TransportTest, DeliversAndEstimates) {
 }
 
 TEST_F(TransportTest, ConcurrencyLimitQueues) {
-  SingleLinkTransport transport(link, {.max_concurrent = 1});
+  SingleLinkTransport transport(link, {.max_concurrent = 1, .recovery = {}});
   std::vector<int> order;
   auto submit = [&](int id, bool urgent) {
     ChunkRequest req;
@@ -172,7 +172,7 @@ TEST_F(TransportTest, RejectsBadRequests) {
   ChunkRequest req;
   req.bytes = 0;
   EXPECT_THROW(transport.fetch(std::move(req)), std::invalid_argument);
-  EXPECT_THROW(SingleLinkTransport(link, {.max_concurrent = 0}),
+  EXPECT_THROW(SingleLinkTransport(link, {.max_concurrent = 0, .recovery = {}}),
                std::invalid_argument);
   TransportOptions bad_retries;
   bad_retries.recovery.enabled = true;
@@ -354,7 +354,7 @@ class SessionTest : public ::testing::Test {
         net::LinkConfig{.name = "dl",
                         .bandwidth = net::BandwidthTrace::constant(link_kbps),
                         .rtt = sim::milliseconds(30),
-                        .loss_rate = 0.0});
+                        .loss_rate = 0.0, .faults = {}});
     SingleLinkTransport transport(link);
     auto video = make_video(video_s);
     const auto trace = steady_trace(video_s + 40.0);
@@ -467,7 +467,7 @@ TEST_F(SessionTest, ZeroBandwidthNeverStarts) {
   SessionConfig config;
   sim::Simulator simulator;
   net::Link link(simulator,
-                 net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(0.0)});
+                 net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(0.0), .faults = {}});
   SingleLinkTransport transport(link);
   auto video = make_video(5.0);
   const auto trace = steady_trace(60.0);

@@ -69,8 +69,8 @@ TEST(MetricsMerge, EmptySidesKeepMinMaxSane) {
 TEST(MetricsMerge, MismatchedBucketLayoutsThrow) {
   obs::MetricsRegistry a;
   obs::MetricsRegistry b;
-  a.histogram("h", {1.0, 2.0});
-  b.histogram("h", {1.0, 3.0});
+  (void)a.histogram("h", {1.0, 2.0});
+  (void)b.histogram("h", {1.0, 3.0});
   EXPECT_THROW(a.merge_from(b), std::invalid_argument);
 
   obs::Histogram x({1.0});
@@ -81,15 +81,15 @@ TEST(MetricsMerge, MismatchedBucketLayoutsThrow) {
 TEST(MetricsMerge, KindMismatchThrows) {
   obs::MetricsRegistry a;
   obs::MetricsRegistry b;
-  a.counter("m");
-  b.gauge("m");
+  (void)a.counter("m");
+  (void)b.gauge("m");
   EXPECT_THROW(a.merge_from(b), std::invalid_argument);
 }
 
 TEST(MetricsMerge, NewInstrumentsAppendInRegistrationOrder) {
   obs::MetricsRegistry a;
   obs::MetricsRegistry b;
-  a.counter("a1");
+  (void)a.counter("a1");
   b.counter("b1").add(2);
   b.histogram("b2", {1.0}).observe(0.5);
   a.merge_from(b);

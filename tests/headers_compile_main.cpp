@@ -1,0 +1,8 @@
+// The real test is that every generated per-header TU in this binary
+// compiled; running it is just the ctest-visible success marker.
+#include <cstdio>
+
+int main() {
+  std::puts("headers_compile: OK");
+  return 0;
+}

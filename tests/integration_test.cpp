@@ -80,7 +80,7 @@ core::SessionReport run_single_link(double kbps, core::SessionConfig config,
   net::LinkConfig link{.name = "link",
                        .bandwidth = net::BandwidthTrace::constant(kbps),
                        .rtt = sim::milliseconds(30),
-                       .loss_rate = 0.0};
+                       .loss_rate = 0.0, .faults = {}};
   return run_one_session(std::move(link), std::move(config), trace_seed, crowd,
                          kVideoSeconds + 200.0);
 }
@@ -151,12 +151,12 @@ TEST(Integration, SessionOverMultipathTransport) {
                  net::LinkConfig{.name = "wifi",
                                  .bandwidth = net::BandwidthTrace::constant(12'000.0),
                                  .rtt = sim::milliseconds(20),
-                                 .loss_rate = 0.0});
+                                 .loss_rate = 0.0, .faults = {}});
   net::Link lte(simulator,
                 net::LinkConfig{.name = "lte",
                                 .bandwidth = net::BandwidthTrace::constant(6'000.0),
                                 .rtt = sim::milliseconds(60),
-                                .loss_rate = 0.005});
+                                .loss_rate = 0.005, .faults = {}});
   mp::MultipathTransport transport(simulator, {&wifi, &lte},
                                    std::make_unique<mp::ContentAwareScheduler>());
   auto video = make_video();
@@ -185,11 +185,11 @@ TEST(Integration, MultipathAggregatesBandwidthUnderLoad) {
     net::Link wifi(simulator,
                    net::LinkConfig{.name = "wifi",
                                    .bandwidth = net::BandwidthTrace::constant(5'000.0),
-                                   .rtt = sim::milliseconds(20)});
+                                   .rtt = sim::milliseconds(20), .faults = {}});
     net::Link lte(simulator,
                   net::LinkConfig{.name = "lte",
                                   .bandwidth = net::BandwidthTrace::constant(5'000.0),
-                                  .rtt = sim::milliseconds(50)});
+                                  .rtt = sim::milliseconds(50), .faults = {}});
     std::unique_ptr<mp::PathScheduler> scheduler;
     if (use_both) {
       scheduler = std::make_unique<mp::MinRttScheduler>();
@@ -217,7 +217,7 @@ TEST(Integration, FluctuatingBandwidthStillCompletes) {
                        .bandwidth = net::BandwidthTrace::random_walk(
                            10'000.0, 0.4, 1.0, 300.0, 3, 1'500.0, 40'000.0),
                        .rtt = sim::milliseconds(40),
-                       .loss_rate = 0.0};
+                       .loss_rate = 0.0, .faults = {}};
   const auto report = run_one_session(std::move(link), core::SessionConfig{},
                                       55, nullptr, 400.0);
   EXPECT_TRUE(report.completed);
@@ -230,7 +230,7 @@ TEST(Integration, TotalOutageStallsThenRecovers) {
   net::LinkConfig link{.name = "flaky",
                        .bandwidth = net::BandwidthTrace::steps(
                            {{0.0, 20'000.0}, {6.0, 0.0}, {16.0, 20'000.0}}),
-                       .rtt = sim::milliseconds(30)};
+                       .rtt = sim::milliseconds(30), .faults = {}};
   const auto report = run_one_session(std::move(link), core::SessionConfig{},
                                       66, nullptr, 300.0);
   EXPECT_TRUE(report.completed);
@@ -245,7 +245,7 @@ TEST(Integration, LossySpikyLinkStillCompletes) {
                        .bandwidth = net::BandwidthTrace::markov_two_state(
                            12'000.0, 800.0, 6.0, 3.0, 400.0, 9),
                        .rtt = sim::milliseconds(80),
-                       .loss_rate = 0.01};
+                       .loss_rate = 0.01, .faults = {}};
   const auto report = run_one_session(std::move(link), core::SessionConfig{},
                                       77, nullptr, 2'000.0);
   EXPECT_TRUE(report.completed);

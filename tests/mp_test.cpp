@@ -58,12 +58,12 @@ class MultipathTest : public ::testing::Test {
         simulator, net::LinkConfig{.name = "wifi",
                                    .bandwidth = net::BandwidthTrace::constant(20'000.0),
                                    .rtt = sim::milliseconds(20),
-                                   .loss_rate = 0.0});
+                                   .loss_rate = 0.0, .faults = {}});
     lte = std::make_unique<net::Link>(
         simulator, net::LinkConfig{.name = "lte",
                                    .bandwidth = net::BandwidthTrace::constant(8'000.0),
                                    .rtt = sim::milliseconds(60),
-                                   .loss_rate = 0.0});
+                                   .loss_rate = 0.0, .faults = {}});
   }
 
   MultipathTransport make(std::unique_ptr<PathScheduler> scheduler) {
@@ -169,7 +169,7 @@ TEST_F(MultipathTest, ClassCountsTrackTable1) {
 TEST_F(MultipathTest, UrgentJumpsPathQueue) {
   auto transport = MultipathTransport(simulator, {wifi.get()},
                                       std::make_unique<SinglePathScheduler>(0),
-                                      {.max_concurrent = 1});
+                                      {.max_concurrent = 1, .recovery = {}});
   std::vector<int> order;
   auto submit = [&](int id, bool urgent) {
     auto req = request_of(abr::SpatialClass::kFov, urgent, 200'000);
@@ -209,7 +209,7 @@ TEST_F(MultipathTest, RejectsBadConstruction) {
                std::invalid_argument);
   EXPECT_THROW(MultipathTransport(simulator, {wifi.get()},
                                   std::make_unique<MinRttScheduler>(),
-                                  {.max_concurrent = 0}),
+                                  {.max_concurrent = 0, .recovery = {}}),
                std::invalid_argument);
 }
 
@@ -231,7 +231,7 @@ class MultipathFailoverTest : public ::testing::Test {
         simulator, net::LinkConfig{.name = "lte",
                                    .bandwidth = net::BandwidthTrace::constant(8'000.0),
                                    .rtt = sim::milliseconds(60),
-                                   .loss_rate = 0.0});
+                                   .loss_rate = 0.0, .faults = {}});
   }
 
   MultipathTransport make_recovering(sim::Duration probe_interval =

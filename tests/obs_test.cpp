@@ -100,6 +100,40 @@ TEST(Metrics, HistogramBucketingAndStats) {
   EXPECT_DOUBLE_EQ(empty.max(), 0.0);
 }
 
+TEST(Metrics, QuantileBoundEmptyHistogramIsZero) {
+  const obs::Histogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 1.0), 0.0);
+}
+
+TEST(Metrics, QuantileBoundSingleBucket) {
+  obs::Histogram hist({5.0});
+  hist.observe(1.0);
+  hist.observe(2.0);
+  hist.observe(3.0);
+  // Every sample sits in the one finite bucket, so any interior quantile
+  // reports its upper bound...
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.5), 5.0);
+  // ...while q=1 walks past every finite bucket and reports the true max.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 1.0), 3.0);
+}
+
+TEST(Metrics, QuantileBoundExtremeQuantiles) {
+  obs::Histogram hist({1.0, 10.0, 100.0});
+  for (const double x : {0.5, 5.0, 5.0, 50.0}) hist.observe(x);
+  // q=0 is the first non-empty bucket's bound; q=1 is the observed max.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 1.0), 50.0);
+}
+
+TEST(Metrics, QuantileBoundOverflowBucketReportsMax) {
+  obs::Histogram hist({1.0});
+  hist.observe(42.0);  // beyond the last finite bound
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_bound(hist, 0.5), 42.0);
+}
+
 TEST(Metrics, EntriesPreserveRegistrationOrder) {
   obs::MetricsRegistry registry;
   (void)registry.counter("b");
@@ -169,9 +203,9 @@ core::SessionReport run_instrumented(obs::Telemetry* telemetry) {
                  net::LinkConfig{.name = "flaky",
                                  .bandwidth = net::BandwidthTrace::steps(
                                      {{0.0, 20'000.0}, {6.0, 0.0}, {16.0, 20'000.0}}),
-                                 .rtt = sim::milliseconds(30)});
+                                 .rtt = sim::milliseconds(30), .faults = {}});
   core::SingleLinkTransport transport(
-      link, {.max_concurrent = 4, .telemetry = telemetry});
+      link, {.max_concurrent = 4, .telemetry = telemetry, .recovery = {}});
   auto video = make_video();
   const auto trace = make_trace(66);
   core::SessionConfig config;

@@ -73,7 +73,7 @@ TEST(VisibleTilesEquivalence, FastClassifierMatchesNaiveRandomized) {
   std::uniform_real_distribution<double> yaw(-360.0, 360.0);
   std::uniform_real_distribution<double> pitch(-90.0, 90.0);
   std::uniform_real_distribution<double> roll(-30.0, 30.0);
-  for (const auto [rows, cols] : {std::pair{4, 6}, {8, 12}, {5, 7}, {1, 1}}) {
+  for (const auto& [rows, cols] : {std::pair{4, 6}, {8, 12}, {5, 7}, {1, 1}}) {
     const auto geometry = equirect_geometry(rows, cols);
     for (int trial = 0; trial < 200; ++trial) {
       const geo::Orientation view{yaw(rng), pitch(rng),
@@ -296,11 +296,16 @@ TEST(FusionEquivalence, FusedPassMatchesNaiveRandomized) {
 
   const std::vector<hmp::ViewingContext> contexts = {
       {},
-      {.pose = hmp::Pose::kSitting, .home_yaw_deg = 30.0, .engagement = 0.9},
-      {.max_speed_dps = 120.0, .engagement = 0.2},
+      {.pose = hmp::Pose::kSitting,
+       .max_speed_dps = {},
+       .home_yaw_deg = 30.0,
+       .engagement = 0.9},
+      {.pose = {}, .max_speed_dps = 120.0, .home_yaw_deg = 0.0,
+       .engagement = 0.2},
       {.pose = hmp::Pose::kLying,
        .max_speed_dps = 60.0,
-       .home_yaw_deg = -45.0},
+       .home_yaw_deg = -45.0,
+       .engagement = 0.5},
   };
   for (const auto& context : contexts) {
     for (const hmp::ViewingHeatmap* crowd_ptr :
@@ -388,7 +393,7 @@ TEST(LinkEquivalence, ActiveTransferCounterTracksWarmupChurnAndCancel) {
   sim::Simulator simulator;
   net::Link link(simulator,
                  net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(8'000.0),
-                                 .rtt = sim::milliseconds(20)});
+                                 .rtt = sim::milliseconds(20), .faults = {}});
   int completions = 0;
   const auto count_completed = [&](const net::TransferResult& r) {
     if (r.completed()) ++completions;
@@ -414,7 +419,7 @@ TEST(LinkEquivalence, ChurnIsDeterministicAcrossRuns) {
     net::Link link(simulator,
                    net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(40'000.0),
                                    .rtt = sim::milliseconds(10),
-                                   .loss_rate = 0.01});
+                                   .loss_rate = 0.01, .faults = {}});
     std::vector<std::int64_t> completion_ticks;
     for (int i = 0; i < 24; ++i) {
       simulator.schedule_at(sim::milliseconds(i * 7), [&link, &completion_ticks] {

@@ -161,7 +161,7 @@ TEST(LinkProperty, DeliveredBytesMatchCompletedTransfers) {
     net::Link link(simulator,
                    net::LinkConfig{.bandwidth = net::BandwidthTrace::random_walk(
                                        8000.0, 0.4, 0.5, 120.0, 7 + round, 500.0),
-                                   .rtt = sim::milliseconds(20)});
+                                   .rtt = sim::milliseconds(20), .faults = {}});
     std::int64_t expected = 0;
     int completed = 0;
     int started = 0;
@@ -371,8 +371,8 @@ TEST_P(SessionProperty, InvariantsHoldEndToEnd) {
   sim::Simulator simulator;
   net::Link link(simulator,
                  net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(15'000.0),
-                                 .rtt = sim::milliseconds(25)});
-  core::SingleLinkTransport transport(link, {.max_concurrent = 8});
+                                 .rtt = sim::milliseconds(25), .faults = {}});
+  core::SingleLinkTransport transport(link, {.max_concurrent = 8, .recovery = {}});
   core::SessionConfig config;
   config.vra.mode = mode;
   config.planner = planner;
@@ -408,8 +408,8 @@ TEST_P(SessionProperty, DeterministicAcrossRuns) {
     net::Link link(simulator,
                    net::LinkConfig{.bandwidth = net::BandwidthTrace::random_walk(
                                        9'000.0, 0.3, 1.0, 200.0, 4),
-                                   .rtt = sim::milliseconds(25)});
-    core::SingleLinkTransport transport(link, {.max_concurrent = 8});
+                                   .rtt = sim::milliseconds(25), .faults = {}});
+    core::SingleLinkTransport transport(link, {.max_concurrent = 8, .recovery = {}});
     core::SessionConfig config;
     config.vra.mode = mode;
     config.planner = planner;

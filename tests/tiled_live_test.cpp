@@ -35,8 +35,8 @@ TiledLiveReport run_viewer(double link_kbps, TiledLiveConfig config,
   net::Link link(simulator,
                  net::LinkConfig{.name = "dl",
                                  .bandwidth = net::BandwidthTrace::constant(link_kbps),
-                                 .rtt = sim::milliseconds(30)});
-  core::SingleLinkTransport transport(link, {.max_concurrent = 12});
+                                 .rtt = sim::milliseconds(30), .faults = {}});
+  core::SingleLinkTransport transport(link, {.max_concurrent = 12, .recovery = {}});
   auto video = live_video();
   const auto trace = viewer_trace(trace_seed);
   TiledLiveSession session(simulator, video, transport, trace, config, crowd);
@@ -147,10 +147,10 @@ TEST(TiledLive, EndToEndCrowdHelpsLaggard) {
       links.push_back(std::make_unique<net::Link>(
           simulator,
           net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(30'000.0),
-                          .rtt = sim::milliseconds(25)}));
+                          .rtt = sim::milliseconds(25), .faults = {}}));
       transports.push_back(
           std::make_unique<core::SingleLinkTransport>(*links.back(),
-                                                      core::TransportOptions{.max_concurrent = 12}));
+                                                      core::TransportOptions{.max_concurrent = 12, .recovery = {}}));
       traces.push_back(
           std::make_unique<hmp::HeadTrace>(viewer_trace(100 + v)));
       TiledLiveConfig cfg;
@@ -163,10 +163,10 @@ TEST(TiledLive, EndToEndCrowdHelpsLaggard) {
     links.push_back(std::make_unique<net::Link>(
         simulator,
         net::LinkConfig{.bandwidth = net::BandwidthTrace::constant(5'000.0),
-                        .rtt = sim::milliseconds(40)}));
+                        .rtt = sim::milliseconds(40), .faults = {}}));
     transports.push_back(
         std::make_unique<core::SingleLinkTransport>(*links.back(),
-                                                      core::TransportOptions{.max_concurrent = 12}));
+                                                      core::TransportOptions{.max_concurrent = 12, .recovery = {}}));
     traces.push_back(std::make_unique<hmp::HeadTrace>(viewer_trace(200)));
     TiledLiveConfig laggard_cfg;
     laggard_cfg.e2e_target_s = 25.0;

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# tidy-check gate (DESIGN.md §11): clang-tidy over every src/ translation
+# unit with warnings promoted to errors. Exits 77 ("skipped" to ctest)
+# when no clang-tidy binary is installed, so minimal containers stay green
+# while any toolchain that has the tool enforces the full check set.
+#
+# Usage: run_clang_tidy.sh [BUILD_DIR]   (default: ./build)
+set -u
+
+build_dir="${1:-build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-2{1,0} clang-tidy-1{9,8,7,6,5,4}; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "tidy-check: SKIPPED — clang-tidy not found on PATH" >&2
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "tidy-check: no $build_dir/compile_commands.json" \
+       "(configure with the default preset first)" >&2
+  exit 1
+fi
+
+files=$(find src -name '*.cpp' | sort)
+echo "tidy-check: $tidy over $(echo "$files" | wc -l) files"
+# shellcheck disable=SC2086
+"$tidy" -p "$build_dir" --quiet --warnings-as-errors='*' $files
+status=$?
+if [ $status -eq 0 ]; then
+  echo "tidy-check: OK"
+else
+  echo "tidy-check: FAIL" >&2
+fi
+exit $status

@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Sperke determinism & hygiene lint (DESIGN.md §11).
+
+Every figure this repo reproduces depends on the simulation being a pure
+function of its seeds. This lint is the machine check for the conventions
+that keep it that way. It scans ``src/``, ``tests/``, ``bench/``,
+``examples/`` and ``tools/`` and fails (exit 1) on:
+
+  wall-clock          Wall-clock time APIs (``std::chrono::system_clock``,
+                      ``time()``, ``gettimeofday``, ...) anywhere, and
+                      ``steady_clock`` inside ``src/`` (monotonic wall
+                      timing is legitimate in benches, never in the
+                      simulation itself — sim code uses ``sim::Time``).
+  ambient-entropy     ``std::random_device``, bare ``rand()``/``srand()``,
+                      ``std::random_shuffle``. All randomness must flow
+                      through an explicitly seeded ``sperke::Rng``.
+  unordered-iteration Iteration over an ``unordered_map``/``unordered_set``
+                      whose loop body feeds an output path (metrics,
+                      traces, exporters, ``merge_from``, CSV/stream
+                      writes). Hash-order is not deterministic across
+                      libstdc++ versions; ordered containers or sorted
+                      snapshots are.
+  catch-all           ``catch (...)`` that swallows without logging,
+                      capturing (``std::current_exception``) or
+                      rethrowing. Silent swallows turn invariant
+                      violations into wrong numbers.
+  include-hygiene     Public headers under ``src/`` that use a std
+                      vocabulary type without directly including its
+                      canonical header (transitive-include reliance; the
+                      compile-in-isolation side is tests/headers_compile).
+  header-guard        Headers missing ``#pragma once``.
+  format-basics       Tabs, trailing whitespace, CRLF line endings,
+                      missing final newline. The floor below
+                      ``format-check`` (clang-format, when installed).
+
+Suppress a finding with a trailing or preceding-line comment::
+
+    std::chrono::steady_clock::now();  // sperke-lint: allow(wall-clock)
+
+Usage:
+    sperke_lint.py [--root DIR] [--list-rules]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+CXX_SUFFIXES = {".cpp", ".h"}
+
+ALLOW_RE = re.compile(r"sperke-lint:\s*allow\(([a-z\-, ]+)\)")
+
+# Wall-clock APIs that are never acceptable: they make output depend on
+# when (or where) the process ran.
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::system_clock|\bsystem_clock\b|\bgettimeofday\b"
+    r"|\bclock_gettime\b|\bstd::time\s*\(|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r"|\blocaltime\b|\bgmtime\b|\bstrftime\b"
+)
+# steady_clock is monotonic, so it is fine for *measuring* a bench's wall
+# speed — but simulation code must advance sim::Time, never read a clock.
+STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
+
+ENTROPY_RE = re.compile(
+    r"std::random_device|\brandom_device\b|(?<![\w:])s?rand\s*\("
+    r"|std::random_shuffle|\brandom_shuffle\b"
+)
+
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+CATCH_HANDLED_RE = re.compile(
+    r"current_exception|rethrow_exception|\bthrow\s*;|SPERKE_LOG_|log_message|FAIL\(\)"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*>\s+(\w+)\s*[;{=]"
+)
+SINK_RE = re.compile(
+    r"\bobserve\s*\(|\bcounter\s*\(|\bgauge\s*\(|\bhistogram\s*\(|merge_from"
+    r"|\btrace\b|\bexport\w*\s*\(|\brecord\w*\s*\(|write_row|\bcsv\b|<<"
+)
+
+# std vocabulary types headers must include directly (IWYU-lite). The map is
+# deliberately small: high-signal types whose canonical header is unambiguous.
+STD_NEEDS = {
+    "std::shared_ptr": "memory",
+    "std::unique_ptr": "memory",
+    "std::weak_ptr": "memory",
+    "std::make_shared": "memory",
+    "std::make_unique": "memory",
+    "std::string_view": "string_view",
+    "std::string": "string",
+    "std::vector": "vector",
+    "std::map": "map",
+    "std::set": "set",
+    "std::unordered_map": "unordered_map",
+    "std::unordered_set": "unordered_set",
+    "std::function": "functional",
+    "std::optional": "optional",
+    "std::span": "span",
+    "std::deque": "deque",
+    "std::array": "array",
+    "std::pair": "utility",
+    "std::move": "utility",
+    "std::atomic": "atomic",
+    "std::mutex": "mutex",
+    "std::jthread": "thread",
+    "std::int64_t": "cstdint",
+    "std::uint64_t": "cstdint",
+    "std::int32_t": "cstdint",
+    "std::uint32_t": "cstdint",
+    "std::uint8_t": "cstdint",
+    "std::size_t": "cstddef",
+}
+# string_view also exports std::string? No — but <string> provides
+# std::string_view's header transitively on libstdc++; require the direct
+# include anyway, except these pragmatic equivalences:
+PROVIDES = {
+    "cstddef": {"cstddef", "cstdio", "cstdlib", "cstring", "ctime"},
+}
+
+RULES = (
+    "wall-clock",
+    "ambient-entropy",
+    "unordered-iteration",
+    "catch-all",
+    "include-hygiene",
+    "header-guard",
+    "format-basics",
+)
+
+
+def blank_comments_and_strings(text):
+    """Replace comment/string contents with spaces, preserving line structure.
+
+    Keeps ``sperke-lint`` allow-comments findable by scanning the raw text
+    separately; everything rule-matching runs on the blanked text so that
+    documentation mentioning ``system_clock`` does not trip the lint.
+    """
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(quote)
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.findings = []
+        self.unordered_names = set()
+
+    def report(self, path, lineno, rule, message, raw_lines):
+        # sperke-lint: allow(<rule>) on the offending or preceding line.
+        for probe in (lineno, lineno - 1):
+            if 1 <= probe <= len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[probe - 1])
+                if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                    return
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def cxx_files(self):
+        files = []
+        for d in SCAN_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            files.extend(
+                p for p in sorted(base.rglob("*")) if p.suffix in CXX_SUFFIXES
+            )
+        return files
+
+    def collect_unordered_decls(self, blanked_by_file):
+        for text in blanked_by_file.values():
+            for m in UNORDERED_DECL_RE.finditer(text):
+                self.unordered_names.add(m.group(1))
+
+    def loop_extent(self, lines, start, col=0):
+        """Lines of the block starting at `start` (0-based), by braces.
+
+        `col` skips text before the construct on the first line, so a
+        leading ``}`` (as in ``} catch (...) {``) does not end the extent
+        before it begins.
+        """
+        depth = 0
+        opened = False
+        end = start
+        for j in range(start, min(start + 60, len(lines))):
+            segment = lines[j][col:] if j == start else lines[j]
+            depth += segment.count("{") - segment.count("}")
+            if "{" in segment:
+                opened = True
+            end = j
+            if opened and depth <= 0:
+                break
+        return lines[start : end + 1]
+
+    def check_file(self, path, raw, blanked):
+        raw_lines = raw.splitlines()
+        lines = blanked.splitlines()
+        in_src = "src" in path.relative_to(self.root).parts[:1]
+        is_header = path.suffix == ".h"
+
+        for idx, line in enumerate(lines, start=1):
+            if WALL_CLOCK_RE.search(line):
+                self.report(
+                    path, idx, "wall-clock",
+                    "wall-clock API; simulation output must be a pure "
+                    "function of seeds (use sim::Time)", raw_lines,
+                )
+            elif in_src and STEADY_CLOCK_RE.search(line):
+                self.report(
+                    path, idx, "wall-clock",
+                    "steady_clock inside src/; monotonic wall timing is for "
+                    "benches only — sim code advances sim::Time", raw_lines,
+                )
+            if ENTROPY_RE.search(line):
+                self.report(
+                    path, idx, "ambient-entropy",
+                    "ambient entropy source; use an explicitly seeded "
+                    "sperke::Rng", raw_lines,
+                )
+
+        # catch-all swallows.
+        for idx, line in enumerate(lines, start=1):
+            m = CATCH_ALL_RE.search(line)
+            if m:
+                body = "\n".join(self.loop_extent(lines, idx - 1, m.start()))
+                if not CATCH_HANDLED_RE.search(body):
+                    self.report(
+                        path, idx, "catch-all",
+                        "catch (...) that neither logs, captures nor "
+                        "rethrows — silent swallows corrupt results",
+                        raw_lines,
+                    )
+
+        # unordered iteration feeding an output path.
+        if self.unordered_names:
+            names = "|".join(re.escape(n) for n in sorted(self.unordered_names))
+            range_for = re.compile(
+                r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?(" + names + r")\s*\)"
+            )
+            iter_for = re.compile(
+                r"for\s*\([^;]*=\s*(?:\w+(?:\.|->))?(" + names + r")\.(?:c?begin)\s*\("
+            )
+            for idx, line in enumerate(lines, start=1):
+                if range_for.search(line) or iter_for.search(line):
+                    body = "\n".join(self.loop_extent(lines, idx - 1))
+                    if SINK_RE.search(body):
+                        self.report(
+                            path, idx, "unordered-iteration",
+                            "iterating a hash container into an output path "
+                            "(metrics/trace/export/merge); hash order is not "
+                            "deterministic — use an ordered container or "
+                            "sort a snapshot first", raw_lines,
+                        )
+
+        if is_header:
+            if "#pragma once" not in raw:
+                self.report(
+                    path, 1, "header-guard", "header missing #pragma once",
+                    raw_lines,
+                )
+            if in_src:
+                self.check_include_hygiene(path, blanked, raw_lines)
+
+        self.check_format_basics(path, raw, raw_lines)
+
+    def check_include_hygiene(self, path, blanked, raw_lines):
+        included = set(re.findall(r'#include <([^>]+)>', blanked))
+        for token, header in sorted(STD_NEEDS.items()):
+            if header in included:
+                continue
+            if any(p in included for p in PROVIDES.get(header, ())):
+                continue
+            m = re.search(re.escape(token) + r"\b", blanked)
+            if m:
+                lineno = blanked.count("\n", 0, m.start()) + 1
+                self.report(
+                    path, lineno, "include-hygiene",
+                    f"uses {token} without directly including <{header}> "
+                    "(transitive-include reliance)", raw_lines,
+                )
+
+    def check_format_basics(self, path, raw, raw_lines):
+        if "\r" in raw:
+            self.report(path, 1, "format-basics", "CRLF line endings",
+                        raw_lines)
+        if raw and not raw.endswith("\n"):
+            self.report(path, len(raw_lines), "format-basics",
+                        "missing final newline", raw_lines)
+        for idx, line in enumerate(raw_lines, start=1):
+            if "\t" in line:
+                self.report(path, idx, "format-basics",
+                            "tab character (indent with spaces)", raw_lines)
+            if line != line.rstrip():
+                self.report(path, idx, "format-basics",
+                            "trailing whitespace", raw_lines)
+
+    def run(self):
+        files = self.cxx_files()
+        blanked_by_file = {}
+        raw_by_file = {}
+        for path in files:
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            raw_by_file[path] = raw
+            blanked_by_file[path] = blank_comments_and_strings(raw)
+        self.collect_unordered_decls(blanked_by_file)
+        for path in files:
+            self.check_file(path, raw_by_file[path], blanked_by_file[path])
+        return self.findings, len(files)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    linter = Linter(args.root)
+    findings, nfiles = linter.run()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nsperke_lint: FAIL — {len(findings)} finding(s) "
+              f"across {nfiles} files", file=sys.stderr)
+        return 1
+    print(f"sperke_lint: OK — {nfiles} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
