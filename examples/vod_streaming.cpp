@@ -11,8 +11,10 @@
 //
 // With --trace, the flagship "FoV-guided, SVC upgrades" session writes its
 // full timeline as Chrome trace_event JSON to <path> (open it in
-// chrome://tracing or https://ui.perfetto.dev) and its metrics to
-// <path>.metrics.csv.
+// chrome://tracing or https://ui.perfetto.dev), the same timeline as
+// line-delimited JSON to <path>.jsonl (for jq and tools/report.py), its
+// metrics to <path>.metrics.csv, and its 1 s sampled time series to
+// <path>.series.csv.
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -24,6 +26,7 @@
 #include "engine/world.h"
 #include "net/link.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 #include "util/table.h"
 
 namespace {
@@ -39,6 +42,7 @@ struct Scenario {
 struct RunOutput {
   core::SessionReport report;
   std::unique_ptr<obs::Telemetry> telemetry;  // set only when traced
+  obs::TimeSeriesStore series;                // sampled only when traced
 };
 
 RunOutput run(const Scenario& scenario, double mean_kbps, bool traced) {
@@ -67,11 +71,15 @@ RunOutput run(const Scenario& scenario, double mean_kbps, bool traced) {
   spec.shards = 1;
   spec.session_telemetry = traced;
   spec.monitor = traced;
+  if (traced) spec.sample_period = sim::seconds(1.0);
 
   engine::EngineResult result = engine::run_world(std::move(spec));
   RunOutput out;
   out.report = std::move(result.reports.front());
-  if (traced) out.telemetry = std::move(result.shard_telemetry.front());
+  if (traced) {
+    out.telemetry = std::move(result.shard_telemetry.front());
+    out.series = std::move(result.series);
+  }
   return out;
 }
 
@@ -120,13 +128,17 @@ int main(int argc, char** argv) {
   TextTable table({"Configuration", "Utility", "Stall s", "MB", "Waste %",
                    "Upgrades", "Score"});
   std::unique_ptr<obs::Telemetry> telemetry;
+  obs::TimeSeriesStore series;
   for (const Scenario& scenario : scenarios) {
     // Trace the flagship Sperke configuration only: one session = one
     // coherent timeline.
     const bool traced = !trace_path.empty() && scenario.mode == abr::EncodingMode::kSvc &&
                         scenario.planner == core::PlannerMode::kFovGuided;
     RunOutput out = run(scenario, mean_kbps, traced);
-    if (traced) telemetry = std::move(out.telemetry);
+    if (traced) {
+      telemetry = std::move(out.telemetry);
+      series = std::move(out.series);
+    }
     const core::SessionReport& report = out.report;
     table.add_row(
         {scenario.label, TextTable::num(report.qoe.mean_viewport_utility, 3),
@@ -143,14 +155,17 @@ int main(int argc, char** argv) {
   if (!trace_path.empty() && telemetry != nullptr) {
     try {
       obs::dump_chrome_trace(trace_path, *telemetry);
+      obs::dump_trace_jsonl(trace_path + ".jsonl", *telemetry);
       obs::dump_metrics_csv(trace_path + ".metrics.csv", *telemetry);
+      obs::dump_timeseries_csv(trace_path + ".series.csv", series);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << '\n';
       return 1;
     }
     std::cout << "\nWrote " << telemetry->trace().size() << " trace events to "
               << trace_path << " (open in chrome://tracing or ui.perfetto.dev)\n"
-              << "and metrics to " << trace_path << ".metrics.csv\n";
+              << "plus " << trace_path << ".jsonl, " << trace_path
+              << ".metrics.csv, and " << trace_path << ".series.csv\n";
   }
   return 0;
 }

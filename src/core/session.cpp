@@ -39,6 +39,7 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
     metrics_.late_corrections = &m.counter("session.late_corrections");
     metrics_.chunks_played = &m.counter("session.chunks_played");
     metrics_.stall_events = &m.counter("session.stall_events");
+    metrics_.stalled = &m.gauge("session.stalled");
     metrics_.fetch_latency_ms = &m.histogram("session.fetch_latency_ms");
     metrics_.stall_s = &m.histogram(
         "session.stall_s", {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0});
@@ -187,7 +188,8 @@ void StreamingSession::maybe_plan() {
 
 void StreamingSession::dispatch(const media::ChunkAddress& address,
                                 abr::SpatialClass spatial, sim::Time deadline,
-                                bool count_as_upgrade, bool count_as_correction) {
+                                bool count_as_upgrade, bool count_as_correction,
+                                std::int64_t parent_request_id) {
   if (buffer_.contains(address) || in_flight_.contains(address)) return;
   in_flight_.insert(address);
   ++fetches_;
@@ -197,7 +199,9 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
   if (count_as_correction) ++late_corrections_;
   const std::int64_t bytes = video_->size_bytes(address);
   const sim::Time dispatched = simulator_.now();
+  std::int64_t request_id = 0;
   if (config_.telemetry != nullptr) {
+    request_id = config_.telemetry->next_request_id();
     metrics_.fetches->increment();
     if (urgent) metrics_.urgent_fetches->increment();
     if (count_as_upgrade) metrics_.upgrades->increment();
@@ -208,7 +212,9 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
                   .chunk = address.key.index,
                   .quality = address.level,
                   .bytes = bytes,
-                  .urgent = urgent});
+                  .urgent = urgent,
+                  .request = request_id,
+                  .parent = parent_request_id});
   }
   ChunkRequest request;
   request.address = address;
@@ -216,8 +222,11 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
   request.spatial = spatial;
   request.urgent = urgent;
   request.deadline = deadline;
+  request.request_id = request_id;
+  request.parent_id = parent_request_id;
   request.on_done = [this, alive = alive_, address, bytes, dispatched, urgent,
-                     spatial, deadline](sim::Time finished, FetchOutcome outcome) {
+                     spatial, deadline, request_id,
+                     parent_request_id](sim::Time finished, FetchOutcome outcome) {
     if (!*alive) return;
     in_flight_.erase(address);
     const bool ok = delivered(outcome);
@@ -233,7 +242,9 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
                             .chunk = address.key.index,
                             .quality = address.level,
                             .bytes = bytes,
-                            .urgent = urgent};
+                            .urgent = urgent,
+                            .request = request_id,
+                            .parent = parent_request_id};
       // Fault outcomes ride the kFetchDropped event with the outcome in
       // `value`; kDropped keeps value 0.0 so fault-free traces stay
       // byte-identical.
@@ -264,7 +275,10 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
         if (metrics_.degraded_retries != nullptr) {
           metrics_.degraded_retries->increment();
         }
-        dispatch(fallback, abr::SpatialClass::kFov, deadline, false, false);
+        // The re-request cites the failed request as its causal parent, so
+        // the exported trace nests the degraded retry under the original.
+        dispatch(fallback, abr::SpatialClass::kFov, deadline, false, false,
+                 request_id);
       }
     }
     // A failed emergency fetch must not leave a stall unresolved: re-enter
@@ -322,6 +336,7 @@ void StreamingSession::play_chunk() {
     if (!stalled_) {
       stalled_ = true;
       stall_started_ = simulator_.now();
+      if (config_.telemetry != nullptr) metrics_.stalled->add(1.0);
       record_trace({.type = obs::TraceEventType::kStallBegin,
                     .ts = stall_started_,
                     .chunk = index,
@@ -346,6 +361,7 @@ void StreamingSession::play_chunk() {
     const sim::Duration stall = simulator_.now() - stall_started_;
     qoe_.record_stall(stall);
     if (config_.telemetry != nullptr) {
+      metrics_.stalled->add(-1.0);
       metrics_.stall_events->increment();
       metrics_.stall_s->observe(sim::to_seconds(stall));
       record_trace({.type = obs::TraceEventType::kStallEnd,

@@ -108,7 +108,8 @@ class StreamingSession {
   void maybe_plan();
   void record_trace(const obs::TraceEvent& event);
   void dispatch(const media::ChunkAddress& address, abr::SpatialClass spatial,
-                sim::Time deadline, bool count_as_upgrade, bool count_as_correction);
+                sim::Time deadline, bool count_as_upgrade, bool count_as_correction,
+                std::int64_t parent_request_id = 0);
   void on_fetch_done(const media::ChunkAddress& address, std::int64_t bytes);
   void attempt_start();
   void play_chunk();
@@ -164,6 +165,11 @@ class StreamingSession {
     obs::Counter* late_corrections = nullptr;
     obs::Counter* chunks_played = nullptr;
     obs::Counter* stall_events = nullptr;
+    // Level gauge: 1 while this session is stalled, 0 otherwise. Sampled
+    // into the time series, it gives SLOs a stall signal that is live
+    // *during* an outage (the stall_s histogram only observes at stall
+    // end, after recovery).
+    obs::Gauge* stalled = nullptr;
     // Bound iff fetch_recovery is on, so fault-free worlds keep their
     // exact pre-fault metric set.
     obs::Counter* fetch_failures = nullptr;

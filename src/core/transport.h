@@ -42,6 +42,13 @@ struct ChunkRequest {
   abr::SpatialClass spatial = abr::SpatialClass::kFov;
   bool urgent = false;                 // temporal priority (Table 1)
   sim::Time deadline{sim::kTimeZero};  // playback deadline (wall clock)
+  // Causal span identity (obs): per-shard monotonic id from
+  // Telemetry::next_request_id(), assigned by the session — or by the
+  // transport when it first sees id 0 with telemetry attached. 0 means
+  // untraced. `parent_id` links a degraded retry / blank re-request to the
+  // request it replaces, so exporters can nest the spans.
+  std::int64_t request_id = 0;
+  std::int64_t parent_id = 0;
   // Called exactly once with the time the request settled and its outcome.
   std::function<void(sim::Time, FetchOutcome)> on_done;
 };

@@ -82,6 +82,8 @@ EngineResult ShardedEngine::run(const EngineOptions& options) {
           shard->report(static_cast<int>(local));
     }
     result.metrics.merge_from(shard->telemetry().metrics());
+    result.series.merge_from(shard->series());
+    obs::merge_slo_status(result.slos, shard->slo_status());
     result.shard_telemetry.push_back(shard->release_telemetry());
   }
   if constexpr (SPERKE_DCHECK_IS_ON) {

@@ -16,7 +16,9 @@
 
 #include "core/session.h"
 #include "engine/world.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 
 namespace sperke::engine {
 
@@ -29,6 +31,13 @@ struct EngineOptions {
 struct EngineResult {
   // Shard metrics merged via MetricsRegistry::merge_from in shard-id order.
   obs::MetricsRegistry metrics;
+  // Shard time series merged in shard-id order (inactive/empty unless
+  // spec.sample_period > 0). Shards close identical interval boundaries,
+  // so the merged series is byte-identical at any thread count.
+  obs::TimeSeriesStore series;
+  // Merged SLO rollup, one row per spec.slos entry in spec order: budget
+  // burns and breach events sum across shards, breached_at_end ORs.
+  std::vector<obs::SloStatus> slos;
   // Each shard's own telemetry (metrics + trace timeline), by shard id.
   // Traces are not merged: a trace is a per-simulator timeline and shards
   // run on separate clocks.

@@ -54,6 +54,20 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
     }
   }
   if (spec.monitor) monitor_.emplace(simulator_, *telemetry_);
+  if (spec.sample_period > sim::Duration{0}) {
+    series_ = obs::TimeSeriesStore(spec.sample_period);
+    if (!spec.slos.empty()) {
+      slo_eval_.emplace(spec.slos, series_, *telemetry_);
+    }
+    // Interval boundaries land at exact period multiples; run_until
+    // executes events scheduled exactly at the horizon, so every shard
+    // closes the same floor(horizon/period) intervals regardless of its
+    // session slice — the precondition for a byte-identical merge.
+    sampler_.emplace(simulator_, spec.sample_period, [this] {
+      series_.sample(telemetry_->metrics());
+      if (slo_eval_) slo_eval_->evaluate();
+    });
+  }
 
   if constexpr (SPERKE_DCHECK_IS_ON) {
     // session_ids_ ascending is what makes the merged report order (and

@@ -25,7 +25,10 @@
 #include "engine/world.h"
 #include "net/link.h"
 #include "obs/sim_monitor.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
+#include "sim/periodic.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -66,6 +69,13 @@ class Shard {
     return std::move(telemetry_);
   }
 
+  // The shard's sampled time series (empty unless spec.sample_period > 0)
+  // and per-shard SLO rollup (empty unless spec.slos is non-empty).
+  [[nodiscard]] const obs::TimeSeriesStore& series() const { return series_; }
+  [[nodiscard]] std::vector<obs::SloStatus> slo_status() const {
+    return slo_eval_ ? slo_eval_->status() : std::vector<obs::SloStatus>{};
+  }
+
   // The shard's private entropy stream (spec.seed ^ shard_id), for
   // shard-local stochastic extensions. Unused by the default world build,
   // which is fully deterministic in the spec.
@@ -86,6 +96,12 @@ class Shard {
   std::vector<std::unique_ptr<core::StreamingSession>> sessions_;
   std::vector<int> session_ids_;  // global ids, ascending
   std::optional<obs::SimMonitor> monitor_;
+  // Run-scope time series + SLO evaluation (spec.sample_period > 0). The
+  // evaluator holds references to series_ and *telemetry_; the sampler is
+  // declared last so it can never fire before they exist.
+  obs::TimeSeriesStore series_;
+  std::optional<obs::SloEvaluator> slo_eval_;
+  std::optional<sim::PeriodicTask> sampler_;
   bool ran_ = false;
 };
 

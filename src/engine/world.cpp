@@ -46,6 +46,13 @@ void validate(const WorldSpec& spec) {
   if (spec.horizon <= sim::kTimeZero) {
     throw std::invalid_argument("WorldSpec: horizon <= 0");
   }
+  if (spec.sample_period < sim::Duration{0}) {
+    throw std::invalid_argument("WorldSpec: sample_period < 0");
+  }
+  if (!spec.slos.empty() && spec.sample_period <= sim::Duration{0}) {
+    throw std::invalid_argument("WorldSpec: slos require sample_period > 0");
+  }
+  for (const obs::SloSpec& slo : spec.slos) obs::validate_slo(slo);
   net::validate(spec.faults);
 }
 

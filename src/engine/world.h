@@ -31,6 +31,7 @@
 #include "hmp/heatmap.h"
 #include "media/video_model.h"
 #include "net/link.h"
+#include "obs/slo.h"
 #include "sim/time.h"
 
 namespace sperke::engine {
@@ -98,6 +99,17 @@ struct WorldSpec {
   // and/or a per-shard SimMonitor watching the shard's event loop.
   bool session_telemetry = false;
   bool monitor = false;
+
+  // Run-scope time series: when positive, each shard samples its registry
+  // into an obs::TimeSeriesStore every sample_period of virtual time
+  // (intervals land at exact period multiples, so every shard closes the
+  // same floor(horizon/period) intervals and the merged series is
+  // byte-identical at any thread count).
+  sim::Duration sample_period{0};
+  // SLOs evaluated on the sampled series after every interval (requires
+  // sample_period > 0). Each shard evaluates the full list against its own
+  // series; EngineResult carries the shard-id-ordered merged rollup.
+  std::vector<obs::SloSpec> slos;
 };
 
 // Number of link groups (= partition units) the spec induces.

@@ -132,7 +132,8 @@ void TiledLiveSession::plan_chunk(media::ChunkIndex index) {
 
 void TiledLiveSession::dispatch(const media::ChunkAddress& address,
                                 abr::SpatialClass spatial, sim::Time deadline,
-                                bool is_upgrade) {
+                                bool is_upgrade,
+                                std::int64_t parent_request_id) {
   if (buffer_.contains(address) || in_flight_.contains(address)) return;
   if (address.key.index < next_play_) return;  // already played: pointless
   in_flight_.insert(address);
@@ -144,11 +145,39 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
   request.spatial = spatial;
   request.urgent = (deadline - simulator_.now()) < video_->chunk_duration();
   request.deadline = deadline;
-  request.on_done = [this, alive = alive_, address, spatial,
-                     deadline](sim::Time, core::FetchOutcome outcome) {
+  if (config_.telemetry != nullptr) {
+    request.request_id = config_.telemetry->next_request_id();
+    config_.telemetry->trace().record(
+        {.type = obs::TraceEventType::kFetchDispatched,
+         .ts = simulator_.now(),
+         .tile = address.key.tile,
+         .chunk = address.key.index,
+         .quality = address.level,
+         .bytes = request.bytes,
+         .urgent = request.urgent,
+         .request = request.request_id,
+         .parent = parent_request_id});
+  }
+  request.parent_id = parent_request_id;
+  const std::int64_t request_id = request.request_id;
+  request.on_done = [this, alive = alive_, address, spatial, deadline,
+                     request_id, parent_request_id](sim::Time finished_at,
+                                                    core::FetchOutcome outcome) {
     if (!*alive) return;
     in_flight_.erase(address);
     if (finished_) return;
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->trace().record(
+          {.type = core::delivered(outcome) ? obs::TraceEventType::kFetchDone
+                                            : obs::TraceEventType::kFetchDropped,
+           .ts = finished_at,
+           .tile = address.key.tile,
+           .chunk = address.key.index,
+           .quality = address.level,
+           .bytes = core::delivered(outcome) ? video_->size_bytes(address) : 0,
+           .request = request_id,
+           .parent = parent_request_id});
+    }
     if (core::delivered(outcome)) {
       const std::int64_t bytes = video_->size_bytes(address);
       qoe_.record_downloaded(bytes);
@@ -164,7 +193,8 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
     ++fetch_failures_;
     if (config_.fetch_recovery && spatial == abr::SpatialClass::kFov &&
         address.key.index >= next_play_ && deadline > simulator_.now()) {
-      // Live degradation: a base-tier tile on time beats a blank tile.
+      // Live degradation: a base-tier tile on time beats a blank tile. The
+      // blank re-request cites the failed request as its causal parent.
       const media::ChunkAddress fallback =
           (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
            config_.vra.mode == abr::EncodingMode::kAvcRefetch)
@@ -172,7 +202,8 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
               : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
       if (!buffer_.contains(fallback) && !in_flight_.contains(fallback)) {
         ++degraded_retries_;
-        dispatch(fallback, abr::SpatialClass::kFov, deadline, false);
+        dispatch(fallback, abr::SpatialClass::kFov, deadline, false,
+                 request_id);
       }
     }
   };

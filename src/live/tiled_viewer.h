@@ -11,6 +11,7 @@
 // made end-to-end.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -24,6 +25,7 @@
 #include "core/transport.h"
 #include "hmp/fusion.h"
 #include "live/crowd.h"
+#include "obs/telemetry.h"
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
@@ -48,6 +50,10 @@ struct TiledLiveConfig {
   // Delay before this viewer's own displayed tiles reach the crowd map.
   sim::Duration crowd_report_delay{sim::milliseconds(300)};
   abr::QoeWeights qoe;
+  // Telemetry sink (not owned; must outlive the session). Null = disabled.
+  // When set, fetch dispatch/done events carry causal request ids so blank
+  // re-requests nest under the fetch they replace in the exported trace.
+  obs::Telemetry* telemetry = nullptr;
   // Graceful degradation on fetch failures (DESIGN.md §10): re-request a
   // failed FoV tile at the base quality tier while its live deadline still
   // stands. Off by default (byte-identical without faults).
@@ -92,7 +98,8 @@ class TiledLiveSession {
                                                         sim::Duration horizon) const;
   void plan_chunk(media::ChunkIndex index);
   void dispatch(const media::ChunkAddress& address, abr::SpatialClass spatial,
-                sim::Time deadline, bool is_upgrade);
+                sim::Time deadline, bool is_upgrade,
+                std::int64_t parent_request_id = 0);
   void play_chunk(media::ChunkIndex index);
   void scan_upgrades();
   void finish();

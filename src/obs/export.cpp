@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
 #include "util/csv.h"
 
@@ -30,6 +31,7 @@ int track_of(TraceEventType type) {
   if (cat == "playback") return 4;
   if (cat == "multipath") return 5;
   if (cat == "live") return 6;
+  if (cat == "slo") return 8;
   return 7;
 }
 
@@ -42,6 +44,8 @@ std::string args_json(const TraceEvent& e) {
   out += ",\"bytes\":" + std::to_string(e.bytes);
   out += std::string(",\"urgent\":") + (e.urgent ? "true" : "false");
   out += ",\"value\":" + fmt_double(e.value);
+  out += ",\"request\":" + std::to_string(e.request);
+  out += ",\"parent\":" + std::to_string(e.parent);
   out += "}";
   return out;
 }
@@ -62,10 +66,15 @@ void write_chrome_trace(std::ostream& out,
                         const std::vector<TraceEvent>& events) {
   std::vector<Record> records;
   records.reserve(events.size());
-  // Open spans awaiting their closing event: fetches keyed by the chunk
-  // cell + quality, stalls by track (at most one open per session).
+  // Open spans awaiting their closing event: fetches keyed by request id
+  // when the producer assigned one (ids disambiguate a retry of the same
+  // chunk cell), falling back to the chunk cell + quality for untraced
+  // events; transport attempts by (request id, attempt number); stalls by
+  // track (at most one open per session).
   std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, TraceEvent>
       open_fetches;
+  std::map<std::int64_t, TraceEvent> open_requests;
+  std::map<std::pair<std::int64_t, std::int64_t>, TraceEvent> open_attempts;
   std::map<int, TraceEvent> open_stalls;
 
   auto push = [&records](std::int64_t ts, std::int64_t dur, std::string name,
@@ -84,21 +93,58 @@ void write_chrome_trace(std::ostream& out,
   for (const TraceEvent& e : events) {
     switch (e.type) {
       case TraceEventType::kFetchDispatched:
-        open_fetches[{e.tile, e.chunk, e.quality}] = e;
+        if (e.request != 0) {
+          open_requests[e.request] = e;
+        } else {
+          open_fetches[{e.tile, e.chunk, e.quality}] = e;
+        }
         break;
       case TraceEventType::kFetchDone:
       case TraceEventType::kFetchDropped: {
-        const auto it = open_fetches.find({e.tile, e.chunk, e.quality});
-        if (it != open_fetches.end()) {
-          const TraceEvent& begin = it->second;
+        const TraceEvent* begin = nullptr;
+        if (e.request != 0) {
+          const auto it = open_requests.find(e.request);
+          if (it != open_requests.end()) begin = &it->second;
+        } else {
+          const auto it = open_fetches.find({e.tile, e.chunk, e.quality});
+          if (it != open_fetches.end()) begin = &it->second;
+        }
+        if (begin != nullptr) {
           TraceEvent span = e;
-          span.urgent = begin.urgent;
-          push(begin.ts.count(), (e.ts - begin.ts).count(),
-               e.type == TraceEventType::kFetchDone ? "Fetch" : "FetchDropped",
+          span.urgent = begin->urgent;
+          // A retried fetch's span carries its parent linkage even when
+          // only the dispatch event recorded it.
+          if (span.parent == 0) span.parent = begin->parent;
+          push(begin->ts.count(), (e.ts - begin->ts).count(),
+               e.type == TraceEventType::kFetchDone
+                   ? (span.parent != 0 ? "FetchRetry" : "Fetch")
+                   : "FetchDropped",
                span);
-          open_fetches.erase(it);
+          if (e.request != 0) {
+            open_requests.erase(e.request);
+          } else {
+            open_fetches.erase({e.tile, e.chunk, e.quality});
+          }
         } else {
           push(e.ts.count(), -1, std::string(trace_event_name(e.type)), e);
+        }
+        break;
+      }
+      case TraceEventType::kFetchAttemptStart:
+        open_attempts[{e.request, static_cast<std::int64_t>(e.value)}] = e;
+        break;
+      case TraceEventType::kFetchAttemptEnd: {
+        const auto it =
+            open_attempts.find({e.request, static_cast<std::int64_t>(e.value)});
+        if (it != open_attempts.end()) {
+          // Nested inside the request's outer Fetch span on the same
+          // track: attempt 0 is the first try, attempt > 0 a transport
+          // retry after a fault.
+          push(it->second.ts.count(), (e.ts - it->second.ts).count(),
+               e.value > 0.0 ? "Retry" : "Attempt", e);
+          open_attempts.erase(it);
+        } else {
+          push(e.ts.count(), -1, "FetchAttemptEnd", e);
         }
         break;
       }
@@ -125,6 +171,12 @@ void write_chrome_trace(std::ostream& out,
   for (const auto& [key, e] : open_fetches) {
     push(e.ts.count(), -1, "FetchDispatched", e);
   }
+  for (const auto& [request, e] : open_requests) {
+    push(e.ts.count(), -1, "FetchDispatched", e);
+  }
+  for (const auto& [key, e] : open_attempts) {
+    push(e.ts.count(), -1, "FetchAttemptStart", e);
+  }
   for (const auto& [track, e] : open_stalls) {
     push(e.ts.count(), -1, "StallBegin", e);
   }
@@ -136,9 +188,9 @@ void write_chrome_trace(std::ostream& out,
 
   out << "[";
   const char* track_names[] = {"",          "session", "plan", "fetch",
-                               "playback", "multipath", "live", "sim"};
+                               "playback", "multipath", "live", "sim", "slo"};
   bool first = true;
-  for (int tid = 1; tid <= 7; ++tid) {
+  for (int tid = 1; tid <= 8; ++tid) {
     if (!first) out << ",";
     first = false;
     out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
@@ -204,6 +256,37 @@ void write_metrics_csv(std::ostream& out, const MetricsRegistry& registry) {
   }
 }
 
+void write_timeseries_csv(std::ostream& out, const TimeSeriesStore& store) {
+  CsvWriter csv(out);
+  csv.write_row({"name", "kind", "interval", "t_s", "value", "count", "sum",
+                 "p50", "p90", "p99"});
+  for (const TimeSeries& series : store.series()) {
+    for (std::size_t i = 0; i < store.intervals(); ++i) {
+      std::vector<std::string> row(10);
+      row[0] = series.name;
+      row[1] = std::string(metric_kind_name(series.kind));
+      row[2] = std::to_string(i);
+      row[3] = fmt_double(sim::to_seconds(store.interval_end(i)));
+      switch (series.kind) {
+        case MetricKind::kCounter:
+          row[4] = std::to_string(series.counter_deltas[i]);
+          break;
+        case MetricKind::kGauge:
+          row[4] = fmt_double(series.gauge_samples[i]);
+          break;
+        case MetricKind::kHistogram:
+          row[5] = std::to_string(series.count_deltas[i]);
+          row[6] = fmt_double(series.sum_deltas[i]);
+          row[7] = fmt_double(series_quantile_bound(series, i, 0.50));
+          row[8] = fmt_double(series_quantile_bound(series, i, 0.90));
+          row[9] = fmt_double(series_quantile_bound(series, i, 0.99));
+          break;
+      }
+      csv.write_row(row);
+    }
+  }
+}
+
 namespace {
 
 std::ofstream open_or_throw(const std::string& path) {
@@ -220,9 +303,21 @@ void dump_chrome_trace(const std::string& path, const Telemetry& telemetry) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+void dump_trace_jsonl(const std::string& path, const Telemetry& telemetry) {
+  auto out = open_or_throw(path);
+  write_trace_jsonl(out, telemetry.trace().events());
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
 void dump_metrics_csv(const std::string& path, const Telemetry& telemetry) {
   auto out = open_or_throw(path);
   write_metrics_csv(out, telemetry.metrics());
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void dump_timeseries_csv(const std::string& path, const TimeSeriesStore& store) {
+  auto out = open_or_throw(path);
+  write_timeseries_csv(out, store);
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 

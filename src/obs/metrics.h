@@ -13,11 +13,18 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.h"
+
 namespace sperke::obs {
 
 class Counter {
  public:
-  void add(std::int64_t delta) { value_ += delta; }
+  // Counters are monotone: shard merge and SLO rate math both divide
+  // deltas by elapsed time and assume they never go backwards.
+  void add(std::int64_t delta) {
+    SPERKE_DCHECK(delta >= 0, "counter decremented by ", delta);
+    value_ += delta;
+  }
   void increment() { ++value_; }
   [[nodiscard]] std::int64_t value() const { return value_; }
 
@@ -31,6 +38,10 @@ class Counter {
 class Gauge {
  public:
   void set(double value) { value_ = value; }
+  // Relative update for gauges tracking a level (sessions stalled, queue
+  // occupancy): +1 on entry, -1 on exit. Unlike Counter, deltas may be
+  // negative — a level can fall.
+  void add(double delta) { value_ += delta; }
   [[nodiscard]] double value() const { return value_; }
 
   // Fold another gauge in (shard merge): values add. A gauge sampled

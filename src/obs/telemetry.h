@@ -7,6 +7,8 @@
 // sink pays no measurable overhead.
 #pragma once
 
+#include <cstdint>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,9 +22,16 @@ class Telemetry {
   [[nodiscard]] TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
+  // Monotonic request-id source for causal fetch spans. Ids start at 1 so
+  // 0 stays the "untraced" sentinel on ChunkRequest/TraceEvent. Telemetry
+  // is per-shard state, so ids are unique within a shard's timeline (the
+  // scope of one exported trace) without cross-thread coordination.
+  [[nodiscard]] std::int64_t next_request_id() { return ++last_request_id_; }
+
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  std::int64_t last_request_id_ = 0;
 };
 
 }  // namespace sperke::obs

@@ -1,0 +1,209 @@
+#include "obs/timeseries.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace sperke::obs {
+namespace {
+
+// Quantile upper bound over pre-summed bucket deltas. Mirrors
+// histogram_quantile_bound, except an interval has no min/max record, so a
+// quantile landing in the +inf overflow bucket reads as +infinity — to SLO
+// math, "beyond the histogram's range" must breach any finite threshold.
+double bucket_quantile_bound(const std::vector<double>& bounds,
+                             const std::vector<std::int64_t>& counts,
+                             double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(q * static_cast<double>(total));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative > target) return bounds[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+double series_quantile_bound(const TimeSeries& series, std::size_t interval,
+                             double q) {
+  return series_window_quantile_bound(series, interval, interval, q);
+}
+
+double series_window_quantile_bound(const TimeSeries& series, std::size_t first,
+                                    std::size_t last, double q) {
+  if (series.kind != MetricKind::kHistogram) {
+    throw std::invalid_argument("series_window_quantile_bound: '" +
+                                series.name + "' is not a histogram series");
+  }
+  SPERKE_CHECK(first <= last, "quantile window inverted: [", first, ", ", last,
+               "]");
+  const std::size_t columns = series.upper_bounds.size() + 1;
+  SPERKE_CHECK((last + 1) * columns <= series.bucket_deltas.size(),
+               "quantile window past the end of series '", series.name, "'");
+  std::vector<std::int64_t> window(columns, 0);
+  for (std::size_t i = first; i <= last; ++i) {
+    for (std::size_t b = 0; b < columns; ++b) {
+      window[b] += series.bucket_deltas[i * columns + b];
+    }
+  }
+  return bucket_quantile_bound(series.upper_bounds, window, q);
+}
+
+TimeSeriesStore::TimeSeriesStore(sim::Duration period) : period_(period) {
+  if (period <= sim::Duration{0}) {
+    throw std::invalid_argument("TimeSeriesStore: period must be positive");
+  }
+}
+
+const TimeSeries* TimeSeriesStore::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &series_[it->second];
+}
+
+TimeSeries& TimeSeriesStore::resolve(const TimeSeries& like) {
+  const auto it = index_.find(like.name);
+  if (it != index_.end()) {
+    TimeSeries& mine = series_[it->second];
+    if (mine.kind != like.kind) {
+      throw std::invalid_argument("TimeSeriesStore: '" + mine.name +
+                                  "' already tracked as " +
+                                  std::string(metric_kind_name(mine.kind)));
+    }
+    if (mine.kind == MetricKind::kHistogram &&
+        mine.upper_bounds != like.upper_bounds) {
+      throw std::invalid_argument("TimeSeriesStore: '" + mine.name +
+                                  "' bucket layout mismatch");
+    }
+    return mine;
+  }
+  // First appearance: zero-pad history back to interval 0 so every series
+  // always spans the full run.
+  TimeSeries fresh;
+  fresh.name = like.name;
+  fresh.kind = like.kind;
+  fresh.upper_bounds = like.upper_bounds;
+  switch (fresh.kind) {
+    case MetricKind::kCounter:
+      fresh.counter_deltas.assign(intervals_, 0);
+      break;
+    case MetricKind::kGauge:
+      fresh.gauge_samples.assign(intervals_, 0.0);
+      break;
+    case MetricKind::kHistogram:
+      fresh.bucket_deltas.assign(intervals_ * (fresh.upper_bounds.size() + 1),
+                                 0);
+      fresh.count_deltas.assign(intervals_, 0);
+      fresh.sum_deltas.assign(intervals_, 0.0);
+      break;
+  }
+  index_.emplace(fresh.name, series_.size());
+  series_.push_back(std::move(fresh));
+  last_.emplace_back();
+  return series_.back();
+}
+
+void TimeSeriesStore::sample(const MetricsRegistry& registry) {
+  SPERKE_CHECK(period_ > sim::Duration{0},
+               "TimeSeriesStore: sample() on an inactive store");
+  for (const MetricsRegistry::Entry& entry : registry.entries()) {
+    TimeSeries like;
+    like.name = entry.name;
+    like.kind = entry.kind;
+    if (entry.kind == MetricKind::kHistogram) {
+      like.upper_bounds = entry.histogram->upper_bounds();
+    }
+    TimeSeries& mine = resolve(like);
+    Cumulative& prev = last_[index_.find(entry.name)->second];
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        const std::int64_t now = entry.counter->value();
+        SPERKE_DCHECK(now >= prev.counter, "counter '", entry.name,
+                      "' went backwards");
+        mine.counter_deltas.push_back(now - prev.counter);
+        prev.counter = now;
+        break;
+      }
+      case MetricKind::kGauge:
+        mine.gauge_samples.push_back(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& hist = *entry.histogram;
+        const std::vector<std::int64_t>& counts = hist.bucket_counts();
+        if (prev.buckets.empty()) prev.buckets.assign(counts.size(), 0);
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+          mine.bucket_deltas.push_back(counts[b] - prev.buckets[b]);
+          prev.buckets[b] = counts[b];
+        }
+        mine.count_deltas.push_back(hist.count() - prev.count);
+        mine.sum_deltas.push_back(hist.sum() - prev.sum);
+        prev.count = hist.count();
+        prev.sum = hist.sum();
+        break;
+      }
+    }
+  }
+  ++intervals_;
+  // Series no longer present in the registry (possible only when sampling
+  // resumes after a merge, which this type does not support) would go
+  // ragged; catch that loudly instead of exporting short rows.
+  for (const TimeSeries& s : series_) {
+    const std::size_t points = s.kind == MetricKind::kCounter
+                                   ? s.counter_deltas.size()
+                                   : s.kind == MetricKind::kGauge
+                                         ? s.gauge_samples.size()
+                                         : s.count_deltas.size();
+    SPERKE_CHECK(points == intervals_, "series '", s.name,
+                 "' missed an interval (", points, " points after interval ",
+                 intervals_, ")");
+  }
+}
+
+void TimeSeriesStore::merge_from(const TimeSeriesStore& other) {
+  SPERKE_CHECK(&other != this, "TimeSeriesStore: merge_from(self)");
+  if (other.period_ <= sim::Duration{0} && other.series_.empty()) return;
+  if (period_ <= sim::Duration{0} && series_.empty()) {
+    *this = other;  // inactive store adopts the first shard wholesale
+    return;
+  }
+  if (period_ != other.period_) {
+    throw std::invalid_argument("TimeSeriesStore: period mismatch in merge");
+  }
+  if (intervals_ != other.intervals_) {
+    throw std::invalid_argument(
+        "TimeSeriesStore: interval count mismatch in merge");
+  }
+  for (const TimeSeries& theirs : other.series_) {
+    TimeSeries& mine = resolve(theirs);  // appends zero-padded when absent
+    switch (theirs.kind) {
+      case MetricKind::kCounter:
+        for (std::size_t i = 0; i < intervals_; ++i) {
+          mine.counter_deltas[i] += theirs.counter_deltas[i];
+        }
+        break;
+      case MetricKind::kGauge:
+        // Gauge samples add across shards, mirroring Gauge::merge_from: a
+        // per-shard level (sessions stalled, queue depth) aggregates to
+        // the fleet total at each instant.
+        for (std::size_t i = 0; i < intervals_; ++i) {
+          mine.gauge_samples[i] += theirs.gauge_samples[i];
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (std::size_t i = 0; i < mine.bucket_deltas.size(); ++i) {
+          mine.bucket_deltas[i] += theirs.bucket_deltas[i];
+        }
+        for (std::size_t i = 0; i < intervals_; ++i) {
+          mine.count_deltas[i] += theirs.count_deltas[i];
+          mine.sum_deltas[i] += theirs.sum_deltas[i];
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace sperke::obs

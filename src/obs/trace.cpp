@@ -19,6 +19,10 @@ std::string_view trace_event_name(TraceEventType type) {
     case TraceEventType::kSegmentCaptured: return "SegmentCaptured";
     case TraceEventType::kSegmentDropped: return "SegmentDropped";
     case TraceEventType::kSegmentDisplayed: return "SegmentDisplayed";
+    case TraceEventType::kFetchAttemptStart: return "FetchAttemptStart";
+    case TraceEventType::kFetchAttemptEnd: return "FetchAttemptEnd";
+    case TraceEventType::kSloBreach: return "SloBreach";
+    case TraceEventType::kSloClear: return "SloClear";
     case TraceEventType::kSessionEnd: return "SessionEnd";
   }
   return "?";
@@ -32,7 +36,9 @@ std::string_view trace_event_category(TraceEventType type) {
     case TraceEventType::kUpgradeDecided: return "plan";
     case TraceEventType::kFetchDispatched:
     case TraceEventType::kFetchDone:
-    case TraceEventType::kFetchDropped: return "fetch";
+    case TraceEventType::kFetchDropped:
+    case TraceEventType::kFetchAttemptStart:
+    case TraceEventType::kFetchAttemptEnd: return "fetch";
     case TraceEventType::kStallBegin:
     case TraceEventType::kStallEnd:
     case TraceEventType::kChunkPlayed: return "playback";
@@ -40,6 +46,8 @@ std::string_view trace_event_category(TraceEventType type) {
     case TraceEventType::kSegmentCaptured:
     case TraceEventType::kSegmentDropped:
     case TraceEventType::kSegmentDisplayed: return "live";
+    case TraceEventType::kSloBreach:
+    case TraceEventType::kSloClear: return "slo";
   }
   return "?";
 }
@@ -50,7 +58,8 @@ void TraceRecorder::record(const TraceEvent& event) {
                    trace_event_name(event.type), " tile=", event.tile,
                    " chunk=", event.chunk, " q=", event.quality,
                    " path=", event.path, " bytes=", event.bytes,
-                   " urgent=", event.urgent, " value=", event.value);
+                   " urgent=", event.urgent, " value=", event.value,
+                   " request=", event.request, " parent=", event.parent);
 }
 
 }  // namespace sperke::obs

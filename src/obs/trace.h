@@ -28,6 +28,10 @@ enum class TraceEventType : std::uint8_t {
   kSegmentCaptured,  // live broadcaster finished capturing a segment
   kSegmentDropped,   // live broadcaster queue overflow
   kSegmentDisplayed, // live viewer displayed a segment
+  kFetchAttemptStart,  // transport put one attempt for a request on the wire
+  kFetchAttemptEnd,    // that attempt settled (delivered / failed / cancelled)
+  kSloBreach,        // SLO evaluator: objective crossed into breach
+  kSloClear,         // SLO evaluator: objective recovered
   kSessionEnd,
 };
 
@@ -46,6 +50,12 @@ struct TraceEvent {
   std::int64_t bytes = 0;
   bool urgent = false;
   double value = 0.0;
+  // Causal span identity: per-shard monotonic request id (0 = untraced)
+  // and, for degraded retries / blank re-requests, the id of the request
+  // this one replaces. Exporters use the pair to nest fetch -> retry
+  // spans instead of emitting flat instants.
+  std::int64_t request = 0;
+  std::int64_t parent = 0;
 };
 
 // Append-only event sink. Also the single source of per-event log lines:

@@ -243,6 +243,96 @@ TEST(EngineDeterminism, FaultedWorldMergesIdenticalAcrossThreadCounts) {
   EXPECT_GT(retries->value(), 0);
 }
 
+TEST(EngineDeterminism, SeriesAndSloBreachesIdenticalAcrossThreadCounts) {
+  // The observability extension of the headline contract: the sampled time
+  // series and the SLO breach/clear timeline are part of the merged result,
+  // so they too must be byte-identical at any thread count — under chaos,
+  // where the sampler interleaves with outages, retries and stalls.
+  auto observed_chaos_world = [] {
+    engine::WorldSpec spec = small_world(6);
+    spec.faults.outages.push_back({.start_s = 3.0, .duration_s = 2.0});
+    spec.faults.transfer_failure_prob = 0.05;
+    spec.faults.seed = 99;
+    spec.transport_recovery.enabled = true;
+    spec.session.fetch_recovery = true;
+    spec.sample_period = sim::seconds(0.5);
+    spec.slos = {{.name = "stall", .metric = "session.stalled",
+                  .signal = obs::SloSignal::kGaugeValue, .threshold = 0.5,
+                  .window_intervals = 1},
+                 {.name = "retry.rate", .metric = "transport.retries",
+                  .signal = obs::SloSignal::kCounterRate, .threshold = 1e9,
+                  .window_intervals = 4}};
+    return spec;
+  };
+  engine::EngineResult serial =
+      engine::run_world(observed_chaos_world(), {.threads = 1});
+  engine::EngineResult threaded =
+      engine::run_world(observed_chaos_world(), {.threads = 8});
+
+  // floor(horizon / period) closed intervals, no matter the partitioning.
+  EXPECT_EQ(serial.series.intervals(), 240u);
+  std::ostringstream series_a, series_b;
+  obs::write_timeseries_csv(series_a, serial.series);
+  obs::write_timeseries_csv(series_b, threaded.series);
+  EXPECT_FALSE(series_a.str().empty());
+  EXPECT_EQ(series_a.str(), series_b.str());
+
+  std::ostringstream slo_a, slo_b;
+  obs::write_slo_csv(slo_a, serial.slos);
+  obs::write_slo_csv(slo_b, threaded.slos);
+  EXPECT_EQ(slo_a.str(), slo_b.str());
+  ASSERT_EQ(serial.slos.size(), 2u);
+  // The outage actually tripped the stall SLO somewhere in the fleet.
+  EXPECT_GT(serial.slos[0].breach_events, 0);
+
+  // The breach/clear timelines agree shard by shard, event by event.
+  std::int64_t breach_events = 0;
+  ASSERT_EQ(serial.shard_telemetry.size(), threaded.shard_telemetry.size());
+  for (std::size_t s = 0; s < serial.shard_telemetry.size(); ++s) {
+    auto slo_timeline = [](const obs::Telemetry& telemetry) {
+      std::vector<obs::TraceEvent> out;
+      for (const obs::TraceEvent& e : telemetry.trace().events()) {
+        if (e.type == obs::TraceEventType::kSloBreach ||
+            e.type == obs::TraceEventType::kSloClear) {
+          out.push_back(e);
+        }
+      }
+      return out;
+    };
+    const auto timeline_a = slo_timeline(*serial.shard_telemetry[s]);
+    const auto timeline_b = slo_timeline(*threaded.shard_telemetry[s]);
+    ASSERT_EQ(timeline_a.size(), timeline_b.size()) << "shard " << s;
+    for (std::size_t i = 0; i < timeline_a.size(); ++i) {
+      EXPECT_EQ(timeline_a[i].type, timeline_b[i].type) << s << "/" << i;
+      EXPECT_EQ(timeline_a[i].ts, timeline_b[i].ts) << s << "/" << i;
+      EXPECT_EQ(timeline_a[i].chunk, timeline_b[i].chunk) << s << "/" << i;
+      EXPECT_EQ(timeline_a[i].value, timeline_b[i].value) << s << "/" << i;
+      if (timeline_a[i].type == obs::TraceEventType::kSloBreach) {
+        ++breach_events;
+      }
+    }
+  }
+  EXPECT_EQ(breach_events, serial.slos[0].breach_events +
+                               serial.slos[1].breach_events);
+}
+
+TEST(Engine, ValidateRejectsBadObservabilitySpecs) {
+  engine::WorldSpec spec = small_world(1);
+  spec.sample_period = sim::Duration{-1};
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.slos = {{.name = "x", .metric = "m"}};  // SLOs need a sampler
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.sample_period = sim::seconds(1.0);
+  spec.slos = {{.name = "Bad Name", .metric = "m"}};
+  EXPECT_THROW(engine::ShardedEngine{spec}, std::invalid_argument);
+  spec = small_world(1);
+  spec.sample_period = sim::seconds(1.0);
+  spec.slos = {{.name = "ok", .metric = "m"}};
+  EXPECT_NO_THROW(engine::ShardedEngine{spec});
+}
+
 TEST(Engine, FaultsOfGroupReseedsTemplatePlanPerGroup) {
   engine::WorldSpec spec = small_world(1);
   // Empty template: groups keep whatever their LinkConfig carries.

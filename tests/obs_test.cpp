@@ -4,7 +4,9 @@
 // the metrics CSV must agree exactly with the SessionReport it mirrors.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -20,9 +22,13 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sim_monitor.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "util/check.h"
+#include "util/csv.h"
 
 namespace {
 
@@ -369,6 +375,427 @@ TEST(SimMonitorTest, SamplesQueueDepthAndThroughput) {
   ASSERT_NE(depth, nullptr);
   EXPECT_EQ(depth->count(), samples->value());
   EXPECT_NE(telemetry.metrics().find_gauge("sim.events_per_sec"), nullptr);
+}
+
+#if SPERKE_DCHECK_IS_ON
+TEST(MetricsDeathTest, CounterDecrementTripsDcheck) {
+  obs::Counter c;
+  EXPECT_DEATH(c.add(-1), "counter decremented");
+}
+#endif
+
+TEST(Metrics, GaugeAddIsRelativeAndSigned) {
+  obs::Gauge g;
+  g.add(2.0);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Time series sampling (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, RecordsDeltasSamplesAndIntervalQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("fetches");
+  obs::Gauge& g = registry.gauge("depth");
+  obs::Histogram& h = registry.histogram("lat_s", {1.0, 5.0});
+
+  obs::TimeSeriesStore store(sim::seconds(1.0));
+  EXPECT_THROW(obs::TimeSeriesStore(sim::Duration{0}), std::invalid_argument);
+
+  c.add(3);
+  g.set(2.0);
+  h.observe(0.5);
+  store.sample(registry);
+  c.add(2);
+  g.set(7.5);
+  h.observe(100.0);  // overflow bucket
+  store.sample(registry);
+
+  ASSERT_EQ(store.intervals(), 2u);
+  EXPECT_EQ(store.interval_end(0), sim::seconds(1.0));
+  EXPECT_EQ(store.interval_end(1), sim::seconds(2.0));
+
+  const obs::TimeSeries* fetches = store.find("fetches");
+  ASSERT_NE(fetches, nullptr);
+  EXPECT_EQ(fetches->counter_deltas, (std::vector<std::int64_t>{3, 2}));
+
+  const obs::TimeSeries* depth = store.find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->gauge_samples, (std::vector<double>{2.0, 7.5}));
+
+  const obs::TimeSeries* lat = store.find("lat_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count_deltas, (std::vector<std::int64_t>{1, 1}));
+  EXPECT_DOUBLE_EQ(obs::series_quantile_bound(*lat, 0, 0.5), 1.0);
+  // Interval 1's only sample sits in the overflow bucket: the interval
+  // quantile must read as worse-than-any-threshold, not as the lifetime max.
+  EXPECT_TRUE(std::isinf(obs::series_quantile_bound(*lat, 1, 0.99)));
+  // Across the two-interval window the lower quartile is still finite
+  // (q=0.5 of {0.5, overflow} lands exactly on the bucket boundary, and the
+  // bound semantics resolve boundary ties upward — to the overflow here).
+  EXPECT_DOUBLE_EQ(obs::series_window_quantile_bound(*lat, 0, 1, 0.25), 1.0);
+  EXPECT_TRUE(std::isinf(obs::series_window_quantile_bound(*lat, 0, 1, 0.5)));
+}
+
+TEST(TimeSeriesTest, LateInstrumentsZeroPadBackToIntervalZero) {
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesStore store(sim::seconds(1.0));
+  store.sample(registry);  // nothing registered yet
+  registry.counter("late").add(5);
+  store.sample(registry);
+  const obs::TimeSeries* late = store.find("late");
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->counter_deltas, (std::vector<std::int64_t>{0, 5}));
+}
+
+TEST(TimeSeriesTest, MergeAddsElementwiseAndValidatesShape) {
+  obs::MetricsRegistry reg_a;
+  obs::MetricsRegistry reg_b;
+  obs::TimeSeriesStore a(sim::seconds(1.0));
+  obs::TimeSeriesStore b(sim::seconds(1.0));
+  reg_a.counter("c").add(1);
+  reg_b.counter("c").add(10);
+  reg_a.gauge("g").set(0.5);
+  reg_b.gauge("g").set(2.0);
+  a.sample(reg_a);
+  b.sample(reg_b);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.find("c")->counter_deltas, (std::vector<std::int64_t>{11}));
+  // Gauge samples add across shards: the merged level is the fleet total,
+  // mirroring Gauge::merge_from.
+  EXPECT_EQ(a.find("g")->gauge_samples, (std::vector<double>{2.5}));
+
+  // An inactive store adopts the other wholesale (the engine merges into a
+  // default-constructed EngineResult::series).
+  obs::TimeSeriesStore merged;
+  merged.merge_from(b);
+  EXPECT_EQ(merged.period(), sim::seconds(1.0));
+  EXPECT_EQ(merged.find("c")->counter_deltas, (std::vector<std::int64_t>{10}));
+
+  // Shape mismatches throw instead of silently corrupting SLO input.
+  obs::TimeSeriesStore other_period(sim::seconds(2.0));
+  other_period.sample(reg_b);
+  EXPECT_THROW(a.merge_from(other_period), std::invalid_argument);
+  b.sample(reg_b);  // b now has 2 intervals, a has 1
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SLO evaluation.
+// ---------------------------------------------------------------------------
+
+TEST(SloTest, ValidateRejectsMalformedSpecs) {
+  obs::SloSpec ok{.name = "stall.ratio_p99", .metric = "m"};
+  EXPECT_NO_THROW(obs::validate_slo(ok));
+  obs::SloSpec spec = ok;
+  spec.name = "Bad Name";
+  EXPECT_THROW(obs::validate_slo(spec), std::invalid_argument);
+  spec = ok;
+  spec.metric = "";
+  EXPECT_THROW(obs::validate_slo(spec), std::invalid_argument);
+  spec = ok;
+  // The quantile only matters (and is only validated) for quantile signals.
+  spec.quantile = 1.5;
+  EXPECT_NO_THROW(obs::validate_slo(spec));
+  spec.signal = obs::SloSignal::kHistogramQuantile;
+  EXPECT_THROW(obs::validate_slo(spec), std::invalid_argument);
+  spec = ok;
+  spec.window_intervals = 0;
+  EXPECT_THROW(obs::validate_slo(spec), std::invalid_argument);
+}
+
+TEST(SloTest, GaugeSloBreachesClearsAndBurnsBudget) {
+  obs::Telemetry telemetry;
+  obs::Gauge& stalled = telemetry.metrics().gauge("session.stalled");
+  obs::TimeSeriesStore store(sim::seconds(1.0));
+  obs::SloEvaluator evaluator(
+      {{.name = "stall", .metric = "session.stalled",
+        .signal = obs::SloSignal::kGaugeValue, .threshold = 0.5,
+        .window_intervals = 1}},
+      store, telemetry);
+  // The error-budget counter exists before any breach, so the metric set
+  // does not depend on the breach pattern.
+  ASSERT_NE(telemetry.metrics().find_counter("slo.stall.breached_intervals"),
+            nullptr);
+
+  stalled.set(0.0);
+  store.sample(telemetry.metrics());
+  evaluator.evaluate();  // healthy
+  stalled.set(1.0);
+  store.sample(telemetry.metrics());
+  evaluator.evaluate();  // breach
+  store.sample(telemetry.metrics());
+  evaluator.evaluate();  // still breached: budget burns, no new event
+  stalled.set(0.0);
+  store.sample(telemetry.metrics());
+  evaluator.evaluate();  // clear
+
+  std::vector<obs::TraceEvent> slo_events;
+  for (const obs::TraceEvent& e : telemetry.trace().events()) {
+    if (e.type == obs::TraceEventType::kSloBreach ||
+        e.type == obs::TraceEventType::kSloClear) {
+      slo_events.push_back(e);
+    }
+  }
+  ASSERT_EQ(slo_events.size(), 2u);
+  EXPECT_EQ(slo_events[0].type, obs::TraceEventType::kSloBreach);
+  EXPECT_EQ(slo_events[0].ts, sim::seconds(2.0));  // end of interval 1
+  EXPECT_EQ(slo_events[0].chunk, 0);               // SLO index in the spec list
+  EXPECT_DOUBLE_EQ(slo_events[0].value, 1.0);      // the breaching signal
+  EXPECT_EQ(slo_events[1].type, obs::TraceEventType::kSloClear);
+  EXPECT_EQ(slo_events[1].ts, sim::seconds(4.0));
+
+  EXPECT_EQ(
+      telemetry.metrics().find_counter("slo.stall.breached_intervals")->value(),
+      2);
+  const std::vector<obs::SloStatus> status = evaluator.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].name, "stall");
+  EXPECT_EQ(status[0].evaluated_intervals, 4);
+  EXPECT_EQ(status[0].breached_intervals, 2);
+  EXPECT_EQ(status[0].breach_events, 1);
+  EXPECT_FALSE(status[0].breached_at_end);
+  EXPECT_DOUBLE_EQ(status[0].last_signal, 0.0);
+}
+
+TEST(SloTest, CounterRateAndQuantileSignals) {
+  obs::Telemetry telemetry;
+  obs::Counter& reqs = telemetry.metrics().counter("reqs");
+  obs::Histogram& lat = telemetry.metrics().histogram("lat_s", {1.0});
+  obs::TimeSeriesStore store(sim::seconds(2.0));
+  obs::SloEvaluator evaluator(
+      {{.name = "rate", .metric = "reqs",
+        .signal = obs::SloSignal::kCounterRate, .threshold = 4.0,
+        .window_intervals = 1},
+       {.name = "p99", .metric = "lat_s",
+        .signal = obs::SloSignal::kHistogramQuantile, .quantile = 0.99,
+        .threshold = 1e9, .window_intervals = 1}},
+      store, telemetry);
+
+  reqs.add(10);       // 10 per 2 s interval = 5/s > 4 -> rate breaches
+  lat.observe(50.0);  // overflow bucket: +inf quantile beats any threshold
+  store.sample(telemetry.metrics());
+  evaluator.evaluate();
+
+  const std::vector<obs::SloStatus> status = evaluator.status();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_TRUE(status[0].breached_at_end);
+  EXPECT_DOUBLE_EQ(status[0].last_signal, 5.0);
+  EXPECT_TRUE(status[1].breached_at_end);
+  EXPECT_TRUE(std::isinf(status[1].last_signal));
+}
+
+TEST(SloTest, MergeStatusSumsAcrossShardsAndRequiresSameSpecs) {
+  obs::SloStatus a{.name = "s", .evaluated_intervals = 4,
+                   .breached_intervals = 1, .breach_events = 1,
+                   .breached_at_end = false, .last_signal = 0.5};
+  obs::SloStatus b{.name = "s", .evaluated_intervals = 4,
+                   .breached_intervals = 3, .breach_events = 2,
+                   .breached_at_end = true, .last_signal = 1.0};
+  std::vector<obs::SloStatus> into;
+  obs::merge_slo_status(into, {a});  // empty side adopts
+  obs::merge_slo_status(into, {b});
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0].evaluated_intervals, 4);  // per-shard count, not a sum
+  EXPECT_EQ(into[0].breached_intervals, 4);
+  EXPECT_EQ(into[0].breach_events, 3);
+  EXPECT_TRUE(into[0].breached_at_end);
+  EXPECT_DOUBLE_EQ(into[0].last_signal, 1.5);
+
+  std::vector<obs::SloStatus> wrong = {{.name = "other"}};
+  EXPECT_THROW(obs::merge_slo_status(wrong, {a}), std::invalid_argument);
+
+  const std::string table =
+      obs::slo_table({{.name = "s", .metric = "m"}}, into);
+  EXPECT_NE(table.find("s"), std::string::npos);
+  EXPECT_NE(table.find("BREACHED"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: hostile names, JSONL, nested causal spans.
+// ---------------------------------------------------------------------------
+
+TEST(ExportCsv, HostileMetricNamesRoundTripQuoted) {
+  // Deliberately evil instrument name: quote, comma, and newline. (tests/
+  // is exempt from the lint's metric-name rule for exactly this case.)
+  const std::string evil = "evil\"name,with\nnewline";
+  obs::MetricsRegistry registry;
+  registry.counter(evil).add(7);
+  std::ostringstream out;
+  obs::write_metrics_csv(out, registry);
+  const std::string csv = out.str();
+  // Quoted with the embedded quote doubled, per RFC 4180.
+  EXPECT_NE(csv.find("\"evil\"\"name,with\nnewline\""), std::string::npos);
+  const auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], evil);
+  EXPECT_EQ(rows[1][7], "7");
+}
+
+TEST(ExportJsonl, OneObjectPerEventCarryingRequestFields) {
+  obs::Telemetry telemetry;
+  telemetry.trace().record({.type = obs::TraceEventType::kFetchDispatched,
+                            .ts = sim::seconds(1.0),
+                            .tile = 3,
+                            .chunk = 2,
+                            .quality = 1,
+                            .request = 5});
+  telemetry.trace().record({.type = obs::TraceEventType::kFetchDone,
+                            .ts = sim::seconds(1.5),
+                            .bytes = 1234,
+                            .request = 5,
+                            .parent = 4});
+  std::ostringstream out;
+  obs::write_trace_jsonl(out, telemetry.trace().events());
+  const std::string jsonl = out.str();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_NE(jsonl.find("\"event\":\"FetchDispatched\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"request\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"parent\":4"), std::string::npos);
+}
+
+TEST(ExportChromeTrace, NestsAttemptAndRetrySpansByRequestId) {
+  std::vector<obs::TraceEvent> events;
+  // Request 1: one attempt, delivered.
+  events.push_back({.type = obs::TraceEventType::kFetchDispatched,
+                    .ts = sim::seconds(1.0), .tile = 0, .chunk = 0,
+                    .quality = 2, .request = 1});
+  events.push_back({.type = obs::TraceEventType::kFetchAttemptStart,
+                    .ts = sim::seconds(1.0), .value = 0.0, .request = 1});
+  events.push_back({.type = obs::TraceEventType::kFetchAttemptEnd,
+                    .ts = sim::seconds(1.2), .value = 0.0, .request = 1});
+  events.push_back({.type = obs::TraceEventType::kFetchDone,
+                    .ts = sim::seconds(1.2), .bytes = 100, .request = 1});
+  // Request 2 replaces request 1 (degraded retry): its attempt 1 is a
+  // transport-level retry, and its fetch span must render as FetchRetry.
+  events.push_back({.type = obs::TraceEventType::kFetchDispatched,
+                    .ts = sim::seconds(2.0), .tile = 0, .chunk = 0,
+                    .quality = 0, .request = 2, .parent = 1});
+  events.push_back({.type = obs::TraceEventType::kFetchAttemptStart,
+                    .ts = sim::seconds(2.0), .value = 1.0, .request = 2});
+  events.push_back({.type = obs::TraceEventType::kFetchAttemptEnd,
+                    .ts = sim::seconds(2.4), .value = 1.0, .request = 2});
+  events.push_back({.type = obs::TraceEventType::kFetchDone,
+                    .ts = sim::seconds(2.4), .bytes = 50, .request = 2,
+                    .parent = 1});
+  // Request 3 never completes: flushed as an instant, not lost.
+  events.push_back({.type = obs::TraceEventType::kFetchDispatched,
+                    .ts = sim::seconds(3.0), .tile = 1, .chunk = 1,
+                    .quality = 1, .request = 3});
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, events);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\":\"Fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Attempt\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"FetchRetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Retry\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"FetchDispatched\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos);
+  // Both same-cell fetches must close: two X-phase fetch spans, not one.
+  EXPECT_NE(json.find("\"dur\":200000"), std::string::npos);  // 1.0 -> 1.2 s
+  EXPECT_NE(json.find("\"dur\":400000"), std::string::npos);  // 2.0 -> 2.4 s
+}
+
+TEST(TelemetryEndToEnd, FetchEventsCarryUniqueCausalRequestIds) {
+  obs::Telemetry telemetry;
+  const auto report = run_instrumented(&telemetry);
+  ASSERT_TRUE(report.completed);
+  std::set<std::int64_t> dispatched_ids;
+  int attempts = 0;
+  for (const obs::TraceEvent& e : telemetry.trace().events()) {
+    switch (e.type) {
+      case obs::TraceEventType::kFetchDispatched:
+        EXPECT_GT(e.request, 0) << "traced dispatch without a request id";
+        EXPECT_TRUE(dispatched_ids.insert(e.request).second)
+            << "request id " << e.request << " reused";
+        break;
+      case obs::TraceEventType::kFetchDone:
+      case obs::TraceEventType::kFetchDropped:
+        EXPECT_TRUE(dispatched_ids.count(e.request))
+            << "completion for unknown request " << e.request;
+        break;
+      case obs::TraceEventType::kFetchAttemptStart:
+        EXPECT_TRUE(dispatched_ids.count(e.request))
+            << "attempt for unknown request " << e.request;
+        ++attempts;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_FALSE(dispatched_ids.empty());
+  // Every dispatched request puts at least one attempt on the wire.
+  EXPECT_GE(attempts, static_cast<int>(dispatched_ids.size()));
+}
+
+// ---------------------------------------------------------------------------
+// SimMonitor satellites.
+// ---------------------------------------------------------------------------
+
+TEST(SimMonitorTest, ZeroElapsedSampleRecordsDepthButNoRate) {
+  obs::Telemetry telemetry;
+  sim::Simulator simulator;
+  obs::SimMonitor monitor(simulator, telemetry, sim::seconds(1.0));
+  monitor.sample_now();  // elapsed == 0: must not divide by zero
+  EXPECT_EQ(telemetry.metrics().find_counter("sim.samples")->value(), 1);
+  EXPECT_EQ(
+      telemetry.metrics().find_histogram("sim.queue_depth_hist")->count(), 1);
+  EXPECT_DOUBLE_EQ(telemetry.metrics().find_gauge("sim.events_per_sec")->value(),
+                   0.0);
+}
+
+TEST(SimMonitorTest, StopHaltsSamplingAndReArmContinuesCounts) {
+  obs::Telemetry telemetry;
+  sim::Simulator simulator;
+  const obs::Counter* samples = nullptr;
+  {
+    obs::SimMonitor monitor(simulator, telemetry, sim::seconds(1.0));
+    simulator.run_until(sim::seconds(3.0));
+    samples = telemetry.metrics().find_counter("sim.samples");
+    ASSERT_NE(samples, nullptr);
+    EXPECT_EQ(samples->value(), 3);
+    monitor.stop();
+    EXPECT_FALSE(monitor.running());
+    simulator.run_until(sim::seconds(6.0));
+    EXPECT_EQ(samples->value(), 3);  // stopped: no further samples
+  }
+  // Re-arm on the same telemetry: instruments resolve by name, so the
+  // counts continue instead of resetting.
+  obs::SimMonitor rearmed(simulator, telemetry, sim::seconds(1.0));
+  EXPECT_TRUE(rearmed.running());
+  simulator.run_until(sim::seconds(8.0));
+  EXPECT_EQ(samples->value(), 5);
+}
+
+TEST(SimMonitorTest, QueueDepthQuantileAgreesWithHistogramBound) {
+  obs::Telemetry telemetry;
+  sim::Simulator simulator;
+  obs::SimMonitor monitor(simulator, telemetry, sim::seconds(1.0));
+  for (int i = 0; i < 200; ++i) {
+    simulator.schedule_at(sim::milliseconds(50 * i), [] {});
+  }
+  simulator.run_until(sim::seconds(10.0));
+  const obs::Histogram* hist =
+      telemetry.metrics().find_histogram("sim.queue_depth_hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_GT(hist->count(), 0);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(monitor.queue_depth_quantile(q),
+                     obs::histogram_quantile_bound(*hist, q))
+        << "q=" << q;
+  }
 }
 
 TEST(LiveTelemetry, LatencyHistogramMirrorsResult) {

@@ -29,6 +29,13 @@ that keep it that way. It scans ``src/``, ``tests/``, ``bench/``,
                       canonical header (transitive-include reliance; the
                       compile-in-isolation side is tests/headers_compile).
   header-guard        Headers missing ``#pragma once``.
+  metric-name         Metric registration sites (``.counter(`` /
+                      ``.gauge(`` / ``.histogram(`` in ``src``, ``bench``
+                      and ``examples``) whose name is not a string literal
+                      matching ``[a-z0-9_.]+``. Metric and SLO names share
+                      one style rule (obs/slo.h); literal names keep the
+                      exported CSV/series schema greppable. ``tests/`` is
+                      exempt so hostile-name escaping tests can exist.
   format-basics       Tabs, trailing whitespace, CRLF line endings,
                       missing final newline. The floor below
                       ``format-check`` (clang-format, when installed).
@@ -80,6 +87,14 @@ SINK_RE = re.compile(
     r"|\btrace\b|\bexport\w*\s*\(|\brecord\w*\s*\(|write_row|\bcsv\b|<<"
 )
 
+# Metric registration calls: member access (``.`` or ``->``) into one of
+# the three MetricsRegistry instrument factories. Runs on blanked text
+# (length-preserving), so the name literal is recovered from the raw text
+# at the same indices.
+METRIC_REG_RE = re.compile(r"[.>](counter|gauge|histogram)\s*\(")
+METRIC_NAME_RE = re.compile(r"[a-z0-9_.]+\Z")
+METRIC_NAME_DIRS = ("src", "bench", "examples")
+
 # std vocabulary types headers must include directly (IWYU-lite). The map is
 # deliberately small: high-signal types whose canonical header is unambiguous.
 STD_NEEDS = {
@@ -126,6 +141,7 @@ RULES = (
     "catch-all",
     "include-hygiene",
     "header-guard",
+    "metric-name",
     "format-basics",
 )
 
@@ -305,6 +321,9 @@ class Linter:
                             "sort a snapshot first", raw_lines,
                         )
 
+        if path.relative_to(self.root).parts[0] in METRIC_NAME_DIRS:
+            self.check_metric_names(path, raw, blanked, raw_lines)
+
         if is_header:
             if "#pragma once" not in raw:
                 self.report(
@@ -315,6 +334,38 @@ class Linter:
                 self.check_include_hygiene(path, blanked, raw_lines)
 
         self.check_format_basics(path, raw, raw_lines)
+
+    def check_metric_names(self, path, raw, blanked, raw_lines):
+        """Metric names must be well-formed string literals where registered.
+
+        ``blank_comments_and_strings`` is length-preserving, so the literal's
+        characters sit at the same indices in ``raw`` as its (blanked-out)
+        placeholder does in ``blanked``.
+        """
+        for m in METRIC_REG_RE.finditer(blanked):
+            lineno = blanked.count("\n", 0, m.start()) + 1
+            i = m.end()
+            while i < len(blanked) and blanked[i] in " \t\n":
+                i += 1
+            if i >= len(blanked) or blanked[i] != '"':
+                self.report(
+                    path, lineno, "metric-name",
+                    f"{m.group(1)}() registration without a string-literal "
+                    "name; pass the name as a literal so exported schemas "
+                    "stay greppable (or allow(metric-name) for deliberately "
+                    "dynamic names)", raw_lines,
+                )
+                continue
+            j = blanked.find('"', i + 1)
+            if j < 0:
+                continue
+            name = raw[i + 1 : j]
+            if not METRIC_NAME_RE.fullmatch(name):
+                self.report(
+                    path, lineno, "metric-name",
+                    f'metric name "{name}" violates [a-z0-9_.]+ (the shared '
+                    "metric/SLO name rule, obs/slo.h)", raw_lines,
+                )
 
     def check_include_hygiene(self, path, blanked, raw_lines):
         included = set(re.findall(r'#include <([^>]+)>', blanked))

@@ -2,6 +2,7 @@
 # Run every correctness gate the repo has, in rough order of cost:
 #
 #   1. sperke_lint (determinism/style lint over src, tests, bench, tools)
+#      + report.py --check (the HTML report generator's self-test)
 #   2. clang-format / clang-tidy (skipped cleanly when the tools are absent)
 #   3. default preset:  build + full ctest suite
 #   4. check preset:    build with SPERKE_DCHECKs live + full ctest suite
@@ -45,6 +46,9 @@ run_optional() {
 
 step "sperke_lint"
 python3 tools/sperke_lint.py
+
+step "report.py self-check"
+python3 tools/report.py --check
 
 step "clang-format (check only)"
 run_optional "format-check" tools/run_clang_format.sh
