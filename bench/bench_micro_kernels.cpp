@@ -5,7 +5,10 @@
 // cheaper than the 4-10 ms frame budget it models.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "abr/sperke_vra.h"
 #include "geo/visibility.h"
@@ -115,6 +118,61 @@ void BM_LinkReflowUnderLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinkReflowUnderLoad)->Arg(8)->Arg(64);
+
+void BM_SimulatorEventQueue(benchmark::State& state) {
+  // Calendar-queue throughput: a schedule/cancel/pop mix over 1e6 events.
+  // Arg 0 selects the timestamp distribution: 0 = uniform over a wide
+  // horizon (events spread across many buckets), 1 = bursty (batches
+  // land on shared instants, stressing the per-bucket FIFO chains and the
+  // width heuristic). Roughly one in eight events is cancelled instead of
+  // fired, exercising the O(bucket) cancel path.
+  const bool bursty = state.range(0) != 0;
+  constexpr int kEvents = 1'000'000;
+  constexpr int kWindow = 4096;  // live events the driver keeps in flight
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;  // splitmix64 stream
+    auto next = [&rng] {
+      std::uint64_t z = (rng += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    std::uint64_t fired = 0;
+    std::vector<sim::EventId> window;
+    window.reserve(kWindow);
+    int scheduled = 0;
+    auto schedule_one = [&] {
+      const std::uint64_t r = next();
+      const sim::Duration delay =
+          bursty ? sim::milliseconds(static_cast<std::int64_t>(r % 16) * 10)
+                 : sim::Duration{static_cast<std::int64_t>(r % 10'000'000)};
+      window.push_back(
+          simulator.schedule_after(delay, [&fired] { ++fired; }));
+      ++scheduled;
+    };
+    for (int i = 0; i < kWindow; ++i) schedule_one();
+    while (scheduled < kEvents) {
+      // Pop a batch, then refill; cancel one of every eight refills.
+      simulator.run_until(simulator.now());  // drain everything due now
+      const std::size_t pending = simulator.pending_events();
+      while (scheduled < kEvents &&
+             simulator.pending_events() < pending + kWindow / 4) {
+        schedule_one();
+        if ((scheduled & 7) == 0 && !window.empty()) {
+          simulator.cancel(window[next() % window.size()]);
+        }
+      }
+      simulator.run();
+      window.clear();
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_SimulatorEventQueue)->Arg(0)->Arg(1);
 
 void BM_MetricsUpdate(benchmark::State& state) {
   // Cost of one counter bump + one histogram observation through stable

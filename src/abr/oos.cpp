@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 namespace sperke::abr {
@@ -38,7 +39,7 @@ OosSelector::OosSelector(OosConfig config) : config_(config) {
 
 void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
                          const std::vector<geo::TileId>& fov_tiles,
-                         const std::vector<double>& probabilities,
+                         std::span<const double> probabilities,
                          media::Encoding encoding) const {
   Workspace workspace;
   select(plan, video, fov_tiles, probabilities, encoding, workspace);
@@ -46,7 +47,7 @@ void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
 
 void OosSelector::select(ChunkPlan& plan, const media::VideoModel& video,
                          const std::vector<geo::TileId>& fov_tiles,
-                         const std::vector<double>& probabilities,
+                         std::span<const double> probabilities,
                          media::Encoding encoding, Workspace& workspace) const {
   if (static_cast<int>(probabilities.size()) != video.tile_count()) {
     throw std::invalid_argument("OosSelector: probability size mismatch");

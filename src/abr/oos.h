@@ -10,6 +10,7 @@
 //                        statistics and context pruning (hmp/fusion.h).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "abr/plan.h"
@@ -55,11 +56,11 @@ class OosSelector {
   // `encoding` chooses AVC chunks or SVC layer stacks for the OOS tiles.
   void select(ChunkPlan& plan, const media::VideoModel& video,
               const std::vector<geo::TileId>& fov_tiles,
-              const std::vector<double>& probabilities,
+              std::span<const double> probabilities,
               media::Encoding encoding) const;
   void select(ChunkPlan& plan, const media::VideoModel& video,
               const std::vector<geo::TileId>& fov_tiles,
-              const std::vector<double>& probabilities,
+              std::span<const double> probabilities,
               media::Encoding encoding, Workspace& workspace) const;
 
   [[nodiscard]] const OosConfig& config() const { return config_; }

@@ -1,6 +1,7 @@
 #include "abr/sperke_vra.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace sperke::abr {
@@ -45,7 +46,7 @@ media::Encoding SperkeVra::oos_encoding() const {
 
 ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
                                 const std::vector<geo::TileId>& predicted_fov,
-                                const std::vector<double>& tile_probabilities,
+                                std::span<const double> tile_probabilities,
                                 double estimated_kbps, sim::Duration buffer_level,
                                 media::QualityLevel last_quality) const {
   PlanWorkspace workspace;
@@ -57,7 +58,7 @@ ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
 
 void SperkeVra::plan_chunk_into(media::ChunkIndex index,
                                 const std::vector<geo::TileId>& predicted_fov,
-                                const std::vector<double>& tile_probabilities,
+                                std::span<const double> tile_probabilities,
                                 double estimated_kbps, sim::Duration buffer_level,
                                 media::QualityLevel last_quality,
                                 PlanWorkspace& workspace, ChunkPlan& out) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,14 +70,14 @@ class SperkeVra {
   //  `last_quality`         — previous FoV quality (switch damping).
   [[nodiscard]] ChunkPlan plan_chunk(media::ChunkIndex index,
                                      const std::vector<geo::TileId>& predicted_fov,
-                                     const std::vector<double>& tile_probabilities,
+                                     std::span<const double> tile_probabilities,
                                      double estimated_kbps,
                                      sim::Duration buffer_level,
                                      media::QualityLevel last_quality) const;
   // Same result written into `out` (reset first), scratch from `workspace`.
   void plan_chunk_into(media::ChunkIndex index,
                        const std::vector<geo::TileId>& predicted_fov,
-                       const std::vector<double>& tile_probabilities,
+                       std::span<const double> tile_probabilities,
                        double estimated_kbps, sim::Duration buffer_level,
                        media::QualityLevel last_quality,
                        PlanWorkspace& workspace, ChunkPlan& out) const;

@@ -1,40 +1,79 @@
 #include "core/buffer.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/check.h"
 
 namespace sperke::core {
 
+namespace {
+
+// Highest set bit, or -1 for an empty mask: the best AVC copy held.
+[[nodiscard]] media::QualityLevel best_of(std::uint64_t mask) {
+  return static_cast<media::QualityLevel>(std::bit_width(mask)) - 1;
+}
+
+// Highest contiguous run from bit 0, or -1: the decodable SVC stack.
+[[nodiscard]] media::QualityLevel contiguous_of(std::uint64_t mask) {
+  return static_cast<media::QualityLevel>(std::countr_one(mask)) - 1;
+}
+
+}  // namespace
+
 PlaybackBuffer::PlaybackBuffer(std::shared_ptr<const media::VideoModel> video)
     : video_(std::move(video)) {
   if (!video_) throw std::invalid_argument("PlaybackBuffer: null video");
+  tile_count_ = video_->tile_count();
+  chunk_count_ = video_->chunk_count();
+  owned_.resize(static_cast<std::size_t>(tile_count_) *
+                static_cast<std::size_t>(chunk_count_));
+  cells_ = owned_;
+}
+
+PlaybackBuffer::PlaybackBuffer(std::shared_ptr<const media::VideoModel> video,
+                               std::span<Cell> cells)
+    : video_(std::move(video)), cells_(cells) {
+  if (!video_) throw std::invalid_argument("PlaybackBuffer: null video");
+  tile_count_ = video_->tile_count();
+  chunk_count_ = video_->chunk_count();
+  if (cells_.size() != static_cast<std::size_t>(tile_count_) *
+                           static_cast<std::size_t>(chunk_count_)) {
+    throw std::invalid_argument("PlaybackBuffer: arena span size mismatch");
+  }
 }
 
 void PlaybackBuffer::add(const media::ChunkAddress& address) {
-  // Chunk state-machine legality: a negative level would corrupt the
-  // best_avc / svc_layers lattice silently (displayable_quality compares
+  // Chunk state-machine legality: a negative or oversized level would
+  // corrupt the held-object masks silently (displayable_quality compares
   // against -1 as "nothing buffered").
-  SPERKE_CHECK(address.level >= 0,
-               "PlaybackBuffer: negative quality/layer ", address.level);
-  SPERKE_DCHECK(address.key.tile >= 0 &&
-                    address.key.tile < video_->tile_count(),
-                "PlaybackBuffer: tile out of grid: ", address.key.tile);
-  SPERKE_DCHECK(address.key.index >= 0 &&
-                    address.key.index < video_->chunk_count(),
-                "PlaybackBuffer: chunk index out of range: ",
-                address.key.index);
-  Cell& cell = cells_[address.key];
-  if (!cell.objects.insert(address).second) return;  // duplicate
+  SPERKE_CHECK(address.level >= 0 && address.level < 64,
+               "PlaybackBuffer: quality/layer outside mask range ",
+               address.level);
+  SPERKE_CHECK(address.key.tile >= 0 && address.key.tile < tile_count_,
+               "PlaybackBuffer: tile out of grid: ", address.key.tile);
+  SPERKE_CHECK(address.key.index >= 0 && address.key.index < chunk_count_,
+               "PlaybackBuffer: chunk index out of range: ", address.key.index);
+  SPERKE_CHECK(address.key.index >= evict_floor_,
+               "PlaybackBuffer: add into evicted chunk ", address.key.index,
+               " (floor ", evict_floor_, ")");
+  Cell& cell = cells_[static_cast<std::size_t>(address.key.index) *
+                          static_cast<std::size_t>(tile_count_) +
+                      static_cast<std::size_t>(address.key.tile)];
+  std::uint64_t& mask =
+      address.encoding == media::Encoding::kAvc ? cell.avc_mask : cell.svc_mask;
+  const std::uint64_t bit = std::uint64_t{1} << address.level;
+  if ((mask & bit) != 0) return;  // duplicate
 #if SPERKE_DCHECK_IS_ON
   const media::QualityLevel before = displayable_quality(address.key);
 #endif
-  total_bytes_ += video_->size_bytes(address);
-  if (address.encoding == media::Encoding::kAvc) {
-    cell.best_avc = std::max(cell.best_avc, address.level);
-  } else {
-    cell.svc_layers.insert(address.level);
-  }
+  mask |= bit;
+  const std::int64_t size = video_->size_bytes(address);
+  cell.bytes += size;
+  total_bytes_ += size;
 #if SPERKE_DCHECK_IS_ON
   // Adding an object can only raise (or keep) what the cell can display —
   // the download state machine never moves a cell backwards.
@@ -46,51 +85,43 @@ void PlaybackBuffer::add(const media::ChunkAddress& address) {
 
 media::QualityLevel PlaybackBuffer::displayable_quality(
     const media::ChunkKey& key) const {
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) return -1;
-  return std::max(it->second.best_avc, svc_contiguous_quality(key));
+  const Cell* c = cell(key);
+  if (c == nullptr) return -1;
+  return std::max(best_of(c->avc_mask), contiguous_of(c->svc_mask));
 }
 
 media::QualityLevel PlaybackBuffer::svc_contiguous_quality(
     const media::ChunkKey& key) const {
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) return -1;
-  media::QualityLevel svc_quality = -1;
-  for (media::LayerIndex l = 0;; ++l) {
-    if (!it->second.svc_layers.contains(l)) break;
-    svc_quality = l;
-  }
-  return svc_quality;
+  const Cell* c = cell(key);
+  if (c == nullptr) return -1;
+  return contiguous_of(c->svc_mask);
 }
 
 bool PlaybackBuffer::contains(const media::ChunkAddress& address) const {
-  const auto it = cells_.find(address.key);
-  return it != cells_.end() && it->second.objects.contains(address);
+  const Cell* c = cell(address.key);
+  if (c == nullptr || address.level < 0 || address.level >= 64) return false;
+  const std::uint64_t mask =
+      address.encoding == media::Encoding::kAvc ? c->avc_mask : c->svc_mask;
+  return (mask & (std::uint64_t{1} << address.level)) != 0;
 }
 
 std::int64_t PlaybackBuffer::cell_bytes(const media::ChunkKey& key) const {
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) return 0;
-  std::int64_t total = 0;
-  for (const auto& address : it->second.objects) {
-    total += video_->size_bytes(address);
-  }
-  return total;
+  const Cell* c = cell(key);
+  return c == nullptr ? 0 : c->bytes;
 }
 
 std::int64_t PlaybackBuffer::cell_bytes_used(const media::ChunkKey& key,
                                              media::QualityLevel shown) const {
-  if (shown < 0) return 0;
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) return 0;
-  const Cell& cell = it->second;
+  if (shown < 0 || shown >= 64) return 0;
+  const Cell* c = cell(key);
+  if (c == nullptr) return 0;
   // Prefer the interpretation that matches how `shown` was achieved.
   std::int64_t used = 0;
-  if (cell.best_avc >= shown) {
+  if (best_of(c->avc_mask) >= shown) {
     used = video_->avc_size_bytes(shown, key);
   } else {
     for (media::LayerIndex l = 0; l <= shown; ++l) {
-      if (cell.svc_layers.contains(l)) {
+      if ((c->svc_mask & (std::uint64_t{1} << l)) != 0) {
         used += video_->svc_layer_size_bytes(l, key);
       }
     }
@@ -99,29 +130,21 @@ std::int64_t PlaybackBuffer::cell_bytes_used(const media::ChunkKey& key,
 }
 
 void PlaybackBuffer::evict_before(media::ChunkIndex index) {
-  for (auto it = cells_.begin(); it != cells_.end();) {
-    if (it->first.index < index) {
-      it = cells_.erase(it);
-    } else {
-      ++it;
+  if (index <= evict_floor_) return;
+  const media::ChunkIndex upto = std::min(index, chunk_count_);
+  for (media::ChunkIndex i = evict_floor_; i < upto; ++i) {
+    for (int t = 0; t < tile_count_; ++t) {
+      cells_[static_cast<std::size_t>(i) * static_cast<std::size_t>(tile_count_) +
+             static_cast<std::size_t>(t)] = Cell{};
     }
   }
-  if constexpr (SPERKE_DCHECK_IS_ON) {
-    // The erase loop above must leave no played-out cell behind; a stale
-    // cell would let contiguous_chunks() report buffer the player already
-    // discarded.
-    for (const auto& [key, cell] : cells_) {
-      SPERKE_DCHECK(key.index >= index,
-                    "PlaybackBuffer: evict_before left stale cell at chunk ",
-                    key.index);
-    }
-  }
+  evict_floor_ = index;
 }
 
 int PlaybackBuffer::contiguous_chunks(media::ChunkIndex from,
                                       const std::vector<geo::TileId>& tiles) const {
   int count = 0;
-  for (media::ChunkIndex i = from; i < video_->chunk_count(); ++i) {
+  for (media::ChunkIndex i = from; i < chunk_count_; ++i) {
     for (geo::TileId tile : tiles) {
       if (!has_displayable({tile, i})) return count;
     }

@@ -5,13 +5,21 @@
 // AVC objects are self-contained: the displayable quality is the best copy
 // held. SVC layers compose: the displayable quality is the highest layer i
 // such that layers 0..i are all present (§3.1.1).
+//
+// Storage is a flat array of Cells indexed by chunk * tile_count + tile
+// (DESIGN.md §13): the held objects are two 64-bit masks (one bit per AVC
+// quality / SVC layer) plus a byte counter, so contains/displayable/add are
+// single loads and bit tests instead of the former hash-map find over
+// per-cell std::sets — the buffer was the hottest lookup structure of the
+// whole session loop. The cell array can be owned or borrowed from a
+// core::SessionBatch slot, which packs the hot state of a whole shard's
+// sessions contiguously.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "media/chunk.h"
@@ -21,7 +29,19 @@ namespace sperke::core {
 
 class PlaybackBuffer {
  public:
+  // One (tile, chunk) cell. Zero-initialized == empty.
+  struct Cell {
+    std::int64_t bytes = 0;      // distinct-object bytes downloaded
+    std::uint64_t avc_mask = 0;  // bit q set: AVC copy at quality q held
+    std::uint64_t svc_mask = 0;  // bit l set: SVC layer l held
+  };
+
   explicit PlaybackBuffer(std::shared_ptr<const media::VideoModel> video);
+  // Arena-backed: `cells` (size chunk_count * tile_count, zero-initialized)
+  // is borrowed — typically a core::SessionBatch slot — and must outlive
+  // the buffer.
+  PlaybackBuffer(std::shared_ptr<const media::VideoModel> video,
+                 std::span<Cell> cells);
 
   // Record a completed download. Duplicate adds are idempotent (bytes are
   // only counted once per distinct address).
@@ -51,7 +71,10 @@ class PlaybackBuffer {
   [[nodiscard]] std::int64_t cell_bytes_used(const media::ChunkKey& key,
                                              media::QualityLevel shown) const;
 
-  // Drop all cells with chunk index < `index` (already played).
+  // Drop all cells with chunk index < `index` (already played). The floor
+  // is monotone: a smaller `index` than a previous call is a no-op, and
+  // adding below the floor is a state-machine violation (the player never
+  // fetches into chunks it has discarded).
   void evict_before(media::ChunkIndex index);
 
   // Number of contiguous chunks starting at `from` for which every tile in
@@ -62,14 +85,23 @@ class PlaybackBuffer {
   [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
 
  private:
-  struct Cell {
-    media::QualityLevel best_avc = -1;
-    std::set<media::LayerIndex> svc_layers;
-    std::set<media::ChunkAddress> objects;  // for idempotence + accounting
-  };
+  // The cell, or nullptr for out-of-range / evicted indices.
+  [[nodiscard]] const Cell* cell(const media::ChunkKey& key) const {
+    if (key.index < evict_floor_ || key.index >= chunk_count_ ||
+        key.tile < 0 || key.tile >= tile_count_) {
+      return nullptr;
+    }
+    return &cells_[static_cast<std::size_t>(key.index) *
+                       static_cast<std::size_t>(tile_count_) +
+                   static_cast<std::size_t>(key.tile)];
+  }
 
   std::shared_ptr<const media::VideoModel> video_;
-  std::unordered_map<media::ChunkKey, Cell> cells_;
+  std::vector<Cell> owned_;  // empty when arena-backed
+  std::span<Cell> cells_;
+  int tile_count_ = 0;
+  media::ChunkIndex chunk_count_ = 0;
+  media::ChunkIndex evict_floor_ = 0;
   std::int64_t total_bytes_ = 0;
 };
 

@@ -1,9 +1,13 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 
 #include "geo/orientation.h"
+#include "util/check.h"
 #include "util/log.h"
 
 namespace sperke::core {
@@ -20,7 +24,8 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
                                    ChunkTransport& transport,
                                    const hmp::HeadTrace& head_trace,
                                    SessionConfig config,
-                                   const hmp::ViewingHeatmap* crowd)
+                                   const hmp::ViewingHeatmap* crowd,
+                                   SessionBatch* batch)
     : simulator_(simulator),
       video_(std::move(video)),
       transport_(transport),
@@ -28,9 +33,16 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
       config_(std::move(config)),
       fusion_(video_->geometry_ptr(), config_.viewport, motion_for(config_), crowd,
               config_.context, config_.fusion),
-      buffer_(video_),
+      own_batch_(batch == nullptr ? std::make_unique<SessionBatch>(video_, 1)
+                                  : nullptr),
+      batch_(batch == nullptr ? own_batch_.get() : batch),
+      slot_(batch_->acquire()),
+      buffer_(video_, batch_->cells(slot_)),
       vra_(video_, config_.vra),
       qoe_(config_.qoe) {
+  planned_ = batch_->planned_quality(slot_);
+  in_flight_ = batch_->in_flight(slot_);
+  probs_ = batch_->probs(slot_);
   if (config_.telemetry != nullptr) {
     obs::MetricsRegistry& m = config_.telemetry->metrics();
     metrics_.fetches = &m.counter("session.fetches");
@@ -62,6 +74,31 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
   if (config_.head_sample_hz <= 0.0) {
     throw std::invalid_argument("Session: bad head sample rate");
   }
+}
+
+std::uint64_t StreamingSession::inflight_bit(const media::ChunkAddress& address) {
+  // 64-bit cell masks split evenly: AVC levels in the low half, SVC layers
+  // in the high half, so one cell tracks both encodings of a tile chunk.
+  SPERKE_DCHECK(address.level >= 0 && address.level < 32,
+                "Session: quality/layer outside in-flight mask range ",
+                address.level);
+  const int shift = address.encoding == media::Encoding::kAvc
+                        ? address.level
+                        : 32 + address.level;
+  return std::uint64_t{1} << shift;
+}
+
+std::size_t StreamingSession::inflight_cell(const media::ChunkKey& key) const {
+  SPERKE_DCHECK(key.tile >= 0 && key.tile < video_->tile_count() &&
+                    key.index >= 0 && key.index < video_->chunk_count(),
+                "Session: in-flight cell out of range");
+  return static_cast<std::size_t>(key.index) *
+             static_cast<std::size_t>(video_->tile_count()) +
+         static_cast<std::size_t>(key.tile);
+}
+
+bool StreamingSession::inflight_contains(const media::ChunkAddress& address) const {
+  return (in_flight_[inflight_cell(address.key)] & inflight_bit(address)) != 0;
 }
 
 sim::Time StreamingSession::media_now() const {
@@ -114,8 +151,9 @@ void StreamingSession::maybe_plan() {
         video_->chunk_start_time(index) - media_now();
 
     std::vector<geo::TileId>& fov = fov_scratch_;
-    std::vector<double>& probs = probs_scratch_;
-    probs.clear();
+    // Empty for the FoV-agnostic planner (no OOS concept); the batch slot's
+    // probability span otherwise.
+    std::span<const double> probs;
     if (config_.planner == PlannerMode::kFovAgnostic) {
       // Whole panorama, no OOS concept.
       fov.resize(static_cast<std::size_t>(video_->tile_count()));
@@ -132,7 +170,8 @@ void StreamingSession::maybe_plan() {
       std::vector<geo::TileId>& motion_fov = motion_fov_scratch_;
       video_->geometry().visible_tiles(predicted, config_.viewport, motion_fov,
                                        geo_scratch_);
-      fusion_.tile_probabilities_into(horizon, index, probs);
+      fusion_.tile_probabilities_into(horizon, index, probs_);
+      probs = probs_;
       std::vector<geo::TileId>& order = fov;
       order.resize(probs.size());
       for (std::size_t i = 0; i < probs.size(); ++i) {
@@ -167,7 +206,7 @@ void StreamingSession::maybe_plan() {
     vra_.plan_chunk_into(index, fov, probs, effective_kbps, buffer_level,
                          last_fov_quality_, vra_workspace_, plan_scratch_);
     const abr::ChunkPlan& plan = plan_scratch_;
-    plan_quality_[index] = plan.fov_quality;
+    planned_[static_cast<std::size_t>(index)] = plan.fov_quality;
     last_fov_quality_ = plan.fov_quality;
     if (config_.telemetry != nullptr) {
       record_trace({.type = obs::TraceEventType::kPlanComputed,
@@ -190,8 +229,8 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
                                 abr::SpatialClass spatial, sim::Time deadline,
                                 bool count_as_upgrade, bool count_as_correction,
                                 std::int64_t parent_request_id) {
-  if (buffer_.contains(address) || in_flight_.contains(address)) return;
-  in_flight_.insert(address);
+  if (buffer_.contains(address) || inflight_contains(address)) return;
+  in_flight_[inflight_cell(address.key)] |= inflight_bit(address);
   ++fetches_;
   const bool urgent = (deadline - simulator_.now()) < config_.urgent_slack;
   if (urgent) ++urgent_fetches_;
@@ -228,7 +267,7 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
                      spatial, deadline, request_id,
                      parent_request_id](sim::Time finished, FetchOutcome outcome) {
     if (!*alive) return;
-    in_flight_.erase(address);
+    in_flight_[inflight_cell(address.key)] &= ~inflight_bit(address);
     const bool ok = delivered(outcome);
     if (config_.telemetry != nullptr) {
       if (ok) {
@@ -270,7 +309,7 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
            config_.vra.mode == abr::EncodingMode::kAvcRefetch)
               ? media::ChunkAddress{address.key, media::Encoding::kAvc, 0}
               : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
-      if (!buffer_.contains(fallback) && !in_flight_.contains(fallback)) {
+      if (!buffer_.contains(fallback) && !inflight_contains(fallback)) {
         ++degraded_retries_;
         if (metrics_.degraded_retries != nullptr) {
           metrics_.degraded_retries->increment();
@@ -445,16 +484,21 @@ void StreamingSession::scan_upgrades() {
     const sim::Time deadline = deadline_of(index);
     const sim::Duration slack = deadline - simulator_.now();
     if (slack <= sim::Duration{0}) continue;
+    // Hoisted from SperkeVra::consider_upgrade: outside the upgrade window
+    // it rejects every tile on slack alone, so the per-chunk prediction,
+    // visible set, and probability map would be dead work.
+    if (slack > config_.vra.upgrade_window) continue;
     const sim::Duration horizon = video_->chunk_start_time(index) - media_now();
     const geo::Orientation predicted = fusion_.predict_orientation(horizon);
     std::vector<geo::TileId>& visible = visible_scratch_;
     video_->geometry().visible_tiles(predicted, config_.viewport, visible,
                                      geo_scratch_);
-    fusion_.tile_probabilities_into(horizon, index, probs_scratch_);
-    const std::vector<double>& probs = probs_scratch_;
-    const auto target_it = plan_quality_.find(index);
-    if (target_it == plan_quality_.end()) continue;
-    const media::QualityLevel target = target_it->second;
+    fusion_.tile_probabilities_into(horizon, index, probs_);
+    const std::span<const double> probs = probs_;
+    // -1 marks a chunk the planner has not reached; planned qualities are
+    // never negative.
+    const media::QualityLevel target = planned_[static_cast<std::size_t>(index)];
+    if (target < 0) continue;
     for (geo::TileId tile : visible) {
       const media::ChunkKey key{tile, index};
       const media::QualityLevel current = buffer_.displayable_quality(key);
@@ -468,7 +512,7 @@ void StreamingSession::scan_upgrades() {
       const bool commits = std::any_of(
           decision.fetches.begin(), decision.fetches.end(),
           [this](const media::ChunkAddress& address) {
-            return !buffer_.contains(address) && !in_flight_.contains(address);
+            return !buffer_.contains(address) && !inflight_contains(address);
           });
       if (config_.telemetry != nullptr && commits) {
         record_trace({.type = obs::TraceEventType::kUpgradeDecided,

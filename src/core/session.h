@@ -12,17 +12,19 @@
 // datasets): a stall freezes both the playhead and the sensor stream.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "abr/qoe.h"
 #include "abr/sperke_vra.h"
 #include "core/buffer.h"
+#include "core/session_batch.h"
 #include "core/transport.h"
 #include "hmp/fusion.h"
 #include "obs/telemetry.h"
@@ -85,12 +87,17 @@ struct SessionReport {
 class StreamingSession {
  public:
   // `transport` and `head_trace` must outlive the session. `crowd` (may be
-  // null) provides the cross-user prior for HMP fusion.
+  // null) provides the cross-user prior for HMP fusion. `batch` (may be
+  // null) is the shared SoA arena the session claims a slot in — its hot
+  // state (tile probabilities, planned qualities, in-flight masks, buffer
+  // cells) then lives in the batch's contiguous slabs next to its shard
+  // neighbours; without one the session owns a private capacity-1 batch.
   StreamingSession(sim::Simulator& simulator,
                    std::shared_ptr<const media::VideoModel> video,
                    ChunkTransport& transport, const hmp::HeadTrace& head_trace,
                    SessionConfig config,
-                   const hmp::ViewingHeatmap* crowd = nullptr);
+                   const hmp::ViewingHeatmap* crowd = nullptr,
+                   SessionBatch* batch = nullptr);
 
   // Schedule the session's activity; drive with simulator.run()/run_until().
   void start();
@@ -117,12 +124,24 @@ class StreamingSession {
   void scan_upgrades();
   void finish();
 
+  // In-flight bit for an address in the batch's per-(chunk, tile) masks:
+  // AVC levels occupy the low half, SVC layers the high half.
+  [[nodiscard]] static std::uint64_t inflight_bit(const media::ChunkAddress& address);
+  [[nodiscard]] std::size_t inflight_cell(const media::ChunkKey& key) const;
+  [[nodiscard]] bool inflight_contains(const media::ChunkAddress& address) const;
+
   sim::Simulator& simulator_;
   std::shared_ptr<const media::VideoModel> video_;
   ChunkTransport& transport_;
   const hmp::HeadTrace& head_trace_;
   SessionConfig config_;
   hmp::FusionPredictor fusion_;
+  // SoA hot-state arena (DESIGN.md §13): the shard's shared batch, or a
+  // private capacity-1 batch for standalone sessions. Declared before
+  // buffer_, which borrows its cell slab from the claimed slot.
+  std::unique_ptr<SessionBatch> own_batch_;
+  SessionBatch* batch_;
+  int slot_;
   PlaybackBuffer buffer_;
   abr::SperkeVra vra_;
   abr::QoeTracker qoe_;
@@ -139,11 +158,13 @@ class StreamingSession {
   sim::Time session_ended_{sim::kTimeZero};
   sim::Time startup_done_{sim::kTimeZero};
 
-  // Planning state.
+  // Planning state, viewed through batch slot spans: planned quality per
+  // chunk (-1 = not yet planned; qualities are never negative) and one
+  // in-flight request mask per (chunk, tile) cell.
   media::ChunkIndex next_plan_ = 0;
   media::QualityLevel last_fov_quality_ = 0;
-  std::map<media::ChunkIndex, media::QualityLevel> plan_quality_;
-  std::set<media::ChunkAddress> in_flight_;
+  std::span<media::QualityLevel> planned_;
+  std::span<std::uint64_t> in_flight_;
 
   // Counters.
   int fetches_ = 0;
@@ -194,7 +215,7 @@ class StreamingSession {
   std::vector<geo::TileId> visible_scratch_;
   std::vector<geo::TileId> motion_fov_scratch_;
   std::vector<geo::TileId> fov_scratch_;
-  std::vector<double> probs_scratch_;
+  std::span<double> probs_;  // batch probability slot (HMP fusion output)
   std::vector<geo::TileId> missing_scratch_;
   std::vector<char> is_visible_scratch_;
   abr::ChunkPlan plan_scratch_;

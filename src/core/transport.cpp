@@ -57,7 +57,8 @@ void SingleLinkTransport::fetch(ChunkRequest request) {
       request.request_id = options_.telemetry->next_request_id();
     }
   }
-  queue_.push_back({std::move(request), next_seq_++, link_.simulator().now()});
+  std::deque<Pending>& queue = request.urgent ? urgent_queue_ : regular_queue_;
+  queue.push_back({std::move(request), next_seq_++, link_.simulator().now()});
   pump();
   if (options_.telemetry != nullptr) in_flight_metric_->set(in_flight());
 }
@@ -67,7 +68,7 @@ double SingleLinkTransport::estimated_kbps() const {
 }
 
 int SingleLinkTransport::in_flight() const {
-  return active_ + static_cast<int>(queue_.size()) + retry_waiting_;
+  return active_ + static_cast<int>(queued()) + retry_waiting_;
 }
 
 sim::Duration retry_backoff(const RecoveryPolicy& policy, int retry_number) {
@@ -102,18 +103,28 @@ void SingleLinkTransport::finish_without_delivery(ChunkRequest& request,
   if (request.on_done) request.on_done(when, outcome);
 }
 
+void SingleLinkTransport::enqueue_retry(Pending pending) {
+  // A retry keeps its original submission seq, which may predate requests
+  // already queued — find its seq-ordered slot from the back. Retries are
+  // rare (faulted worlds only), so the linear walk never shows up hot.
+  std::deque<Pending>& queue =
+      pending.request.urgent ? urgent_queue_ : regular_queue_;
+  auto it = queue.end();
+  while (it != queue.begin() && std::prev(it)->seq > pending.seq) --it;
+  queue.insert(it, std::move(pending));
+}
+
 void SingleLinkTransport::pump() {
-  while (active_ < options_.max_concurrent && !queue_.empty()) {
+  while (active_ < options_.max_concurrent &&
+         (!urgent_queue_.empty() || !regular_queue_.empty())) {
     // Pick the best queued request: urgent beats non-urgent; within a
-    // class, earlier submission wins.
-    auto best = queue_.begin();
-    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-      const bool better_urgency = it->request.urgent && !best->request.urgent;
-      const bool same_urgency = it->request.urgent == best->request.urgent;
-      if (better_urgency || (same_urgency && it->seq < best->seq)) best = it;
-    }
-    Pending pending = std::move(*best);
-    queue_.erase(best);
+    // class, earlier submission (lower seq) wins — both deques are
+    // seq-ascending, so that is the front of the urgent queue if any,
+    // else the front of the regular queue.
+    std::deque<Pending>& queue =
+        urgent_queue_.empty() ? regular_queue_ : urgent_queue_;
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
     const sim::Time started = link_.simulator().now();
     // A retry never starts at or past the playback deadline: fetching a
     // chunk the player has already given up on only wastes capacity.
@@ -213,7 +224,7 @@ void SingleLinkTransport::pump() {
                   if (!*alive2) return;
                   --retry_waiting_;
                   flight->enqueued = link_.simulator().now();
-                  queue_.push_back(std::move(*flight));
+                  enqueue_retry(std::move(*flight));
                   pump();
                 });
           } else {

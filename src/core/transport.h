@@ -10,10 +10,11 @@
 // FetchOutcome instead of a bare bool.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
-#include <vector>
 
 #include "abr/plan.h"
 #include "media/chunk.h"
@@ -126,6 +127,15 @@ struct RecoveryMetrics {
 // Urgent requests jump the queue (ahead of non-urgent, behind other
 // urgent); ties keep FIFO order. Throughput is estimated aggregate-wise
 // across concurrent transfers (net::AggregateWindowEstimator).
+//
+// The wait queue is two seq-ascending deques (urgent / regular), so
+// admitting a request is O(1) instead of the former O(queue) scan +
+// erase — with thousands of queued tile requests per link that scan was
+// the single hottest path of the whole simulator (DESIGN.md §13). The
+// pop order (urgent first, then lowest submission seq) is exactly the
+// order the scan produced, so behaviour is byte-identical. Only a retry
+// re-enqueue, which carries an old seq, pays an ordered insert — O(queue)
+// worst case, and retries exist only in faulted worlds.
 class SingleLinkTransport final : public ChunkTransport {
  public:
   // `link` must outlive the transport.
@@ -151,6 +161,11 @@ class SingleLinkTransport final : public ChunkTransport {
   void pump();
   void finish_without_delivery(ChunkRequest& request, sim::Time when,
                                FetchOutcome outcome);
+  // Re-queue a retry whose seq predates the queue tails (ordered insert).
+  void enqueue_retry(Pending pending);
+  [[nodiscard]] std::size_t queued() const {
+    return urgent_queue_.size() + regular_queue_.size();
+  }
 
   net::Link& link_;
   TransportOptions options_;
@@ -160,7 +175,9 @@ class SingleLinkTransport final : public ChunkTransport {
   obs::Gauge* in_flight_metric_ = nullptr;
   RecoveryMetrics recovery_metrics_;
   net::AggregateWindowEstimator estimator_;
-  std::vector<Pending> queue_;
+  // Both deques hold strictly ascending seq values front-to-back.
+  std::deque<Pending> urgent_queue_;
+  std::deque<Pending> regular_queue_;
   std::uint64_t next_seq_ = 0;
   int active_ = 0;
   int retry_waiting_ = 0;  // retries parked in a backoff wait

@@ -22,6 +22,18 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
   SPERKE_CHECK(spec.sessions_per_link > 0,
                "Shard: sessions_per_link must be positive");
   const int groups = group_count(spec);
+  // Pre-count this shard's sessions so one SoA batch holds every session's
+  // hot state contiguously (no per-session allocation in the loop below).
+  int shard_sessions = 0;
+  for (int g = 0; g < groups; ++g) {
+    if (shard_of_group(spec, g) != shard_id_) continue;
+    const int first = g * spec.sessions_per_link;
+    shard_sessions +=
+        std::max(0, std::min(first + spec.sessions_per_link, spec.sessions) - first);
+  }
+  if (shard_sessions > 0) {
+    batch_ = std::make_unique<core::SessionBatch>(video_, shard_sessions);
+  }
   for (int g = 0; g < groups; ++g) {
     if (shard_of_group(spec, g) != shard_id_) continue;
     net::LinkConfig link_config =
@@ -49,7 +61,7 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
       sessions_.push_back(std::make_unique<core::StreamingSession>(
           simulator_, video_, transport,
           traces[static_cast<std::size_t>(i) % traces.size()],
-          std::move(config), spec.crowd));
+          std::move(config), spec.crowd, batch_.get()));
       session_ids_.push_back(i);
     }
   }

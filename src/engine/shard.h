@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/session.h"
+#include "core/session_batch.h"
 #include "core/transport.h"
 #include "engine/world.h"
 #include "net/link.h"
@@ -93,6 +94,10 @@ class Shard {
   // metric so fault-free worlds register nothing (byte-identity).
   std::vector<bool> link_has_faults_;
   std::vector<std::unique_ptr<core::SingleLinkTransport>> transports_;
+  // SoA arena for the shard's session hot state (DESIGN.md §13): sized by
+  // a pre-count pass, claimed slot by slot as sessions are constructed.
+  // Declared before sessions_, which hold spans into its slabs.
+  std::unique_ptr<core::SessionBatch> batch_;
   std::vector<std::unique_ptr<core::StreamingSession>> sessions_;
   std::vector<int> session_ids_;  // global ids, ascending
   std::optional<obs::SimMonitor> monitor_;

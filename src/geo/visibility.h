@@ -14,6 +14,7 @@
 // tests instead of the generic asin/atan2 chain.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -40,6 +41,28 @@ class TileGeometry {
     std::vector<Vec3> up_terms;                    // per-row frustum offsets
     std::vector<std::pair<double, TileId>> keys;   // tiles_by_distance keys
     std::vector<TileId> queue;                     // oos_rings BFS FIFO
+    // Small exact memo for visible_tiles: a repeat query with a
+    // bit-identical (geometry, orientation, viewport) key returns the
+    // cached set without re-sampling the frustum. Coverage re-checks
+    // dominate the streaming hot loop — every fetch completion during
+    // startup or a stall re-asks for the same frozen orientation, and a
+    // stalled session's upgrade scans cycle through the same handful of
+    // frozen per-chunk predictions — so exact-match caching removes most
+    // classification work while staying byte-identical to recomputing.
+    // kMemoEntries covers the prefetch window plus the playhead query;
+    // entries are replaced round-robin. Geometry identity uses the
+    // instance id, not the address: one Scratch may outlive a geometry,
+    // and a pointer key would go stale when the allocator reuses the
+    // address for a different grid (ABA).
+    static constexpr int kMemoEntries = 6;
+    struct MemoEntry {
+      std::uint64_t geometry = 0;  // instance_id(); invalid while 0
+      Orientation view{};
+      Viewport viewport{};
+      std::vector<TileId> tiles;
+    };
+    MemoEntry memo[kMemoEntries];
+    int memo_next = 0;  // round-robin replacement cursor
   };
 
   // Quantization step of the visible_tiles_lut() grid (yaw and pitch).
@@ -51,6 +74,10 @@ class TileGeometry {
 
   [[nodiscard]] const Projection& projection() const { return *projection_; }
   [[nodiscard]] const TileGrid& grid() const { return grid_; }
+
+  // Process-unique, never-reused identity of this instance (Scratch memo
+  // key).
+  [[nodiscard]] std::uint64_t instance_id() const { return instance_id_; }
 
   // Tiles intersected by the perspective viewport at the given orientation.
   // Computed by sampling rays across the frustum; sorted, unique.
@@ -106,6 +133,7 @@ class TileGeometry {
 
   std::shared_ptr<const Projection> projection_;
   TileGrid grid_;
+  std::uint64_t instance_id_;
   int samples_per_axis_;
   std::vector<double> solid_angle_;
   std::vector<Vec3> tile_centers_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/math.h"
 
 namespace sperke::hmp {
@@ -83,8 +86,17 @@ std::vector<double> FusionPredictor::tile_probabilities(
 void FusionPredictor::tile_probabilities_into(sim::Duration horizon,
                                               media::ChunkIndex chunk,
                                               std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(geometry_->grid().tile_count()));
+  tile_probabilities_into(horizon, chunk, std::span<double>(out));
+}
+
+void FusionPredictor::tile_probabilities_into(sim::Duration horizon,
+                                              media::ChunkIndex chunk,
+                                              std::span<double> out) const {
   const int n = geometry_->grid().tile_count();
-  out.resize(static_cast<std::size_t>(n));
+  SPERKE_CHECK(out.size() == static_cast<std::size_t>(n),
+               "FusionPredictor: output span size ", out.size(),
+               " != tile count ", n);
   const double h = std::max(sim::to_seconds(horizon), 0.0);
 
   // (1) Motion component: Gaussian kernel (in angular distance) around the

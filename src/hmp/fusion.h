@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "geo/visibility.h"
@@ -66,6 +67,11 @@ class FusionPredictor {
                                                        media::ChunkIndex chunk) const;
   void tile_probabilities_into(sim::Duration horizon, media::ChunkIndex chunk,
                                std::vector<double>& out) const;
+  // Same fused pass writing into caller storage of exactly tile_count()
+  // doubles — typically a core::SessionBatch probability slot, so batched
+  // sessions share one contiguous slab (DESIGN.md §13).
+  void tile_probabilities_into(sim::Duration horizon, media::ChunkIndex chunk,
+                               std::span<double> out) const;
 
   [[nodiscard]] const geo::TileGeometry& geometry() const { return *geometry_; }
   [[nodiscard]] const geo::Viewport& viewport() const { return viewport_; }

@@ -1,0 +1,119 @@
+// Move-only callable for simulator events (DESIGN.md §13).
+//
+// std::function's small-buffer optimisation (16 bytes in libstdc++) is too
+// small for the event lambdas in this tree — a transport completion captures
+// `this` plus two shared_ptrs plus timing, 56 bytes — so every schedule_at
+// paid a heap allocation and every fire a deallocation. EventFn carries 64
+// bytes of inline storage, enough for every event closure in the codebase,
+// and only falls back to the heap for larger callables. It is move-only:
+// events fire exactly once, so copyability buys nothing and would force
+// captured state to be copyable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sperke::sim {
+
+class EventFn {
+ public:
+  // Sized for the largest event closure in the tree (56 bytes today, see
+  // transport retry/timeout lambdas) with a little headroom.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(storage_, other.storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+  friend bool operator==(const EventFn& fn, std::nullptr_t) {
+    return fn.vtable_ == nullptr;
+  }
+
+  // Precondition: *this holds a callable.
+  void operator()() { vtable_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    // Move-construct into dst from src, then destroy src's value.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr VTable kInlineOps{
+      [](void* storage) { (*static_cast<D*>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* storage) noexcept { static_cast<D*>(storage)->~D(); }};
+
+  template <typename D>
+  static constexpr VTable kHeapOps{
+      [](void* storage) { (**static_cast<D**>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* storage) noexcept { delete *static_cast<D**>(storage); }};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace sperke::sim

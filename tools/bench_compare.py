@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold FRAC]
+                     [--min-speedup X]
 
 Exits non-zero (loudly) when any benchmark present in both files regressed
 by more than --threshold (default 0.15 = +15% real_time). Benchmarks only
@@ -75,6 +76,15 @@ def main():
         default=0.15,
         help="max tolerated real_time regression as a fraction (default 0.15)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="absolute floor for every current speedup@threads row (off by "
+        "default; single-core machines alias threads=hw to the serial run, "
+        "so their speedups sit at ~1.0x and any floor above that would "
+        "always fail there)",
+    )
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -123,6 +133,12 @@ def main():
             print(f"{name:<{swidth}}  {base:>11.2f}x  {cur:>11.2f}x  {-loss:>+7.1%}{flag}")
             if loss > args.threshold:
                 regressions.append((name, -loss))
+        if args.min_speedup is not None:
+            for name, cur in sorted(sp_cur.items()):
+                if cur < args.min_speedup:
+                    print(f"{name}: {cur:.2f}x below --min-speedup "
+                          f"{args.min_speedup:.2f}x  <-- REGRESSION")
+                    regressions.append((name, cur - args.min_speedup))
 
     if regressions:
         print(
