@@ -28,10 +28,10 @@ int main() {
     RunningStats agnostic_mb, guided_mb, agnostic_waste, guided_waste;
     for (std::uint64_t user = 0; user < 5; ++user) {
       core::SessionConfig guided;
-      guided.vra.regular_vra = "fixed-" + std::to_string(q);
+      guided.abr.sperke.regular_vra = "fixed-" + std::to_string(q);
       core::SessionConfig agnostic;
       agnostic.planner = core::PlannerMode::kFovAgnostic;
-      agnostic.vra.regular_vra = guided.vra.regular_vra;
+      agnostic.abr.sperke.regular_vra = guided.abr.sperke.regular_vra;
       const auto g = run_vod(bandwidth, guided, 100 + user);
       const auto a = run_vod(bandwidth, agnostic, 100 + user);
       guided_mb.add(static_cast<double>(g.qoe.bytes_downloaded) / 1e6);
@@ -63,10 +63,10 @@ int main() {
     vcfg.seed = 7;
     auto video = std::make_shared<media::VideoModel>(vcfg);
     core::SessionConfig guided;
-    guided.vra.regular_vra = "fixed-2";
+    guided.abr.sperke.regular_vra = "fixed-2";
     core::SessionConfig agnostic;
     agnostic.planner = core::PlannerMode::kFovAgnostic;
-    agnostic.vra.regular_vra = "fixed-2";
+    agnostic.abr.sperke.regular_vra = "fixed-2";
     const auto g = run_vod(bandwidth, guided, 150, nullptr, video);
     const auto a = run_vod(bandwidth, agnostic, 150, nullptr, video);
     const double g_mb = static_cast<double>(g.qoe.bytes_downloaded) / 1e6;
@@ -90,13 +90,13 @@ int main() {
   auto fine_video = std::make_shared<media::VideoModel>(vcfg);
   core::SessionConfig agnostic_cfg;
   agnostic_cfg.planner = core::PlannerMode::kFovAgnostic;
-  agnostic_cfg.vra.regular_vra = "fixed-2";
+  agnostic_cfg.abr.sperke.regular_vra = "fixed-2";
   const auto agnostic_fine = run_vod(bandwidth, agnostic_cfg, 150, nullptr, fine_video);
   const double a_mb = static_cast<double>(agnostic_fine.qoe.bytes_downloaded) / 1e6;
   for (double budget : {0.5, 0.35, 0.15, 0.05}) {
     core::SessionConfig guided;
-    guided.vra.regular_vra = "fixed-2";
-    guided.vra.oos.budget_fraction = budget;
+    guided.abr.sperke.regular_vra = "fixed-2";
+    guided.abr.sperke.oos.budget_fraction = budget;
     const auto g = run_vod(bandwidth, guided, 150, nullptr, fine_video);
     const double g_mb = static_cast<double>(g.qoe.bytes_downloaded) / 1e6;
     oos_table.add_row({TextTable::num(budget, 2), TextTable::num(g_mb, 1),

@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "abr/sperke_vra.h"
+#include "abr/factory.h"
 #include "geo/visibility.h"
 #include "hmp/fusion.h"
 #include "hmp/head_trace.h"
@@ -85,13 +85,13 @@ void BM_PlanChunk(benchmark::State& state) {
   cfg.tile_rows = 4;
   cfg.tile_cols = 6;
   auto video = std::make_shared<media::VideoModel>(cfg);
-  abr::SperkeVra vra(video, abr::SperkeVraConfig{});
+  const auto policy = abr::make_policy(video, {});
   const auto fov = video->geometry().visible_tiles({0.0, 0.0, 0.0}, {100.0, 90.0});
   std::vector<double> probs(static_cast<std::size_t>(video->tile_count()),
                             1.0 / video->tile_count());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        vra.plan_chunk(3, fov, probs, 15'000.0, sim::seconds(2.0), 2));
+        policy->plan_chunk(3, fov, probs, 15'000.0, sim::seconds(2.0), 2));
   }
 }
 BENCHMARK(BM_PlanChunk);

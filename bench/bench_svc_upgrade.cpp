@@ -58,7 +58,7 @@ int main() {
     auto video = std::make_shared<media::VideoModel>(vcfg);
     auto run_mode = [&](abr::EncodingMode mode) {
       core::SessionConfig config;
-      config.vra.mode = mode;
+      config.abr.sperke.mode = mode;
       RunningStats utility, mb;
       for (std::uint64_t seed = 0; seed < 3; ++seed) {
         const auto r = run_vod(bandwidth, config, 300 + seed, nullptr, video);
@@ -87,7 +87,7 @@ int main() {
       RunningStats utility, stall, mb, waste, upgrades, late;
       for (std::uint64_t seed = 0; seed < 3; ++seed) {
         core::SessionConfig config;
-        config.vra.mode = mode.mode;
+        config.abr.sperke.mode = mode.mode;
         sim::Simulator simulator;
         net::Link link(simulator, net::LinkConfig{.bandwidth = bandwidth,
                                                   .rtt = sim::milliseconds(30), .faults = {}});

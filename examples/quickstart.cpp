@@ -49,7 +49,7 @@ int main() {
 
   // 4. The session: FoV-guided, SVC incremental upgrades, LR head prediction.
   core::SessionConfig session_cfg;
-  session_cfg.vra.mode = abr::EncodingMode::kSvc;
+  session_cfg.abr.sperke.mode = abr::EncodingMode::kSvc;
   core::StreamingSession session(simulator, video, transport, head, session_cfg);
   session.start();
   simulator.run_until(sim::seconds(600.0));

@@ -66,7 +66,7 @@ RunOutput run(const Scenario& scenario, double mean_kbps, bool traced) {
 
   spec.sessions = 1;
   spec.session.planner = scenario.planner;
-  spec.session.vra.mode = scenario.mode;
+  spec.session.abr.sperke.mode = scenario.mode;
   spec.horizon = sim::seconds(900.0);
   spec.shards = 1;
   spec.session_telemetry = traced;

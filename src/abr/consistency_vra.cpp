@@ -1,0 +1,118 @@
+#include "abr/consistency_vra.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sperke::abr {
+
+ConsistencyVra::ConsistencyVra(std::shared_ptr<const media::VideoModel> video,
+                               ConsistencyVraConfig config)
+    : video_(std::move(video)), config_(config) {
+  if (!video_) throw std::invalid_argument("ConsistencyVra: null video");
+  if (config_.safety <= 0.0 || config_.safety > 1.0) {
+    throw std::invalid_argument("ConsistencyVra: bad safety");
+  }
+  if (config_.max_temporal_step < 1) {
+    throw std::invalid_argument("ConsistencyVra: max_temporal_step < 1");
+  }
+  if (config_.spatial_step < 1) {
+    throw std::invalid_argument("ConsistencyVra: spatial_step < 1");
+  }
+  if (config_.max_rings < 0) {
+    throw std::invalid_argument("ConsistencyVra: negative max_rings");
+  }
+}
+
+void ConsistencyVra::plan_chunk_into(media::ChunkIndex index,
+                                     const std::vector<geo::TileId>& predicted_fov,
+                                     std::span<const double> tile_probabilities,
+                                     double estimated_kbps,
+                                     sim::Duration /*buffer_level*/,
+                                     media::QualityLevel last_quality,
+                                     PlanWorkspace& workspace,
+                                     ChunkPlan& out) const {
+  if (predicted_fov.empty()) {
+    throw std::invalid_argument("plan_chunk: empty predicted FoV");
+  }
+  const auto& ladder = video_->ladder();
+  const auto& grid = video_->geometry().grid();
+  const double chunk_s = sim::to_seconds(video_->chunk_duration());
+  const int tiles = video_->tile_count();
+
+  // Ring index per tile via BFS from the FoV over the tile grid (horizontal
+  // wrap, no vertical wrap — geo/tile_grid.h). -1 = beyond the margin.
+  // FoV-agnostic callers pass no probability map and get no margin: the
+  // "FoV" is already the full panorama.
+  auto& ring_of = workspace.tile_quality;
+  ring_of.assign(static_cast<std::size_t>(tiles), -1);
+  auto& frontier = workspace.frontier;
+  frontier.clear();
+  for (geo::TileId t : predicted_fov) {
+    ring_of[static_cast<std::size_t>(t)] = 0;
+    frontier.push_back(t);
+  }
+  const int rings = tile_probabilities.empty() ? 0 : config_.max_rings;
+  for (int r = 1; r <= rings; ++r) {
+    auto& next = workspace.next_frontier;
+    next.clear();
+    for (geo::TileId t : frontier) {
+      for (geo::TileId n : grid.neighbors(t)) {
+        if (ring_of[static_cast<std::size_t>(n)] < 0) {
+          ring_of[static_cast<std::size_t>(n)] = r;
+          next.push_back(n);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  const auto ring_quality = [&](media::QualityLevel q_fov, int ring) {
+    return std::max<media::QualityLevel>(q_fov - ring * config_.spatial_step, 0);
+  };
+  const auto plan_bytes = [&](media::QualityLevel q_fov) {
+    std::int64_t bytes = 0;
+    for (geo::TileId t = 0; t < tiles; ++t) {
+      const int ring = ring_of[static_cast<std::size_t>(t)];
+      if (ring < 0) continue;
+      bytes += video_->avc_size_bytes(ring_quality(q_fov, ring), {t, index});
+    }
+    return bytes;
+  };
+
+  const std::int64_t budget =
+      estimated_kbps > 0.0
+          ? static_cast<std::int64_t>(estimated_kbps * config_.safety *
+                                      chunk_s * 1000.0 / 8.0)
+          : 0;
+  // Largest affordable FoV quality, capped by the temporal rise limit.
+  // Cost is monotone in q_fov, so an ascending scan finds the maximum.
+  const media::QualityLevel rise_cap = std::min<media::QualityLevel>(
+      last_quality + config_.max_temporal_step, ladder.max_level());
+  media::QualityLevel q_fov = -1;
+  for (media::QualityLevel q = 0; q <= rise_cap; ++q) {
+    if (plan_bytes(q) <= budget) q_fov = q;
+  }
+  // Even the all-base plan does not fit (startup / collapse): cover the
+  // viewport alone at the base tier and drop the protective margin.
+  const bool emergency = q_fov < 0;
+  if (emergency) q_fov = 0;
+
+  out.index = index;
+  out.fov_quality = q_fov;
+  out.fetches.clear();
+  for (geo::TileId t = 0; t < tiles; ++t) {
+    const int ring = ring_of[static_cast<std::size_t>(t)];
+    if (ring < 0 || (emergency && ring > 0)) continue;
+    const double prob =
+        tile_probabilities.empty()
+            ? (ring == 0 ? 1.0 : 0.0)
+            : tile_probabilities[static_cast<std::size_t>(t)];
+    out.fetches.push_back(
+        {{{t, index}, media::Encoding::kAvc, ring_quality(q_fov, ring)},
+         ring == 0 ? SpatialClass::kFov : SpatialClass::kOos,
+         prob});
+  }
+}
+
+}  // namespace sperke::abr

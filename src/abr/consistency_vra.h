@@ -1,0 +1,63 @@
+// Spatial + temporal consistency-aware tile allocator, after Yuan et al.,
+// "Spatial and temporal consistency-aware dynamic adaptive streaming for
+// 360-degree videos" (arXiv:1912.09675).
+//
+// Two smoothness constraints shape the allocation instead of a pure
+// expected-utility objective:
+//   * spatial consistency — quality falls *gradually* with grid distance
+//     from the viewport (abrupt tile seams inside the FoV are what users
+//     notice most), implemented as BFS rings over geo::TileGrid::neighbors
+//     dropping `spatial_step` levels per ring;
+//   * temporal consistency — the FoV quality may rise at most
+//     `max_temporal_step` levels per chunk (no quality flicker), though it
+//     may drop freely when throughput collapses (stalls beat smoothness).
+// The chosen FoV quality is then the largest one whose *whole* smoothed
+// plan (FoV + rings) fits the safety-discounted byte budget.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "abr/policy.h"
+
+namespace sperke::abr {
+
+struct ConsistencyVraConfig {
+  // Fraction of the estimated throughput the planner may spend per chunk.
+  double safety = 0.9;
+  // Max FoV quality *rise* per chunk (drops are unconstrained).
+  int max_temporal_step = 1;
+  // Quality levels dropped per BFS ring away from the viewport.
+  int spatial_step = 1;
+  // Protective rings fetched beyond the FoV (0 disables the margin).
+  int max_rings = 2;
+};
+
+class ConsistencyVra final : public TileAbrPolicy {
+ public:
+  ConsistencyVra(std::shared_ptr<const media::VideoModel> video,
+                 ConsistencyVraConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "consistency"; }
+  void plan_chunk_into(media::ChunkIndex index,
+                       const std::vector<geo::TileId>& predicted_fov,
+                       std::span<const double> tile_probabilities,
+                       double estimated_kbps, sim::Duration buffer_level,
+                       media::QualityLevel last_quality,
+                       PlanWorkspace& workspace, ChunkPlan& out) const override;
+  // All-AVC: mid-flight upgrades would break exactly the temporal
+  // smoothness the policy optimizes for, so there is no layered path.
+  [[nodiscard]] media::Encoding base_tier_encoding() const override {
+    return media::Encoding::kAvc;
+  }
+
+  [[nodiscard]] const ConsistencyVraConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const media::VideoModel> video_;
+  ConsistencyVraConfig config_;
+};
+
+}  // namespace sperke::abr

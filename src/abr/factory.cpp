@@ -1,0 +1,43 @@
+#include "abr/factory.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sperke::abr {
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> kNames = {"sperke", "knapsack",
+                                                  "consistency", "fullpano"};
+  return kNames;
+}
+
+void validate_policy_name(const std::string& name) {
+  for (const std::string& known : policy_names()) {
+    if (name == known) return;
+  }
+  std::string valid;
+  for (const std::string& known : policy_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += known;
+  }
+  throw std::invalid_argument("make_policy: unknown tile-ABR policy \"" + name +
+                              "\"; valid names: " + valid);
+}
+
+std::unique_ptr<TileAbrPolicy> make_policy(
+    std::shared_ptr<const media::VideoModel> video,
+    const TileAbrConfig& config) {
+  validate_policy_name(config.policy);
+  if (config.policy == "sperke") {
+    return std::make_unique<SperkeVra>(std::move(video), config.sperke);
+  }
+  if (config.policy == "knapsack") {
+    return std::make_unique<KnapsackVra>(std::move(video), config.knapsack);
+  }
+  if (config.policy == "consistency") {
+    return std::make_unique<ConsistencyVra>(std::move(video), config.consistency);
+  }
+  return std::make_unique<FullPanoramaVra>(std::move(video), config.fullpano);
+}
+
+}  // namespace sperke::abr

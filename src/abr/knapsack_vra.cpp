@@ -1,0 +1,118 @@
+#include "abr/knapsack_vra.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sperke::abr {
+
+KnapsackVra::KnapsackVra(std::shared_ptr<const media::VideoModel> video,
+                         KnapsackVraConfig config)
+    : video_(std::move(video)), config_(config) {
+  if (!video_) throw std::invalid_argument("KnapsackVra: null video");
+  if (config_.safety <= 0.0 || config_.safety > 1.0) {
+    throw std::invalid_argument("KnapsackVra: bad safety");
+  }
+}
+
+void KnapsackVra::plan_chunk_into(media::ChunkIndex index,
+                                  const std::vector<geo::TileId>& predicted_fov,
+                                  std::span<const double> tile_probabilities,
+                                  double estimated_kbps,
+                                  sim::Duration /*buffer_level*/,
+                                  media::QualityLevel /*last_quality*/,
+                                  PlanWorkspace& workspace,
+                                  ChunkPlan& out) const {
+  if (predicted_fov.empty()) {
+    throw std::invalid_argument("plan_chunk: empty predicted FoV");
+  }
+  const auto& ladder = video_->ladder();
+  const media::QualityLevel top = ladder.max_level();
+  const double chunk_s = sim::to_seconds(video_->chunk_duration());
+  const int tiles = video_->tile_count();
+
+  // quality[t]: -1 = not fetched, else the AVC level allocated so far.
+  auto& quality = workspace.tile_quality;
+  quality.assign(static_cast<std::size_t>(tiles), -1);
+  auto& in_fov = workspace.tile_flag;
+  in_fov.assign(static_cast<std::size_t>(tiles), 0);
+  for (geo::TileId t : predicted_fov) in_fov[static_cast<std::size_t>(t)] = 1;
+
+  const auto prob_of = [&](geo::TileId t) {
+    // FoV-agnostic callers pass no probability map: the whole "FoV" (the
+    // full panorama) competes at weight 1.
+    if (tile_probabilities.empty()) {
+      return in_fov[static_cast<std::size_t>(t)] != 0 ? 1.0 : 0.0;
+    }
+    return tile_probabilities[static_cast<std::size_t>(t)];
+  };
+
+  // Hard constraint: the predicted viewport is covered at the base tier,
+  // charged before any greedy step (even past the budget — coverage wins).
+  std::int64_t spent = 0;
+  for (geo::TileId t : predicted_fov) {
+    quality[static_cast<std::size_t>(t)] = 0;
+    spent += video_->avc_size_bytes(0, {t, index});
+  }
+  // Unknown throughput (startup): the coverage floor is all we commit to.
+  const std::int64_t budget =
+      estimated_kbps > 0.0
+          ? static_cast<std::int64_t>(estimated_kbps * config_.safety *
+                                      chunk_s * 1000.0 / 8.0)
+          : spent;
+
+  // Greedy on marginal value density. Ties break to the lowest tile id
+  // (strict >, ascending scan) — fully deterministic.
+  while (true) {
+    double best_density = 0.0;
+    geo::TileId best_tile = -1;
+    std::int64_t best_cost = 0;
+    for (geo::TileId t = 0; t < tiles; ++t) {
+      const media::QualityLevel q = quality[static_cast<std::size_t>(t)];
+      if (q >= top) continue;
+      const double p = prob_of(t);
+      double gain = 0.0;
+      std::int64_t cost = 0;
+      const media::ChunkKey key{t, index};
+      if (q < 0) {
+        if (p < config_.min_probability) continue;  // never enters
+        gain = p * (ladder.utility(0) + config_.entry_utility);
+        cost = video_->avc_size_bytes(0, key);
+      } else {
+        gain = p * (ladder.utility(q + 1) - ladder.utility(q));
+        cost = video_->avc_size_bytes(q + 1, key) - video_->avc_size_bytes(q, key);
+      }
+      if (cost <= 0) cost = 1;
+      if (spent + cost > budget) continue;  // does not fit
+      const double density = gain / static_cast<double>(cost);
+      if (density > best_density) {
+        best_density = density;
+        best_tile = t;
+        best_cost = cost;
+      }
+    }
+    if (best_tile < 0) break;
+    ++quality[static_cast<std::size_t>(best_tile)];
+    spent += best_cost;
+  }
+
+  out.index = index;
+  // Nominal FoV quality: the coverage floor actually guaranteed across the
+  // predicted viewport (the minimum allocated FoV level).
+  media::QualityLevel q_fov = top;
+  for (geo::TileId t : predicted_fov) {
+    q_fov = std::min(q_fov, quality[static_cast<std::size_t>(t)]);
+  }
+  out.fov_quality = std::max<media::QualityLevel>(q_fov, 0);
+  out.fetches.clear();
+  for (geo::TileId t = 0; t < tiles; ++t) {
+    const media::QualityLevel q = quality[static_cast<std::size_t>(t)];
+    if (q < 0) continue;
+    const bool fov = in_fov[static_cast<std::size_t>(t)] != 0;
+    out.fetches.push_back({{{t, index}, media::Encoding::kAvc, q},
+                           fov ? SpatialClass::kFov : SpatialClass::kOos,
+                           prob_of(t)});
+  }
+}
+
+}  // namespace sperke::abr

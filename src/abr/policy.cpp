@@ -1,0 +1,26 @@
+#include "abr/policy.h"
+
+namespace sperke::abr {
+
+ChunkPlan TileAbrPolicy::plan_chunk(media::ChunkIndex index,
+                                    const std::vector<geo::TileId>& predicted_fov,
+                                    std::span<const double> tile_probabilities,
+                                    double estimated_kbps,
+                                    sim::Duration buffer_level,
+                                    media::QualityLevel last_quality) const {
+  PlanWorkspace workspace;
+  ChunkPlan plan;
+  plan_chunk_into(index, predicted_fov, tile_probabilities, estimated_kbps,
+                  buffer_level, last_quality, workspace, plan);
+  return plan;
+}
+
+TileAbrPolicy::UpgradeDecision TileAbrPolicy::consider_upgrade(
+    const media::ChunkKey& /*key*/, media::QualityLevel /*current*/,
+    media::QualityLevel /*svc_layer_base*/, media::QualityLevel /*target*/,
+    double /*visible_probability*/, sim::Duration /*time_to_deadline*/,
+    double /*estimated_kbps*/) const {
+  return {};
+}
+
+}  // namespace sperke::abr

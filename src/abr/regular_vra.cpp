@@ -1,6 +1,7 @@
 #include "abr/regular_vra.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -140,12 +141,23 @@ std::unique_ptr<RegularVra> make_regular_vra(std::string_view name) {
   if (name == "buffer") return std::make_unique<BufferVra>();
   if (name == "mpc") return std::make_unique<MpcVra>();
   if (name == "bola") return std::make_unique<BolaVra>();
-  // "fixed-<level>" pins the quality, e.g. "fixed-2".
+  // "fixed-<level>" pins the quality, e.g. "fixed-2". A malformed level
+  // ("fixed-", "fixed-x", "fixed--1") falls through to the listing error
+  // below instead of whatever std::stoi would have thrown.
   if (name.starts_with("fixed-")) {
-    const int level = std::stoi(std::string(name.substr(6)));
-    return std::make_unique<FixedVra>(level);
+    const std::string_view digits = name.substr(6);
+    int level = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), level);
+    if (ec == std::errc{} && ptr == digits.data() + digits.size() &&
+        level >= 0) {
+      return std::make_unique<FixedVra>(level);
+    }
   }
-  throw std::invalid_argument("unknown VRA: " + std::string(name));
+  throw std::invalid_argument("make_regular_vra: unknown VRA \"" +
+                              std::string(name) +
+                              "\"; valid names: throughput, buffer, mpc, "
+                              "bola, fixed-<level>");
 }
 
 }  // namespace sperke::abr

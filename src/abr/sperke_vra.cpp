@@ -44,18 +44,6 @@ media::Encoding SperkeVra::oos_encoding() const {
   return media::Encoding::kAvc;
 }
 
-ChunkPlan SperkeVra::plan_chunk(media::ChunkIndex index,
-                                const std::vector<geo::TileId>& predicted_fov,
-                                std::span<const double> tile_probabilities,
-                                double estimated_kbps, sim::Duration buffer_level,
-                                media::QualityLevel last_quality) const {
-  PlanWorkspace workspace;
-  ChunkPlan plan;
-  plan_chunk_into(index, predicted_fov, tile_probabilities, estimated_kbps,
-                  buffer_level, last_quality, workspace, plan);
-  return plan;
-}
-
 void SperkeVra::plan_chunk_into(media::ChunkIndex index,
                                 const std::vector<geo::TileId>& predicted_fov,
                                 std::span<const double> tile_probabilities,
@@ -116,7 +104,7 @@ void SperkeVra::plan_chunk_into(media::ChunkIndex index,
   }
 }
 
-SperkeVra::UpgradeDecision SperkeVra::consider_upgrade(
+TileAbrPolicy::UpgradeDecision SperkeVra::consider_upgrade(
     const media::ChunkKey& key, media::QualityLevel current,
     media::QualityLevel svc_layer_base, media::QualityLevel target,
     double visible_probability, sim::Duration time_to_deadline,

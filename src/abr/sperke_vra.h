@@ -11,10 +11,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "abr/oos.h"
 #include "abr/plan.h"
+#include "abr/policy.h"
 #include "abr/regular_vra.h"
 #include "media/video_model.h"
 
@@ -51,42 +53,21 @@ struct SperkeVraConfig {
   double upgrade_safety = 0.8;  // fraction of deadline slack usable
 };
 
-class SperkeVra {
+// The paper's own policy behind the TileAbrPolicy interface. Construct via
+// abr::make_policy outside abr/ (tools/sperke_lint.py enforces it).
+class SperkeVra final : public TileAbrPolicy {
  public:
   SperkeVra(std::shared_ptr<const media::VideoModel> video, SperkeVraConfig config);
 
-  // Reusable buffers threaded through plan_chunk_into so steady-state
-  // planning allocates nothing (DESIGN.md §8). Single-threaded use only.
-  struct PlanWorkspace {
-    VraContext ctx;
-    OosSelector::Workspace oos;
-  };
+  [[nodiscard]] std::string_view name() const override { return "sperke"; }
 
-  // Plan all fetches for chunk `index`.
-  //  `predicted_fov`        — tiles of the predicted viewport (sorted);
-  //  `tile_probabilities`   — fusion HMP output for this chunk;
-  //  `estimated_kbps`       — current throughput estimate;
-  //  `buffer_level`         — media time buffered ahead of the playhead;
-  //  `last_quality`         — previous FoV quality (switch damping).
-  [[nodiscard]] ChunkPlan plan_chunk(media::ChunkIndex index,
-                                     const std::vector<geo::TileId>& predicted_fov,
-                                     std::span<const double> tile_probabilities,
-                                     double estimated_kbps,
-                                     sim::Duration buffer_level,
-                                     media::QualityLevel last_quality) const;
-  // Same result written into `out` (reset first), scratch from `workspace`.
+  // Plan all fetches for chunk `index` (see TileAbrPolicy for the params).
   void plan_chunk_into(media::ChunkIndex index,
                        const std::vector<geo::TileId>& predicted_fov,
                        std::span<const double> tile_probabilities,
                        double estimated_kbps, sim::Duration buffer_level,
                        media::QualityLevel last_quality,
-                       PlanWorkspace& workspace, ChunkPlan& out) const;
-
-  struct UpgradeDecision {
-    bool upgrade = false;
-    std::vector<media::ChunkAddress> fetches;  // deltas (SVC) or refetch (AVC)
-    std::int64_t bytes = 0;
-  };
+                       PlanWorkspace& workspace, ChunkPlan& out) const override;
 
   // Part 3: should a buffered tile displayed at `current` quality be
   // upgraded to `target`, given its display probability and deadline slack?
@@ -102,7 +83,19 @@ class SperkeVra {
       const media::ChunkKey& key, media::QualityLevel current,
       media::QualityLevel svc_layer_base, media::QualityLevel target,
       double visible_probability, sim::Duration time_to_deadline,
-      double estimated_kbps) const;
+      double estimated_kbps) const override;
+
+  // Base-tier emergencies reuse the mode's non-upgradable encoding: plain
+  // AVC in the AVC modes, the layer-0 SVC base otherwise.
+  [[nodiscard]] media::Encoding base_tier_encoding() const override {
+    return (config_.mode == EncodingMode::kAvcNoUpgrade ||
+            config_.mode == EncodingMode::kAvcRefetch)
+               ? media::Encoding::kAvc
+               : media::Encoding::kSvc;
+  }
+  [[nodiscard]] sim::Duration upgrade_window() const override {
+    return config_.upgrade_window;
+  }
 
   [[nodiscard]] const SperkeVraConfig& config() const { return config_; }
   [[nodiscard]] const RegularVra& regular() const { return *regular_; }

@@ -38,7 +38,7 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
       batch_(batch == nullptr ? own_batch_.get() : batch),
       slot_(batch_->acquire()),
       buffer_(video_, batch_->cells(slot_)),
-      vra_(video_, config_.vra),
+      policy_(abr::make_policy(video_, config_.abr)),
       qoe_(config_.qoe) {
   planned_ = batch_->planned_quality(slot_);
   in_flight_ = batch_->in_flight(slot_);
@@ -60,6 +60,13 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
     metrics_.hmp_error_deg = &m.histogram(
         "session.hmp_error_deg", {5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 180.0});
+    metrics_.bytes_downloaded = &m.counter("session.bytes_downloaded");
+    metrics_.bytes_wasted = &m.counter("session.bytes_wasted");
+    // The counter name embeds the factory policy name (all [a-z0-9_]+,
+    // enforced by abr::make_policy's closed name set), so mixed-population
+    // worlds merge into one row per policy. sperke-lint: allow(metric-name)
+    metrics_.abr_plans =
+        &m.counter("abr." + std::string(policy_->name()) + ".plans");
     if (config_.fetch_recovery) {
       metrics_.fetch_failures = &m.counter("session.fetch_failures");
       metrics_.degraded_retries = &m.counter("session.degraded_retries");
@@ -126,7 +133,8 @@ void StreamingSession::start() {
   observe_head();  // prime the predictor with the initial pose
   head_task_.emplace(simulator_, sim::seconds(1.0 / config_.head_sample_hz),
                      [this] { observe_head(); });
-  if (config_.enable_upgrades && config_.planner == PlannerMode::kFovGuided) {
+  if (config_.enable_upgrades && config_.planner == PlannerMode::kFovGuided &&
+      policy_->upgrade_window() > sim::Duration{0}) {
     upgrade_task_.emplace(simulator_, config_.upgrade_scan_period,
                           [this] { scan_upgrades(); });
   }
@@ -203,12 +211,13 @@ void StreamingSession::maybe_plan() {
                            ? std::min(effective_kbps, budget_kbps)
                            : budget_kbps;
     }
-    vra_.plan_chunk_into(index, fov, probs, effective_kbps, buffer_level,
-                         last_fov_quality_, vra_workspace_, plan_scratch_);
+    policy_->plan_chunk_into(index, fov, probs, effective_kbps, buffer_level,
+                             last_fov_quality_, vra_workspace_, plan_scratch_);
     const abr::ChunkPlan& plan = plan_scratch_;
     planned_[static_cast<std::size_t>(index)] = plan.fov_quality;
     last_fov_quality_ = plan.fov_quality;
     if (config_.telemetry != nullptr) {
+      metrics_.abr_plans->increment();
       record_trace({.type = obs::TraceEventType::kPlanComputed,
                     .ts = simulator_.now(),
                     .chunk = index,
@@ -304,11 +313,8 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
         address.key.index >= current_chunk_ && deadline > simulator_.now()) {
       // Graceful degradation: re-request the tile at the base tier while
       // the deadline still stands rather than leaving a hole in the FoV.
-      const media::ChunkAddress fallback =
-          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
-           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
-              ? media::ChunkAddress{address.key, media::Encoding::kAvc, 0}
-              : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
+      const media::ChunkAddress fallback{address.key,
+                                         policy_->base_tier_encoding(), 0};
       if (!buffer_.contains(fallback) && !inflight_contains(fallback)) {
         ++degraded_retries_;
         if (metrics_.degraded_retries != nullptr) {
@@ -330,10 +336,16 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
 void StreamingSession::on_fetch_done(const media::ChunkAddress& address,
                                      std::int64_t bytes) {
   qoe_.record_downloaded(bytes);
+  if (metrics_.bytes_downloaded != nullptr) {
+    metrics_.bytes_downloaded->add(bytes);
+  }
   if (finished_ || address.key.index < current_chunk_ ||
       (address.key.index == current_chunk_ && playing_ && !stalled_)) {
     // Arrived after its chunk started playing: pure waste.
     qoe_.record_wasted(bytes);
+    if (metrics_.bytes_wasted != nullptr) {
+      metrics_.bytes_wasted->add(bytes);
+    }
   } else {
     buffer_.add(address);
   }
@@ -385,11 +397,7 @@ void StreamingSession::play_chunk() {
     // "urgent chunks": very short deadline after an HMP correction).
     for (geo::TileId tile : missing) {
       const media::ChunkKey key{tile, index};
-      const media::ChunkAddress address =
-          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
-           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
-              ? media::ChunkAddress{key, media::Encoding::kAvc, 0}
-              : media::ChunkAddress{key, media::Encoding::kSvc, 0};
+      const media::ChunkAddress address{key, policy_->base_tier_encoding(), 0};
       dispatch(address, abr::SpatialClass::kFov, simulator_.now(), false, false);
     }
     return;  // resume via try_resume_from_stall()
@@ -452,6 +460,9 @@ void StreamingSession::play_chunk() {
       used = buffer_.cell_bytes_used(key, buffer_.displayable_quality(key));
     }
     qoe_.record_wasted(held - used);
+    if (metrics_.bytes_wasted != nullptr && held > used) {
+      metrics_.bytes_wasted->add(held - used);
+    }
   }
   buffer_.evict_before(index + 1);
 
@@ -484,10 +495,10 @@ void StreamingSession::scan_upgrades() {
     const sim::Time deadline = deadline_of(index);
     const sim::Duration slack = deadline - simulator_.now();
     if (slack <= sim::Duration{0}) continue;
-    // Hoisted from SperkeVra::consider_upgrade: outside the upgrade window
+    // Hoisted from consider_upgrade: outside the policy's upgrade window
     // it rejects every tile on slack alone, so the per-chunk prediction,
     // visible set, and probability map would be dead work.
-    if (slack > config_.vra.upgrade_window) continue;
+    if (slack > policy_->upgrade_window()) continue;
     const sim::Duration horizon = video_->chunk_start_time(index) - media_now();
     const geo::Orientation predicted = fusion_.predict_orientation(horizon);
     std::vector<geo::TileId>& visible = visible_scratch_;
@@ -503,7 +514,7 @@ void StreamingSession::scan_upgrades() {
       const media::ChunkKey key{tile, index};
       const media::QualityLevel current = buffer_.displayable_quality(key);
       if (current >= target) continue;
-      const auto decision = vra_.consider_upgrade(
+      const auto decision = policy_->consider_upgrade(
           key, current, buffer_.svc_contiguous_quality(key), target,
           probs[static_cast<std::size_t>(tile)], slack, est);
       if (!decision.upgrade) continue;

@@ -3,7 +3,8 @@
 //
 // Responsibilities per the figure:
 //   * head sensor sampling -> HMP fusion (hmp/fusion.h),
-//   * fetch scheduling driven by the 360° VRA (abr/sperke_vra.h),
+//   * fetch scheduling driven by the pluggable tile-ABR policy
+//     (abr/policy.h; the paper's VRA is abr/sperke_vra.h behind it),
 //   * the encoded-chunk cache (core/buffer.h),
 //   * playback with stall semantics and QoE accounting (abr/qoe.h),
 //   * runtime incremental upgrades of mispredicted tiles (§3.1.1).
@@ -21,8 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "abr/factory.h"
 #include "abr/qoe.h"
-#include "abr/sperke_vra.h"
 #include "core/buffer.h"
 #include "core/session_batch.h"
 #include "core/transport.h"
@@ -40,7 +41,9 @@ enum class PlannerMode {
 
 struct SessionConfig {
   PlannerMode planner = PlannerMode::kFovGuided;
-  abr::SperkeVraConfig vra;
+  // Tile-ABR policy (name + per-policy params); the session builds its own
+  // instance via abr::make_policy at construction.
+  abr::TileAbrConfig abr;
   geo::Viewport viewport{100.0, 90.0};
   double head_sample_hz = 25.0;
   // HMP is only trustworthy a short window ahead (§3.2), which bounds how
@@ -143,7 +146,7 @@ class StreamingSession {
   SessionBatch* batch_;
   int slot_;
   PlaybackBuffer buffer_;
-  abr::SperkeVra vra_;
+  std::unique_ptr<abr::TileAbrPolicy> policy_;
   abr::QoeTracker qoe_;
 
   // Playback state.
@@ -199,6 +202,13 @@ class StreamingSession {
     obs::Histogram* stall_s = nullptr;
     obs::Histogram* viewport_utility = nullptr;
     obs::Histogram* hmp_error_deg = nullptr;
+    // Byte accounting mirrored from the QoE tracker, so run-scope tooling
+    // (the ABR arena bench) reads wasted bytes from the merged registry.
+    obs::Counter* bytes_downloaded = nullptr;
+    obs::Counter* bytes_wasted = nullptr;
+    // Policy-scoped plan counter: the metric name embeds the policy name,
+    // giving mixed-population worlds one merged row per policy.
+    obs::Counter* abr_plans = nullptr;
   };
   SessionMetrics metrics_;
   // Orientation predicted at plan time, for the HMP angular-error metric
@@ -219,7 +229,7 @@ class StreamingSession {
   std::vector<geo::TileId> missing_scratch_;
   std::vector<char> is_visible_scratch_;
   abr::ChunkPlan plan_scratch_;
-  abr::SperkeVra::PlanWorkspace vra_workspace_;
+  abr::TileAbrPolicy::PlanWorkspace vra_workspace_;
 
   std::optional<sim::PeriodicTask> head_task_;
   std::optional<sim::PeriodicTask> upgrade_task_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "abr/factory.h"
+
 namespace sperke::engine {
 
 int group_count(const WorldSpec& spec) {
@@ -54,6 +56,10 @@ void validate(const WorldSpec& spec) {
   }
   for (const obs::SloSpec& slo : spec.slos) obs::validate_slo(slo);
   net::validate(spec.faults);
+  // Fail fast on a bad policy name in the template spec; per-session
+  // overrides from session_for() are still checked at construction inside
+  // the shard (abr::make_policy throws the same error).
+  abr::validate_policy_name(spec.session.abr.policy);
 }
 
 std::vector<hmp::HeadTrace> build_trace_pool(const WorldSpec& spec) {

@@ -21,7 +21,7 @@ TiledLiveSession::TiledLiveSession(sim::Simulator& simulator,
               hmp::make_orientation_predictor(config_.predictor),
               /*crowd=*/nullptr, {}, {}),
       buffer_(video_),
-      vra_(video_, config_.vra),
+      policy_(abr::make_policy(video_, config_.abr)),
       qoe_(config_.qoe) {
   const double min_latency = sim::to_seconds(config_.ingest_delay) +
                              sim::to_seconds(video_->chunk_duration());
@@ -55,7 +55,7 @@ void TiledLiveSession::start() {
   observe_head();
   head_task_.emplace(simulator_, sim::seconds(1.0 / config_.head_sample_hz),
                      [this] { observe_head(); });
-  if (config_.enable_upgrades) {
+  if (config_.enable_upgrades && policy_->upgrade_window() > sim::Duration{0}) {
     upgrade_task_.emplace(simulator_, config_.upgrade_scan_period,
                           [this] { scan_upgrades(); });
   }
@@ -121,8 +121,8 @@ void TiledLiveSession::plan_chunk(media::ChunkIndex index) {
 
   const sim::Duration buffer_level = deadline_of(index) - simulator_.now();
   const auto plan =
-      vra_.plan_chunk(index, order, probs, transport_.estimated_kbps(),
-                      buffer_level, last_fov_quality_);
+      policy_->plan_chunk(index, order, probs, transport_.estimated_kbps(),
+                          buffer_level, last_fov_quality_);
   plan_quality_[index] = plan.fov_quality;
   last_fov_quality_ = plan.fov_quality;
   for (const auto& fetch : plan.fetches) {
@@ -195,11 +195,8 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
         address.key.index >= next_play_ && deadline > simulator_.now()) {
       // Live degradation: a base-tier tile on time beats a blank tile. The
       // blank re-request cites the failed request as its causal parent.
-      const media::ChunkAddress fallback =
-          (config_.vra.mode == abr::EncodingMode::kAvcNoUpgrade ||
-           config_.vra.mode == abr::EncodingMode::kAvcRefetch)
-              ? media::ChunkAddress{address.key, media::Encoding::kAvc, 0}
-              : media::ChunkAddress{address.key, media::Encoding::kSvc, 0};
+      const media::ChunkAddress fallback{address.key,
+                                         policy_->base_tier_encoding(), 0};
       if (!buffer_.contains(fallback) && !in_flight_.contains(fallback)) {
         ++degraded_retries_;
         dispatch(fallback, abr::SpatialClass::kFov, deadline, false,
@@ -287,7 +284,7 @@ void TiledLiveSession::scan_upgrades() {
       const media::ChunkKey key{tile, index};
       const media::QualityLevel current = buffer_.displayable_quality(key);
       if (current >= target_it->second) continue;
-      const auto decision = vra_.consider_upgrade(
+      const auto decision = policy_->consider_upgrade(
           key, current, buffer_.svc_contiguous_quality(key), target_it->second,
           probs[static_cast<std::size_t>(tile)], slack, est);
       if (!decision.upgrade) continue;

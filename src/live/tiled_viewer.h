@@ -19,8 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "abr/factory.h"
 #include "abr/qoe.h"
-#include "abr/sperke_vra.h"
 #include "core/buffer.h"
 #include "core/transport.h"
 #include "hmp/fusion.h"
@@ -39,7 +39,8 @@ struct TiledLiveConfig {
   // wall time chunk_end(i) + ingest_delay.
   sim::Duration ingest_delay{sim::seconds(3.0)};
   geo::Viewport viewport{100.0, 90.0};
-  abr::SperkeVraConfig vra;
+  // Tile-ABR policy (name + per-policy params), built via abr::make_policy.
+  abr::TileAbrConfig abr;
   std::string predictor = "linear-regression";
   double head_sample_hz = 25.0;
   sim::Duration upgrade_scan_period{sim::milliseconds(250)};
@@ -112,7 +113,7 @@ class TiledLiveSession {
   LiveCrowdHmp* crowd_;
   hmp::FusionPredictor fusion_;
   core::PlaybackBuffer buffer_;
-  abr::SperkeVra vra_;
+  std::unique_ptr<abr::TileAbrPolicy> policy_;
   abr::QoeTracker qoe_;
 
   bool started_ = false;

@@ -1,0 +1,410 @@
+// Tile-ABR policy arena tests: the abr::make_policy factory contract, the
+// per-policy golden determinism guarantee (two independently constructed
+// instances produce byte-identical plans for the same inputs), and the
+// policy-specific allocation invariants of the related-work competitors
+// (knapsack, consistency, fullpano) behind the TileAbrPolicy interface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "abr/factory.h"
+#include "abr/regular_vra.h"
+
+namespace sperke::abr {
+namespace {
+
+std::shared_ptr<media::VideoModel> make_video() {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.chunk_duration_s = 1.0;
+  cfg.tile_rows = 4;
+  cfg.tile_cols = 6;
+  cfg.seed = 5;
+  return std::make_shared<media::VideoModel>(cfg);
+}
+
+std::vector<double> probs_for(const media::VideoModel& video,
+                              const std::vector<geo::TileId>& fov) {
+  std::vector<double> probs(static_cast<std::size_t>(video.tile_count()), 0.01);
+  for (geo::TileId tile : fov) probs[static_cast<std::size_t>(tile)] = 0.2;
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+bool same_plan(const ChunkPlan& a, const ChunkPlan& b) {
+  if (a.index != b.index || a.fov_quality != b.fov_quality ||
+      a.fetches.size() != b.fetches.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.fetches.size(); ++i) {
+    if (a.fetches[i].address != b.fetches[i].address ||
+        a.fetches[i].spatial != b.fetches[i].spatial ||
+        a.fetches[i].visibility_probability !=
+            b.fetches[i].visibility_probability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(PolicyFactory, NamesAreStableAndResolvable) {
+  const auto& names = policy_names();
+  const std::vector<std::string> expected{"sperke", "knapsack", "consistency",
+                                          "fullpano"};
+  EXPECT_EQ(names, expected);
+  auto video = make_video();
+  for (const std::string& name : names) {
+    TileAbrConfig config;
+    config.policy = name;
+    const auto policy = make_policy(video, config);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PolicyFactory, UnknownPolicyErrorListsValidNames) {
+  auto video = make_video();
+  TileAbrConfig config;
+  config.policy = "oracle";
+  try {
+    (void)make_policy(video, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("oracle"), std::string::npos) << what;
+    for (const std::string& name : policy_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+  EXPECT_THROW(validate_policy_name("oracle"), std::invalid_argument);
+  for (const std::string& name : policy_names()) {
+    EXPECT_NO_THROW(validate_policy_name(name));
+  }
+}
+
+TEST(PolicyFactory, NullVideoRejectedByEveryPolicy) {
+  for (const std::string& name : policy_names()) {
+    TileAbrConfig config;
+    config.policy = name;
+    EXPECT_THROW((void)make_policy(nullptr, config), std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(RegularVraFactory, UnknownNameErrorListsValidNames) {
+  try {
+    (void)make_regular_vra("quantum");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quantum"), std::string::npos) << what;
+    for (const char* name :
+         {"throughput", "buffer", "mpc", "bola", "fixed-<level>"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(RegularVraFactory, MalformedFixedLevelsRejected) {
+  EXPECT_NO_THROW((void)make_regular_vra("fixed-2"));
+  EXPECT_THROW((void)make_regular_vra("fixed-"), std::invalid_argument);
+  EXPECT_THROW((void)make_regular_vra("fixed-x"), std::invalid_argument);
+  EXPECT_THROW((void)make_regular_vra("fixed--1"), std::invalid_argument);
+  EXPECT_THROW((void)make_regular_vra("fixed-2x"), std::invalid_argument);
+}
+
+// ----------------------------------------------------- golden determinism
+
+class PolicyGolden : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<TileAbrPolicy> make() const {
+    TileAbrConfig config;
+    config.policy = GetParam();
+    return make_policy(video, config);
+  }
+
+  std::shared_ptr<media::VideoModel> video = make_video();
+  std::vector<geo::TileId> fov{7, 8, 9, 13, 14, 15};
+};
+
+TEST_P(PolicyGolden, IndependentInstancesPlanIdentically) {
+  // Two separately constructed instances of the same policy must plan
+  // byte-identically — the property that lets every shard build its own
+  // instance from the shared TileAbrConfig without breaking determinism.
+  const auto a = make();
+  const auto b = make();
+  const auto probs = probs_for(*video, fov);
+  for (int round = 0; round < 3; ++round) {
+    const auto index = static_cast<media::ChunkIndex>(round);
+    const double kbps = 4'000.0 * (round + 1);
+    const ChunkPlan plan_a =
+        a->plan_chunk(index, fov, probs, kbps, sim::seconds(2.0), round);
+    const ChunkPlan plan_b =
+        b->plan_chunk(index, fov, probs, kbps, sim::seconds(2.0), round);
+    EXPECT_TRUE(same_plan(plan_a, plan_b)) << "round " << round;
+    EXPECT_FALSE(plan_a.fetches.empty());
+  }
+}
+
+TEST_P(PolicyGolden, PlanChunkIntoMatchesPlanChunkAcrossWorkspaceReuse) {
+  const auto policy = make();
+  const auto probs = probs_for(*video, fov);
+  TileAbrPolicy::PlanWorkspace workspace;  // reused across every call
+  ChunkPlan into;
+  for (int round = 0; round < 3; ++round) {
+    const auto index = static_cast<media::ChunkIndex>(round);
+    const double kbps = 2'000.0 + 5'000.0 * round;
+    const ChunkPlan fresh =
+        policy->plan_chunk(index, fov, probs, kbps, sim::seconds(1.5), 1);
+    policy->plan_chunk_into(index, fov, probs, kbps, sim::seconds(1.5), 1,
+                            workspace, into);
+    EXPECT_TRUE(same_plan(fresh, into)) << "round " << round;
+  }
+}
+
+TEST_P(PolicyGolden, EmptyFovThrows) {
+  const auto policy = make();
+  EXPECT_THROW(
+      (void)policy->plan_chunk(0, {}, {}, 8'000.0, sim::seconds(2.0), 0),
+      std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyGolden,
+                         ::testing::Values("sperke", "knapsack", "consistency",
+                                           "fullpano"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------------- interface surface
+
+TEST(PolicyInterface, BaseTierEncodingFollowsSperkeMode) {
+  auto video = make_video();
+  TileAbrConfig config;
+  config.policy = "sperke";
+  for (const auto& [mode, encoding] :
+       {std::pair{EncodingMode::kAvcNoUpgrade, media::Encoding::kAvc},
+        std::pair{EncodingMode::kAvcRefetch, media::Encoding::kAvc},
+        std::pair{EncodingMode::kSvc, media::Encoding::kSvc},
+        std::pair{EncodingMode::kHybrid, media::Encoding::kSvc}}) {
+    config.sperke.mode = mode;
+    EXPECT_EQ(make_policy(video, config)->base_tier_encoding(), encoding)
+        << to_string(mode);
+  }
+  for (const char* name : {"knapsack", "consistency", "fullpano"}) {
+    config.policy = name;
+    EXPECT_EQ(make_policy(video, config)->base_tier_encoding(),
+              media::Encoding::kAvc)
+        << name;
+  }
+}
+
+TEST(PolicyInterface, OnlySperkeExposesAnUpgradeWindow) {
+  auto video = make_video();
+  TileAbrConfig config;
+  EXPECT_EQ(make_policy(video, config)->upgrade_window(),
+            config.sperke.upgrade_window);
+  for (const char* name : {"knapsack", "consistency", "fullpano"}) {
+    config.policy = name;
+    EXPECT_EQ(make_policy(video, config)->upgrade_window(), sim::Duration{0})
+        << name;
+  }
+}
+
+TEST(PolicyInterface, DefaultConsiderUpgradeDeclines) {
+  // Competitors inherit the no-op upgrade path: whatever the state, they
+  // never ask for mid-flight refinement fetches.
+  auto video = make_video();
+  for (const char* name : {"knapsack", "consistency", "fullpano"}) {
+    TileAbrConfig config;
+    config.policy = name;
+    const auto policy = make_policy(video, config);
+    const auto decision = policy->consider_upgrade(
+        {3, 1}, 0, 0, 3, 0.9, sim::seconds(1.0), 50'000.0);
+    EXPECT_FALSE(decision.upgrade) << name;
+    EXPECT_TRUE(decision.fetches.empty()) << name;
+  }
+}
+
+// ------------------------------------------------------------- knapsack
+
+class KnapsackTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<media::VideoModel> video = make_video();
+  std::vector<geo::TileId> fov{7, 8, 13, 14};
+};
+
+TEST_F(KnapsackTest, RespectsByteBudgetBeyondCoverageFloor) {
+  KnapsackVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  const double kbps = 6'000.0;
+  const ChunkPlan plan =
+      vra.plan_chunk(2, fov, probs, kbps, sim::seconds(2.0), 0);
+  const double chunk_s = sim::to_seconds(video->chunk_duration());
+  const auto budget = static_cast<std::int64_t>(
+      kbps * vra.config().safety * chunk_s * 1000.0 / 8.0);
+  std::int64_t floor_bytes = 0;
+  for (geo::TileId t : fov) floor_bytes += video->avc_size_bytes(0, {t, 2});
+  EXPECT_LE(plan.total_bytes(*video), std::max(budget, floor_bytes));
+}
+
+TEST_F(KnapsackTest, MoreBandwidthNeverLowersAllocations) {
+  KnapsackVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  ChunkPlan last;
+  std::int64_t last_bytes = 0;
+  for (const double kbps : {2'000.0, 8'000.0, 40'000.0}) {
+    const ChunkPlan plan =
+        vra.plan_chunk(1, fov, probs, kbps, sim::seconds(2.0), 0);
+    const std::int64_t bytes = plan.total_bytes(*video);
+    EXPECT_GE(bytes, last_bytes);
+    EXPECT_GE(plan.fov_quality, last.fov_quality);
+    last = plan;
+    last_bytes = bytes;
+  }
+  // At 40 Mbps the plan should reach past the base tier.
+  EXPECT_GT(last.fov_quality, 0);
+}
+
+TEST_F(KnapsackTest, FovCoveredEvenWithZeroThroughputEstimate) {
+  KnapsackVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  const ChunkPlan plan = vra.plan_chunk(0, fov, probs, 0.0, sim::Duration{0}, 0);
+  std::vector<geo::TileId> fetched;
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_EQ(fetch.address.encoding, media::Encoding::kAvc);
+    EXPECT_EQ(fetch.address.level, 0);
+    EXPECT_EQ(fetch.spatial, SpatialClass::kFov);
+    fetched.push_back(fetch.address.key.tile);
+  }
+  EXPECT_EQ(fetched, fov);
+}
+
+TEST_F(KnapsackTest, ImprobableTilesNeverEnter) {
+  KnapsackVraConfig cfg;
+  cfg.min_probability = 0.05;
+  KnapsackVra vra(video, cfg);
+  // Everything outside the FoV sits below min_probability.
+  std::vector<double> probs(static_cast<std::size_t>(video->tile_count()),
+                            0.01);
+  for (geo::TileId t : fov) probs[static_cast<std::size_t>(t)] = 0.2;
+  const ChunkPlan plan =
+      vra.plan_chunk(0, fov, probs, 100'000.0, sim::seconds(2.0), 0);
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_TRUE(std::find(fov.begin(), fov.end(), fetch.address.key.tile) !=
+                fov.end())
+        << "tile " << fetch.address.key.tile;
+  }
+}
+
+TEST_F(KnapsackTest, RejectsBadConfig) {
+  EXPECT_THROW(KnapsackVra(video, {.safety = 0.0}), std::invalid_argument);
+  EXPECT_THROW(KnapsackVra(video, {.safety = 1.5}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- consistency
+
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<media::VideoModel> video = make_video();
+  std::vector<geo::TileId> fov{7, 8, 13, 14};
+};
+
+TEST_F(ConsistencyTest, TemporalRiseIsClamped) {
+  ConsistencyVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  // Effectively unlimited bandwidth: only the temporal clamp can bind.
+  const ChunkPlan plan =
+      vra.plan_chunk(0, fov, probs, 1e9, sim::seconds(2.0), /*last=*/0);
+  EXPECT_EQ(plan.fov_quality, vra.config().max_temporal_step);
+  // Drops are unconstrained: from the top level a collapse lands on base.
+  const ChunkPlan crash = vra.plan_chunk(
+      0, fov, probs, 900.0, sim::seconds(2.0), video->ladder().max_level());
+  EXPECT_EQ(crash.fov_quality, 0);
+}
+
+TEST_F(ConsistencyTest, QualityDecaysBySpatialRing) {
+  ConsistencyVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  const ChunkPlan plan =
+      vra.plan_chunk(0, fov, probs, 1e9, sim::seconds(2.0), /*last=*/3);
+  media::QualityLevel fov_level = -1;
+  media::QualityLevel max_oos_level = -1;
+  for (const auto& fetch : plan.fetches) {
+    if (fetch.spatial == SpatialClass::kFov) {
+      fov_level = fetch.address.level;
+      EXPECT_EQ(fetch.address.level, plan.fov_quality);
+    } else {
+      max_oos_level = std::max(max_oos_level, fetch.address.level);
+    }
+  }
+  ASSERT_GE(fov_level, 1);
+  ASSERT_GE(max_oos_level, 0);  // margin exists
+  EXPECT_LT(max_oos_level, fov_level);  // and sits strictly below the FoV
+}
+
+TEST_F(ConsistencyTest, EmergencyDropsMarginAndKeepsBaseFov) {
+  ConsistencyVra vra(video, {});
+  const auto probs = probs_for(*video, fov);
+  // Throughput far below even the all-base plan.
+  const ChunkPlan plan =
+      vra.plan_chunk(0, fov, probs, 1.0, sim::seconds(2.0), 2);
+  EXPECT_EQ(plan.fov_quality, 0);
+  std::vector<geo::TileId> fetched;
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_EQ(fetch.spatial, SpatialClass::kFov);
+    EXPECT_EQ(fetch.address.level, 0);
+    fetched.push_back(fetch.address.key.tile);
+  }
+  EXPECT_EQ(fetched, fov);
+}
+
+TEST_F(ConsistencyTest, RejectsBadConfig) {
+  EXPECT_THROW(ConsistencyVra(video, {.safety = -0.1}), std::invalid_argument);
+  EXPECT_THROW(ConsistencyVra(video, {.max_temporal_step = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConsistencyVra(video, {.spatial_step = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ConsistencyVra(video, {.max_rings = -1}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- fullpano
+
+TEST(FullPanoramaTest, FetchesEveryTileAtOneLevel) {
+  auto video = make_video();
+  FullPanoramaVra vra(video, {});
+  const std::vector<geo::TileId> fov{7, 8};
+  const auto probs = probs_for(*video, fov);
+  const ChunkPlan plan =
+      vra.plan_chunk(1, fov, probs, 50'000.0, sim::seconds(2.0), 0);
+  ASSERT_EQ(plan.fetches.size(),
+            static_cast<std::size_t>(video->tile_count()));
+  int fov_marked = 0;
+  for (const auto& fetch : plan.fetches) {
+    EXPECT_EQ(fetch.address.level, plan.fov_quality);
+    EXPECT_EQ(fetch.address.encoding, media::Encoding::kAvc);
+    if (fetch.spatial == SpatialClass::kFov) ++fov_marked;
+  }
+  EXPECT_EQ(fov_marked, static_cast<int>(fov.size()));
+}
+
+TEST(FullPanoramaTest, UniformLevelTracksBandwidth) {
+  auto video = make_video();
+  FullPanoramaVra vra(video, {});
+  const std::vector<geo::TileId> fov{7, 8};
+  const auto probs = probs_for(*video, fov);
+  const auto low = vra.plan_chunk(1, fov, probs, 3'000.0, sim::seconds(2.0), 0);
+  const auto high = vra.plan_chunk(1, fov, probs, 1e6, sim::seconds(2.0), 0);
+  EXPECT_LE(low.fov_quality, high.fov_quality);
+  EXPECT_EQ(high.fov_quality, video->ladder().max_level());
+}
+
+}  // namespace
+}  // namespace sperke::abr

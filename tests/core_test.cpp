@@ -390,10 +390,10 @@ TEST_F(SessionTest, FovGuidedUsesFewerBytesThanAgnostic) {
   // Equal-quality comparison: pin both to ladder level 2, then the only
   // difference is *which tiles* are fetched.
   SessionConfig guided;
-  guided.vra.regular_vra = "fixed-2";
+  guided.abr.sperke.regular_vra = "fixed-2";
   SessionConfig agnostic;
   agnostic.planner = PlannerMode::kFovAgnostic;
-  agnostic.vra.regular_vra = "fixed-2";
+  agnostic.abr.sperke.regular_vra = "fixed-2";
   const auto g = run_session(20'000.0, guided);
   const auto a = run_session(20'000.0, agnostic);
   EXPECT_TRUE(g.completed);
@@ -403,7 +403,7 @@ TEST_F(SessionTest, FovGuidedUsesFewerBytesThanAgnostic) {
 
 TEST_F(SessionTest, AvcNoUpgradeModeRuns) {
   SessionConfig config;
-  config.vra.mode = abr::EncodingMode::kAvcNoUpgrade;
+  config.abr.sperke.mode = abr::EncodingMode::kAvcNoUpgrade;
   const auto report = run_session(20'000.0, config);
   EXPECT_TRUE(report.completed);
   EXPECT_EQ(report.upgrades, 0);
@@ -411,7 +411,7 @@ TEST_F(SessionTest, AvcNoUpgradeModeRuns) {
 
 TEST_F(SessionTest, SvcModePerformsUpgradesOrCorrections) {
   SessionConfig config;
-  config.vra.mode = abr::EncodingMode::kSvc;
+  config.abr.sperke.mode = abr::EncodingMode::kSvc;
   const auto report = run_session(20'000.0, config);
   EXPECT_TRUE(report.completed);
   // With a moving head some chunks should need upgrades or late fetches.

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "abr/factory.h"
 #include "engine/engine.h"
 #include "engine/world.h"
 #include "net/link.h"
@@ -314,6 +315,69 @@ TEST(EngineDeterminism, SeriesAndSloBreachesIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(breach_events, serial.slos[0].breach_events +
                                serial.slos[1].breach_events);
+}
+
+TEST(EngineDeterminism, EveryAbrPolicyMergesIdenticalAcrossThreadCounts) {
+  // The byte-identity contract is per-policy, not a SperkeVra accident:
+  // every factory policy must merge the same metrics at any thread count,
+  // because each shard constructs its own instance from the shared
+  // TileAbrConfig and no ABR state crosses a shard boundary.
+  for (const std::string& name : abr::policy_names()) {
+    engine::WorldSpec spec = small_world(6);
+    spec.session.abr.policy = name;
+    engine::EngineResult serial = engine::run_world(spec, {.threads = 1});
+    engine::EngineResult threaded = engine::run_world(spec, {.threads = 8});
+    EXPECT_EQ(metrics_csv(serial.metrics), metrics_csv(threaded.metrics))
+        << name;
+    EXPECT_EQ(serial.events_executed, threaded.events_executed) << name;
+    EXPECT_EQ(serial.completed, 24) << name;
+    // The policy-scoped plan counter surfaced in the merged registry.
+    const obs::Counter* plans =
+        serial.metrics.find_counter("abr." + name + ".plans");
+    ASSERT_NE(plans, nullptr) << name;
+    EXPECT_GT(plans->value(), 0) << name;
+    const obs::Counter* downloaded =
+        serial.metrics.find_counter("session.bytes_downloaded");
+    ASSERT_NE(downloaded, nullptr) << name;
+    EXPECT_GT(downloaded->value(), 0) << name;
+  }
+}
+
+TEST(EngineDeterminism, MixedPolicyPopulationMergesIdenticalAcrossThreadCounts) {
+  // A fleet running *different* policies per session: the per-policy plan
+  // counters are registered lazily by whichever session constructs first,
+  // so this also exercises MetricsRegistry::merge_from's append semantics
+  // across shards whose registries saw the policies in different orders.
+  auto mixed_world = [] {
+    engine::WorldSpec spec = small_world(6);
+    spec.session_for = [base = spec.session](int i) {
+      core::SessionConfig config = base;
+      config.abr.policy =
+          abr::policy_names()[static_cast<std::size_t>(i) %
+                              abr::policy_names().size()];
+      return config;
+    };
+    return spec;
+  };
+  engine::EngineResult serial = engine::run_world(mixed_world(), {.threads = 1});
+  engine::EngineResult threaded =
+      engine::run_world(mixed_world(), {.threads = 8});
+  EXPECT_EQ(metrics_csv(serial.metrics), metrics_csv(threaded.metrics));
+  EXPECT_EQ(serial.events_executed, threaded.events_executed);
+  EXPECT_EQ(serial.completed, 24);
+  // Every policy planned for its 6 of the 24 sessions.
+  for (const std::string& name : abr::policy_names()) {
+    const obs::Counter* plans =
+        serial.metrics.find_counter("abr." + name + ".plans");
+    ASSERT_NE(plans, nullptr) << name;
+    EXPECT_GT(plans->value(), 0) << name;
+  }
+}
+
+TEST(Engine, ValidateRejectsBadPolicyName) {
+  engine::WorldSpec spec = small_world(1);
+  spec.session.abr.policy = "oracle";
+  EXPECT_THROW(engine::validate(spec), std::invalid_argument);
 }
 
 TEST(Engine, ValidateRejectsBadObservabilitySpecs) {

@@ -88,10 +88,10 @@ core::SessionReport run_single_link(double kbps, core::SessionConfig config,
 TEST(Integration, FovGuidedSavesSubstantialBandwidth) {
   // §2: tiling saves ~45-80% of bytes vs FoV-agnostic delivery.
   core::SessionConfig guided;
-  guided.vra.regular_vra = "fixed-3";
+  guided.abr.sperke.regular_vra = "fixed-3";
   core::SessionConfig agnostic;
   agnostic.planner = core::PlannerMode::kFovAgnostic;
-  agnostic.vra.regular_vra = "fixed-3";
+  agnostic.abr.sperke.regular_vra = "fixed-3";
   const auto g = run_single_link(60'000.0, guided);
   const auto a = run_single_link(60'000.0, agnostic);
   ASSERT_TRUE(g.completed);
@@ -119,9 +119,9 @@ TEST(Integration, SvcBeatsAvcNoUpgradeOnViewportQuality) {
   // §3.1: with imperfect HMP, the ability to upgrade mispredicted tiles
   // should lift displayed quality.
   core::SessionConfig svc;
-  svc.vra.mode = abr::EncodingMode::kSvc;
+  svc.abr.sperke.mode = abr::EncodingMode::kSvc;
   core::SessionConfig avc;
-  avc.vra.mode = abr::EncodingMode::kAvcNoUpgrade;
+  avc.abr.sperke.mode = abr::EncodingMode::kAvcNoUpgrade;
   const auto r_svc = run_single_link(15'000.0, svc);
   const auto r_avc = run_single_link(15'000.0, avc);
   ASSERT_TRUE(r_svc.completed);
@@ -200,7 +200,7 @@ TEST(Integration, MultipathAggregatesBandwidthUnderLoad) {
     auto video = make_video();
     const auto trace = make_trace(44);
     core::SessionConfig config;
-    config.vra.regular_vra = "fixed-3";
+    config.abr.sperke.regular_vra = "fixed-3";
     core::StreamingSession session(simulator, video, transport, trace, config);
     session.start();
     simulator.run_until(sim::seconds(kVideoSeconds + 400.0));
@@ -255,7 +255,7 @@ TEST(Integration, LossySpikyLinkStillCompletes) {
 TEST(Integration, BufferVraAndMpcAlsoDriveSessions) {
   for (const char* vra : {"buffer", "mpc"}) {
     core::SessionConfig config;
-    config.vra.regular_vra = vra;
+    config.abr.sperke.regular_vra = vra;
     const auto report = run_single_link(20'000.0, config);
     EXPECT_TRUE(report.completed) << vra;
     EXPECT_EQ(report.qoe.chunks_played, static_cast<int>(kVideoSeconds)) << vra;

@@ -374,7 +374,7 @@ TEST_P(SessionProperty, InvariantsHoldEndToEnd) {
                                  .rtt = sim::milliseconds(25), .faults = {}});
   core::SingleLinkTransport transport(link, {.max_concurrent = 8, .recovery = {}});
   core::SessionConfig config;
-  config.vra.mode = mode;
+  config.abr.sperke.mode = mode;
   config.planner = planner;
   core::StreamingSession session(simulator, video, transport, trace, config);
   session.start();
@@ -411,7 +411,7 @@ TEST_P(SessionProperty, DeterministicAcrossRuns) {
                                    .rtt = sim::milliseconds(25), .faults = {}});
     core::SingleLinkTransport transport(link, {.max_concurrent = 8, .recovery = {}});
     core::SessionConfig config;
-    config.vra.mode = mode;
+    config.abr.sperke.mode = mode;
     config.planner = planner;
     core::StreamingSession session(simulator, video, transport, trace, config);
     session.start();

@@ -125,7 +125,7 @@ TEST(TiledLive, CrowdMismatchThrows) {
 
 TEST(TiledLive, SvcUpgradesHappenOnGoodLinks) {
   TiledLiveConfig config;
-  config.vra.mode = abr::EncodingMode::kSvc;
+  config.abr.sperke.mode = abr::EncodingMode::kSvc;
   const auto report = run_viewer(40'000.0, config);
   EXPECT_TRUE(report.finished);
   EXPECT_GT(report.upgrades, 0);

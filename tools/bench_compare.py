@@ -3,7 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold FRAC]
-                     [--min-speedup X]
+                     [--min-speedup X] [--higher-better REGEX]
 
 Exits non-zero (loudly) when any benchmark present in both files regressed
 by more than --threshold (default 0.15 = +15% real_time). Benchmarks only
@@ -77,6 +77,15 @@ def main():
         help="max tolerated real_time regression as a fraction (default 0.15)",
     )
     parser.add_argument(
+        "--higher-better",
+        default=None,
+        metavar="REGEX",
+        help="rows whose name matches this regex carry a higher-is-better "
+        "value (e.g. QoE scores): the gate flips and a *drop* beyond the "
+        "threshold fails; drops are normalized by |baseline| since such "
+        "scores may be negative",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -87,6 +96,7 @@ def main():
     )
     args = parser.parse_args()
 
+    hb_re = re.compile(args.higher_better) if args.higher_better else None
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
     if not baseline:
@@ -106,10 +116,15 @@ def main():
             print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'absent':>12}  {'-':>8}")
             continue
         base, cur = baseline[name], current[name]
-        delta = (cur - base) / base if base > 0 else 0.0
-        flag = "  <-- REGRESSION" if delta > args.threshold else ""
+        if hb_re is not None and hb_re.search(name):
+            delta = (cur - base) / abs(base) if abs(base) > 1e-12 else 0.0
+            regressed = -delta > args.threshold
+        else:
+            delta = (cur - base) / base if base > 0 else 0.0
+            regressed = delta > args.threshold
+        flag = "  <-- REGRESSION" if regressed else ""
         print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  {delta:>+7.1%}{flag}")
-        if delta > args.threshold:
+        if regressed:
             regressions.append((name, delta))
     for name in current:
         if name not in baseline:

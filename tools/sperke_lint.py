@@ -29,6 +29,13 @@ that keep it that way. It scans ``src/``, ``tests/``, ``bench/``,
                       canonical header (transitive-include reliance; the
                       compile-in-isolation side is tests/headers_compile).
   header-guard        Headers missing ``#pragma once``.
+  abr-factory         Direct construction of a concrete tile-ABR policy
+                      (``SperkeVra``, ``KnapsackVra``, ``ConsistencyVra``,
+                      ``FullPanoramaVra``) outside ``src/abr/``. Product
+                      code and benches must go through ``abr::make_policy``
+                      so every policy stays selectable by name (the arena
+                      contract). ``tests/`` and ``tools/`` are exempt —
+                      unit tests exercise the concrete classes directly.
   metric-name         Metric registration sites (``.counter(`` /
                       ``.gauge(`` / ``.histogram(`` in ``src``, ``bench``
                       and ``examples``) whose name is not a string literal
@@ -45,7 +52,7 @@ Suppress a finding with a trailing or preceding-line comment::
     std::chrono::steady_clock::now();  // sperke-lint: allow(wall-clock)
 
 Usage:
-    sperke_lint.py [--root DIR] [--list-rules]
+    sperke_lint.py [--root DIR] [--list-rules] [--self-test]
 """
 
 import argparse
@@ -141,9 +148,17 @@ RULES = (
     "catch-all",
     "include-hygiene",
     "header-guard",
+    "abr-factory",
     "metric-name",
     "format-basics",
 )
+
+# Concrete tile-ABR policy classes; only src/abr/ itself (and tests/tools)
+# may name them — everything else goes through abr::make_policy.
+ABR_CONCRETE_RE = re.compile(
+    r"\b(SperkeVra|KnapsackVra|ConsistencyVra|FullPanoramaVra)\b(?!Config)"
+)
+ABR_FACTORY_DIRS = ("src", "bench", "examples")
 
 
 def blank_comments_and_strings(text):
@@ -324,6 +339,8 @@ class Linter:
         if path.relative_to(self.root).parts[0] in METRIC_NAME_DIRS:
             self.check_metric_names(path, raw, blanked, raw_lines)
 
+        self.check_abr_factory(path, blanked, raw_lines)
+
         if is_header:
             if "#pragma once" not in raw:
                 self.report(
@@ -365,6 +382,30 @@ class Linter:
                     path, lineno, "metric-name",
                     f'metric name "{name}" violates [a-z0-9_.]+ (the shared '
                     "metric/SLO name rule, obs/slo.h)", raw_lines,
+                )
+
+    def check_abr_factory(self, path, blanked, raw_lines):
+        """Concrete tile-ABR classes are an abr/-internal detail.
+
+        Outside ``src/abr/`` (and the exempt ``tests``/``tools`` trees),
+        naming ``SperkeVra`` & co. directly bypasses ``abr::make_policy`` —
+        the config-name dispatch the arena bench and mixed-population
+        worlds rely on. ``*Config`` structs stay fair game: they are the
+        factory's own parameter surface.
+        """
+        parts = path.relative_to(self.root).parts
+        if parts[0] not in ABR_FACTORY_DIRS:
+            return
+        if parts[0] == "src" and len(parts) > 1 and parts[1] == "abr":
+            return
+        for idx, line in enumerate(blanked.splitlines(), start=1):
+            m = ABR_CONCRETE_RE.search(line)
+            if m:
+                self.report(
+                    path, idx, "abr-factory",
+                    f"direct use of {m.group(1)} outside src/abr/; construct "
+                    "tile-ABR policies via abr::make_policy so they stay "
+                    "selectable by name", raw_lines,
                 )
 
     def check_include_hygiene(self, path, blanked, raw_lines):
@@ -412,17 +453,62 @@ class Linter:
         return self.findings, len(files)
 
 
+def self_test():
+    """Exercise the abr-factory rule on a synthetic tree (ctest lint-selftest).
+
+    Covers: violation in src/ and bench/, the src/abr/ and tests/ scope
+    exemptions, ``*Config`` structs staying legal, comment mentions not
+    firing (blanked text), and allow-comment suppression.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+
+        def put(rel, text):
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+
+        put("src/core/bad.cpp", "abr::SperkeVra vra(video, cfg);\n")
+        put("bench/bad.cpp", "abr::FullPanoramaVra vra(video, {});\n")
+        put("src/abr/ok.cpp", "SperkeVra vra(video, cfg);\n")
+        put("tests/ok_test.cpp", "abr::KnapsackVra vra(video, {});\n")
+        put("examples/ok_config.cpp",
+            "// SperkeVra is built by the factory from this.\n"
+            "abr::SperkeVraConfig cfg;\n")
+        put("examples/ok_allowed.cpp",
+            "// sperke-lint: allow(abr-factory)\n"
+            "abr::ConsistencyVra vra(video, {});\n")
+
+        findings, _ = Linter(root).run()
+        abr = sorted(f.split(" ")[0] for f in findings if "[abr-factory]" in f)
+        expected = ["bench/bad.cpp:1:", "src/core/bad.cpp:1:"]
+        if abr != expected:
+            print(f"sperke_lint: SELF-TEST FAIL — abr-factory findings "
+                  f"{abr} != {expected}", file=sys.stderr)
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+    print("sperke_lint: self-test OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule ids and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint's own rule tests and exit")
     args = parser.parse_args()
     if args.list_rules:
         for rule in RULES:
             print(rule)
         return 0
+    if args.self_test:
+        return self_test()
 
     linter = Linter(args.root)
     findings, nfiles = linter.run()

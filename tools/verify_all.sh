@@ -4,7 +4,9 @@
 #   1. sperke_lint (determinism/style lint over src, tests, bench, tools)
 #      + report.py --check (the HTML report generator's self-test)
 #   2. clang-format / clang-tidy (skipped cleanly when the tools are absent)
-#   3. default preset:  build + full ctest suite
+#   3. default preset:  build + full ctest suite, then the deterministic
+#      QoE gates (fault-recovery sweep + ABR arena league table) — these
+#      are bit-stable simulations, safe to compare on any machine
 #   4. check preset:    build with SPERKE_DCHECKs live + full ctest suite
 #   5. sanitize preset: ASan/UBSan build + full ctest suite
 #   6. tsan preset:     TSan build + the threaded engine determinism tests
@@ -45,6 +47,7 @@ run_optional() {
 }
 
 step "sperke_lint"
+python3 tools/sperke_lint.py --self-test
 python3 tools/sperke_lint.py
 
 step "report.py self-check"
@@ -57,6 +60,10 @@ step "default preset: build + test"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default --output-on-failure
+
+step "deterministic QoE gates: fault-recovery + ABR arena baselines"
+cmake --build --preset default --target fault-recovery-check
+cmake --build --preset default --target arena-check
 
 step "clang-tidy"
 run_optional "tidy-check" tools/run_clang_tidy.sh build
