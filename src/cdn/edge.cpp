@@ -1,0 +1,178 @@
+#include "cdn/edge.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sperke::cdn {
+
+Edge::Edge(net::Link& backhaul, const EdgeCacheConfig& cache_config,
+           obs::Telemetry* telemetry)
+    : cache_(cache_config), origin_(backhaul, telemetry) {
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& m = telemetry->metrics();
+    hits_metric_ = &m.counter("cdn.edge.hits");
+    misses_metric_ = &m.counter("cdn.edge.misses");
+    evictions_metric_ = &m.counter("cdn.edge.evictions");
+    coalesced_metric_ = &m.counter("cdn.edge.coalesced");
+    warmed_metric_ = &m.counter("cdn.edge.warmed");
+  }
+  // Exactly-once cache fill per origin transfer, shared by every coalesced
+  // waiter: runs before any waiter callback, so a retry issued from a
+  // waiter already sees the object resident.
+  origin_.set_on_settled(
+      [this](const net::ChunkId& id, const net::TransferResult& r) {
+        if (!r.completed()) return;
+        const int evicted = cache_.insert(id, r.bytes_delivered);
+        if (evicted > 0) {
+          stats_.evictions += evicted;
+          if (evictions_metric_ != nullptr) evictions_metric_->add(evicted);
+        }
+      });
+}
+
+bool Edge::lookup(const net::ChunkId& id) {
+  if (cache_.touch(id)) {
+    ++stats_.hits;
+    if (hits_metric_ != nullptr) hits_metric_->increment();
+    return true;
+  }
+  ++stats_.misses;
+  if (misses_metric_ != nullptr) misses_metric_->increment();
+  return false;
+}
+
+Origin::Ticket Edge::fetch_from_origin(const net::ChunkId& id,
+                                       std::int64_t bytes, double weight,
+                                       net::TransferCallback on_done) {
+  if (origin_.inflight_contains(id)) {
+    ++stats_.coalesced;
+    if (coalesced_metric_ != nullptr) coalesced_metric_->increment();
+  }
+  return origin_.fetch(id, bytes, weight, std::move(on_done));
+}
+
+int Edge::warm(const media::VideoModel& video, const hmp::ViewingHeatmap& crowd,
+               const WarmSpec& spec) {
+  SPERKE_CHECK(spec.tiles_per_chunk > 0,
+               "Edge::warm: tiles_per_chunk must be positive");
+  const media::ChunkIndex chunks =
+      std::min(video.chunk_count(), crowd.chunk_count());
+  const int top_n = std::min(spec.tiles_per_chunk, video.tile_count());
+  int warmed = 0;
+  // Preload one object; false = budget exhausted (stop warming entirely —
+  // evicting here would churn what was just preloaded).
+  const auto warm_object = [&](const media::ChunkAddress& address) {
+    const net::ChunkId id = net::to_chunk_id(address, spec.video);
+    if (cache_.contains(id)) return true;
+    const std::int64_t bytes = video.size_bytes(address);
+    if (cache_.used_bytes() + bytes > cache_.capacity_bytes()) return false;
+    cache_.insert(id, bytes);
+    ++warmed;
+    return true;
+  };
+  bool budget_left = true;
+  std::vector<std::pair<double, geo::TileId>> ranked;
+  for (media::ChunkIndex chunk = 0; chunk < chunks && budget_left; ++chunk) {
+    const std::vector<double> probs = crowd.probabilities(chunk);
+    ranked.clear();
+    for (geo::TileId tile = 0; tile < video.tile_count(); ++tile) {
+      ranked.emplace_back(probs[static_cast<std::size_t>(tile)], tile);
+    }
+    // Probability-descending, tile-ascending on ties: a total order, so the
+    // warm set is a pure function of the heatmap snapshot.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (int k = 0; k < top_n && budget_left; ++k) {
+      const geo::TileId tile = ranked[static_cast<std::size_t>(k)].second;
+      // SVC playback at layer L needs layers 0..L resident; AVC needs the
+      // single rung object.
+      const std::int32_t first_level =
+          spec.encoding == media::Encoding::kSvc ? 0 : spec.level;
+      for (std::int32_t level = first_level;
+           level <= spec.level && budget_left; ++level) {
+        budget_left = warm_object({.key = {.tile = tile, .index = chunk},
+                                   .encoding = spec.encoding,
+                                   .level = level});
+      }
+    }
+  }
+  stats_.warmed += warmed;
+  if (warmed_metric_ != nullptr && warmed > 0) warmed_metric_->add(warmed);
+  return warmed;
+}
+
+EdgeSource::EdgeSource(net::Link& access, Edge& edge)
+    : access_(access), edge_(edge) {}
+
+EdgeSource::~EdgeSource() { *alive_ = false; }
+
+net::FetchId EdgeSource::fetch(const net::FetchSpec& spec,
+                               net::TransferCallback on_done) {
+  SPERKE_CHECK(spec.bytes > 0, "EdgeSource::fetch: non-positive bytes");
+  const net::FetchId id = next_id_++;
+  pending_.emplace(id, Pending{});
+  if (edge_.lookup(spec.id)) {
+    serve(id, spec, std::move(on_done));
+    return id;
+  }
+  const Origin::Ticket ticket = edge_.fetch_from_origin(
+      spec.id, spec.bytes,  // same object => same size for every requester
+      spec.weight,
+      [this, alive = alive_, id, spec,
+       on_done = std::move(on_done)](const net::TransferResult& r) mutable {
+        if (!*alive) return;
+        if (!r.completed()) {
+          // Backhaul fault or our own cancel: nothing reached the client.
+          pending_.erase(id);
+          net::TransferResult client = r;
+          client.bytes_delivered = 0;
+          if (on_done) on_done(client);
+          return;
+        }
+        serve(id, spec, std::move(on_done));
+      });
+  auto it = pending_.find(id);
+  SPERKE_CHECK(it != pending_.end(), "EdgeSource::fetch: pending entry lost");
+  it->second.ticket = ticket;
+  return id;
+}
+
+void EdgeSource::serve(net::FetchId id, const net::FetchSpec& spec,
+                       net::TransferCallback on_done) {
+  const net::TransferId serve_id = access_.start_transfer(
+      spec.bytes,
+      [this, alive = alive_, id,
+       on_done = std::move(on_done)](const net::TransferResult& r) {
+        if (*alive) pending_.erase(id);
+        if (on_done) on_done(r);
+      },
+      spec.weight);
+  auto it = pending_.find(id);
+  SPERKE_CHECK(it != pending_.end(), "EdgeSource::serve: pending entry lost");
+  it->second.serving = true;
+  it->second.serve_id = serve_id;
+}
+
+bool EdgeSource::cancel(net::FetchId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  if (it->second.serving) {
+    // Link::cancel fires the serve callback synchronously (kCancelled),
+    // which erases the pending entry.
+    return access_.cancel(it->second.serve_id);
+  }
+  // Waiting on the origin: detach our waiter. Origin::cancel fires our
+  // origin callback synchronously with kCancelled, which erases the entry
+  // and forwards kCancelled (0 bytes) to the client — exactly the
+  // Link::cancel contract. The backhaul transfer keeps running for the
+  // cache's benefit.
+  return edge_.origin().cancel(it->second.ticket);
+}
+
+}  // namespace sperke::cdn

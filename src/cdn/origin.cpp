@@ -1,0 +1,87 @@
+#include "cdn/origin.h"
+
+#include "util/check.h"
+
+namespace sperke::cdn {
+
+Origin::Origin(net::Link& backhaul, obs::Telemetry* telemetry)
+    : backhaul_(backhaul) {
+  if (telemetry != nullptr) {
+    egress_metric_ = &telemetry->metrics().counter("cdn.origin.egress_bytes");
+  }
+}
+
+Origin::~Origin() { *alive_ = false; }
+
+Origin::Ticket Origin::fetch(const net::ChunkId& id, std::int64_t bytes,
+                             double weight, net::TransferCallback on_done) {
+  SPERKE_CHECK(bytes > 0, "Origin::fetch: non-positive bytes ", bytes);
+  const Ticket ticket = next_ticket_++;
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    it = inflight_.emplace(id, Pending{.bytes = bytes, .waiters = {}}).first;
+    ++transfers_;
+    backhaul_.start_transfer(
+        bytes,
+        [this, alive = alive_, id](const net::TransferResult& r) {
+          if (!*alive) return;
+          on_transfer_settled(id, r);
+        },
+        weight);
+  } else {
+    // Same ChunkId must mean same object: a size mismatch would silently
+    // deliver the wrong byte count to whoever joined second.
+    SPERKE_CHECK(it->second.bytes == bytes,
+                 "Origin::fetch: coalesced size mismatch (", it->second.bytes,
+                 " vs ", bytes, ")");
+  }
+  it->second.waiters.push_back({ticket, std::move(on_done)});
+  tickets_.emplace(ticket, id);
+  return ticket;
+}
+
+bool Origin::cancel(Ticket ticket) {
+  auto tit = tickets_.find(ticket);
+  if (tit == tickets_.end()) return false;
+  const net::ChunkId id = tit->second;
+  tickets_.erase(tit);
+  auto pit = inflight_.find(id);
+  SPERKE_CHECK(pit != inflight_.end(), "Origin::cancel: ticket without transfer");
+  std::vector<Waiter>& waiters = pit->second.waiters;
+  for (auto wit = waiters.begin(); wit != waiters.end(); ++wit) {
+    if (wit->ticket != ticket) continue;
+    net::TransferCallback cb = std::move(wit->on_done);
+    waiters.erase(wit);
+    // Mirror net::Link::cancel: the caller's callback fires synchronously
+    // with kCancelled. The transfer keeps running even with zero waiters
+    // left — the edge cache still wants the bytes it paid for.
+    if (cb) {
+      cb(net::TransferResult{.status = net::TransferStatus::kCancelled,
+                             .time = backhaul_.simulator().now(),
+                             .bytes_delivered = 0});
+    }
+    return true;
+  }
+  SPERKE_CHECK(false, "Origin::cancel: ticket index out of sync");
+  return false;
+}
+
+void Origin::on_transfer_settled(const net::ChunkId& id,
+                                 const net::TransferResult& r) {
+  auto it = inflight_.find(id);
+  SPERKE_CHECK(it != inflight_.end(), "Origin: settle without pending transfer");
+  Pending pending = std::move(it->second);
+  // Clear the in-flight state *before* firing anyone: a waiter's callback
+  // may re-fetch the same id (transport retry), which must start a fresh
+  // transfer rather than join the one that just settled.
+  inflight_.erase(it);
+  for (const Waiter& w : pending.waiters) tickets_.erase(w.ticket);
+  egress_bytes_ += r.bytes_delivered;
+  if (egress_metric_ != nullptr) egress_metric_->add(r.bytes_delivered);
+  if (on_settled_) on_settled_(id, r);
+  for (Waiter& w : pending.waiters) {
+    if (w.on_done) w.on_done(r);
+  }
+}
+
+}  // namespace sperke::cdn

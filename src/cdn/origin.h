@@ -1,0 +1,90 @@
+// Origin fan-in with request coalescing (DESIGN.md §15).
+//
+// Every edge miss becomes a fetch against the origin over the edge's
+// backhaul link. The origin dedupes by net::ChunkId: concurrent misses for
+// the same object join the transfer already in flight instead of spending
+// backhaul bytes twice. When the transfer settles, a single settle hook
+// (the edge's cache-fill point) fires first, then every waiter's callback
+// fires in join order — each exactly once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/chunk_source.h"
+#include "net/link.h"
+#include "obs/telemetry.h"
+
+namespace sperke::cdn {
+
+class Origin {
+ public:
+  // Handle for one waiter (not one transfer): cancelling a ticket detaches
+  // that waiter only; the underlying transfer keeps running so the cache
+  // still gets the bytes.
+  using Ticket = std::uint64_t;
+
+  // `backhaul` must outlive the origin. `telemetry` (nullable) receives the
+  // cdn.origin.egress_bytes counter.
+  Origin(net::Link& backhaul, obs::Telemetry* telemetry);
+  ~Origin();
+  Origin(const Origin&) = delete;
+  Origin& operator=(const Origin&) = delete;
+
+  // Is a transfer for `id` already in flight? (The edge's coalesced-fetch
+  // signal: a fetch() issued while true joins it instead of starting one.)
+  [[nodiscard]] bool inflight_contains(const net::ChunkId& id) const {
+    return inflight_.contains(id);
+  }
+
+  // Fetch `id` from the origin. Starts a backhaul transfer if none is in
+  // flight for this id (carrying `weight`), else joins the existing one
+  // (weight of the first requester wins). `on_done` fires exactly once with
+  // the shared transfer's result. All joined fetches must agree on `bytes`.
+  Ticket fetch(const net::ChunkId& id, std::int64_t bytes, double weight,
+               net::TransferCallback on_done);
+
+  // Detach a waiter: fires its callback synchronously with kCancelled
+  // (0 bytes) and returns true. Returns false — firing nothing — when the
+  // ticket already settled. The backhaul transfer itself is never aborted.
+  bool cancel(Ticket ticket);
+
+  // Fired exactly once per settled backhaul transfer, before any waiter
+  // callback — where the edge inserts completed objects into its cache.
+  void set_on_settled(
+      std::function<void(const net::ChunkId&, const net::TransferResult&)> hook) {
+    on_settled_ = std::move(hook);
+  }
+
+  [[nodiscard]] std::int64_t egress_bytes() const { return egress_bytes_; }
+  [[nodiscard]] std::uint64_t transfers_started() const { return transfers_; }
+  [[nodiscard]] int inflight() const { return static_cast<int>(inflight_.size()); }
+
+ private:
+  struct Waiter {
+    Ticket ticket = 0;
+    net::TransferCallback on_done;
+  };
+  struct Pending {
+    std::int64_t bytes = 0;
+    std::vector<Waiter> waiters;  // join order == ticket order
+  };
+
+  void on_transfer_settled(const net::ChunkId& id, const net::TransferResult& r);
+
+  net::Link& backhaul_;
+  obs::Counter* egress_metric_ = nullptr;
+  std::function<void(const net::ChunkId&, const net::TransferResult&)> on_settled_;
+  std::map<net::ChunkId, Pending> inflight_;
+  std::map<Ticket, net::ChunkId> tickets_;
+  Ticket next_ticket_ = 1;
+  std::int64_t egress_bytes_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sperke::cdn

@@ -1,0 +1,120 @@
+#include "cdn/topology.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sperke::cdn {
+
+namespace {
+
+std::string joined_field_names() {
+  std::string out;
+  for (const std::string& f : topology_field_names()) {
+    if (!out.empty()) out += ", ";
+    out += f;
+  }
+  return out;
+}
+
+[[noreturn]] void fail_field(const std::string& message) {
+  throw std::invalid_argument("TopologySpec: " + message +
+                              "; valid fields: " + joined_field_names());
+}
+
+}  // namespace
+
+const std::vector<std::string>& topology_field_names() {
+  static const std::vector<std::string> names = {
+      "sessions_per_edge", "backhaul",           "backhaul_for_edge",
+      "cache_policy",      "cache_capacity_bytes", "warm_tiles_per_chunk",
+      "warm_encoding",     "warm_level"};
+  return names;
+}
+
+void validate(const TopologySpec& spec, int sessions_per_link, bool has_crowd) {
+  if (!spec.enabled()) {
+    if (spec.sessions_per_edge < 0) {
+      fail_field("sessions_per_edge < 0 (0 disables the CDN tier)");
+    }
+    return;
+  }
+  SPERKE_CHECK(sessions_per_link > 0,
+               "cdn::validate: sessions_per_link must be positive");
+  if (spec.sessions_per_edge % sessions_per_link != 0) {
+    fail_field("sessions_per_edge (= " + std::to_string(spec.sessions_per_edge) +
+               ") must be a multiple of sessions_per_link (= " +
+               std::to_string(sessions_per_link) +
+               ") so whole link groups share an edge");
+  }
+  if (spec.cache_capacity_bytes <= 0) {
+    fail_field("cache_capacity_bytes must be positive when the tier is enabled");
+  }
+  try {
+    (void)parse_cache_policy(spec.cache_policy);
+  } catch (const std::invalid_argument& e) {
+    fail_field("cache_policy: " + std::string(e.what()));
+  }
+  net::validate(spec.backhaul.faults);
+  if (spec.warm_tiles_per_chunk < 0) {
+    fail_field("warm_tiles_per_chunk < 0");
+  }
+  if (spec.warm_tiles_per_chunk > 0) {
+    if (!has_crowd) {
+      fail_field("warm_tiles_per_chunk > 0 needs a crowd heatmap "
+                 "(WorldSpec::crowd) to rank tiles");
+    }
+    if (spec.warm_level < 0) fail_field("warm_level < 0");
+  }
+}
+
+Topology::Topology(sim::Simulator& simulator, const TopologySpec& spec,
+                   obs::Telemetry* telemetry, const media::VideoModel* video,
+                   const hmp::ViewingHeatmap* crowd)
+    : simulator_(simulator),
+      spec_(spec),
+      telemetry_(telemetry),
+      video_(video),
+      crowd_(crowd) {}
+
+net::ChunkSource& Topology::add_group(int edge, net::LinkConfig access) {
+  access_links_.push_back(
+      std::make_unique<net::Link>(simulator_, std::move(access)));
+  net::Link& link = *access_links_.back();
+  if (!spec_.enabled() || edge < 0) {
+    sources_.push_back(std::make_unique<net::LinkSource>(link));
+  } else {
+    sources_.push_back(std::make_unique<EdgeSource>(link, edge_for(edge)));
+  }
+  return *sources_.back();
+}
+
+Edge& Topology::edge_for(int edge_id) {
+  auto it = edge_index_.find(edge_id);
+  if (it != edge_index_.end()) return *edges_[it->second];
+  net::LinkConfig backhaul = spec_.backhaul_for_edge
+                                 ? spec_.backhaul_for_edge(edge_id)
+                                 : spec_.backhaul;
+  backhaul_links_.push_back(
+      std::make_unique<net::Link>(simulator_, std::move(backhaul)));
+  const EdgeCacheConfig cache_config{
+      .policy = parse_cache_policy(spec_.cache_policy),
+      .capacity_bytes = spec_.cache_capacity_bytes};
+  edges_.push_back(std::make_unique<Edge>(*backhaul_links_.back(), cache_config,
+                                          telemetry_));
+  edge_index_.emplace(edge_id, edges_.size() - 1);
+  Edge& built = *edges_.back();
+  if (spec_.warm_tiles_per_chunk > 0) {
+    SPERKE_CHECK(video_ != nullptr && crowd_ != nullptr,
+                 "Topology: warming requires a video model and a crowd heatmap");
+    built.warm(*video_, *crowd_,
+               WarmSpec{.tiles_per_chunk = spec_.warm_tiles_per_chunk,
+                        .encoding = spec_.warm_encoding,
+                        .level = spec_.warm_level,
+                        .video = 0});
+  }
+  return built;
+}
+
+}  // namespace sperke::cdn

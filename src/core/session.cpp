@@ -265,7 +265,7 @@ void StreamingSession::dispatch(const media::ChunkAddress& address,
                   .parent = parent_request_id});
   }
   ChunkRequest request;
-  request.address = address;
+  request.id = net::to_chunk_id(address);
   request.bytes = bytes;
   request.spatial = spatial;
   request.urgent = urgent;

@@ -18,8 +18,20 @@ void RecoveryMetrics::bind(obs::Telemetry& telemetry, const char* prefix) {
   recovery_latency_ms = &m.histogram(p + ".recovery_latency_ms");  // sperke-lint: allow(metric-name)
 }
 
+SingleLinkTransport::SingleLinkTransport(net::ChunkSource& source,
+                                         TransportOptions options)
+    : source_(source), options_(std::move(options)) {
+  init();
+}
+
 SingleLinkTransport::SingleLinkTransport(net::Link& link, TransportOptions options)
-    : link_(link), options_(std::move(options)) {
+    : owned_source_(std::make_unique<net::LinkSource>(link)),
+      source_(*owned_source_),
+      options_(std::move(options)) {
+  init();
+}
+
+void SingleLinkTransport::init() {
   if (options_.max_concurrent < 1) {
     throw std::invalid_argument("SingleLinkTransport: max_concurrent < 1");
   }
@@ -58,7 +70,7 @@ void SingleLinkTransport::fetch(ChunkRequest request) {
     }
   }
   std::deque<Pending>& queue = request.urgent ? urgent_queue_ : regular_queue_;
-  queue.push_back({std::move(request), next_seq_++, link_.simulator().now()});
+  queue.push_back({std::move(request), next_seq_++, source_.simulator().now()});
   pump();
   if (options_.telemetry != nullptr) in_flight_metric_->set(in_flight());
 }
@@ -125,7 +137,7 @@ void SingleLinkTransport::pump() {
         urgent_queue_.empty() ? regular_queue_ : urgent_queue_;
     Pending pending = std::move(queue.front());
     queue.pop_front();
-    const sim::Time started = link_.simulator().now();
+    const sim::Time started = source_.simulator().now();
     // A retry never starts at or past the playback deadline: fetching a
     // chunk the player has already given up on only wastes capacity.
     if (pending.attempts > 0 && pending.request.deadline <= started) {
@@ -148,17 +160,20 @@ void SingleLinkTransport::pump() {
       options_.telemetry->trace().record(
           {.type = obs::TraceEventType::kFetchAttemptStart,
            .ts = started,
-           .tile = flight->request.address.key.tile,
-           .chunk = flight->request.address.key.index,
-           .quality = flight->request.address.level,
+           .tile = flight->request.id.tile,
+           .chunk = flight->request.id.chunk,
+           .quality = flight->request.id.level(),
            .bytes = bytes,
            .urgent = flight->request.urgent,
            .value = static_cast<double>(flight->attempts),
            .request = flight->request.request_id,
            .parent = flight->request.parent_id});
     }
-    const net::TransferId id = link_.start_transfer(
-        bytes,
+    const net::FetchId id = source_.fetch(
+        {.id = flight->request.id,
+         .bytes = bytes,
+         .weight = weight,
+         .deadline = flight->request.deadline},
         [this, alive = alive_, flight, started, bytes](const net::TransferResult& r) {
           if (!*alive) return;
           flight->settled = true;
@@ -167,9 +182,9 @@ void SingleLinkTransport::pump() {
             options_.telemetry->trace().record(
                 {.type = obs::TraceEventType::kFetchAttemptEnd,
                  .ts = r.time,
-                 .tile = flight->request.address.key.tile,
-                 .chunk = flight->request.address.key.index,
-                 .quality = flight->request.address.level,
+                 .tile = flight->request.id.tile,
+                 .chunk = flight->request.id.chunk,
+                 .quality = flight->request.id.level(),
                  .bytes = r.completed() ? bytes : 0,
                  .urgent = flight->request.urgent,
                  .value = static_cast<double>(flight->attempts),
@@ -181,7 +196,7 @@ void SingleLinkTransport::pump() {
             // Small tile objects are RTT-dominated; measure from the start
             // of data flow, and let the aggregate estimator fold in
             // concurrency.
-            estimator_.record(started + link_.rtt(), r.time, bytes);
+            estimator_.record(started + source_.rtt(), r.time, bytes);
             if (options_.telemetry != nullptr) {
               bytes_metric_->add(bytes);
               in_flight_metric_->set(in_flight());
@@ -219,11 +234,11 @@ void SingleLinkTransport::pump() {
               recovery_metrics_.retries->increment();
             }
             ++retry_waiting_;
-            link_.simulator().schedule_after(
+            source_.simulator().schedule_after(
                 backoff, [this, alive2 = alive_, flight] {
                   if (!*alive2) return;
                   --retry_waiting_;
-                  flight->enqueued = link_.simulator().now();
+                  flight->enqueued = source_.simulator().now();
                   enqueue_retry(std::move(*flight));
                   pump();
                 });
@@ -233,17 +248,16 @@ void SingleLinkTransport::pump() {
                                                 : FetchOutcome::kFailed);
           }
           pump();
-        },
-        weight);
+        });
     if (options_.recovery.enabled) {
       // Deadline-derived timeout on the in-flight transfer. The min_timeout
       // floor keeps already-late emergency fetches (deadline == now) alive
       // long enough to have a chance.
       const sim::Time timeout_at = std::max(
           flight->request.deadline, started + options_.recovery.min_timeout);
-      link_.simulator().schedule_at(timeout_at, [this, alive = alive_, flight, id] {
+      source_.simulator().schedule_at(timeout_at, [this, alive = alive_, flight, id] {
         if (!*alive || flight->settled) return;
-        link_.cancel(id);  // fires the kCancelled completion synchronously
+        source_.cancel(id);  // fires the kCancelled completion synchronously
       });
     }
   }

@@ -17,7 +17,7 @@
 #include <memory>
 
 #include "abr/plan.h"
-#include "media/chunk.h"
+#include "net/chunk_source.h"
 #include "net/link.h"
 #include "net/throughput_estimator.h"
 #include "obs/telemetry.h"
@@ -38,7 +38,10 @@ enum class FetchOutcome : std::uint8_t {
 }
 
 struct ChunkRequest {
-  media::ChunkAddress address;
+  // Canonical object identity (what caches key on and trace labels carry).
+  // Sessions build it from the planned media::ChunkAddress via
+  // net::to_chunk_id.
+  net::ChunkId id;
   std::int64_t bytes = 0;
   abr::SpatialClass spatial = abr::SpatialClass::kFov;
   bool urgent = false;                 // temporal priority (Table 1)
@@ -123,7 +126,9 @@ struct RecoveryMetrics {
   void bind(obs::Telemetry& telemetry, const char* prefix);
 };
 
-// Queued dispatch over a single net::Link with bounded concurrency.
+// Queued dispatch over a single net::ChunkSource with bounded concurrency
+// — a direct link (net::LinkSource) or a CDN edge (cdn::EdgeSource); the
+// transport neither knows nor cares which topology serves its fetches.
 // Urgent requests jump the queue (ahead of non-urgent, behind other
 // urgent); ties keep FIFO order. Throughput is estimated aggregate-wise
 // across concurrent transfers (net::AggregateWindowEstimator).
@@ -138,7 +143,14 @@ struct RecoveryMetrics {
 // worst case, and retries exist only in faulted worlds.
 class SingleLinkTransport final : public ChunkTransport {
  public:
-  // `link` must outlive the transport.
+  // `source` must outlive the transport.
+  explicit SingleLinkTransport(net::ChunkSource& source,
+                               TransportOptions options = {});
+
+  // DEPRECATED adapter overload, kept for callers that still hold a bare
+  // link: wraps `link` in an owned net::LinkSource, which is bit-identical
+  // to the pre-ChunkSource behaviour (regression-tested). New code should
+  // construct the source explicitly — that is where a CDN tier plugs in.
   explicit SingleLinkTransport(net::Link& link, TransportOptions options = {});
 
   void fetch(ChunkRequest request) override;
@@ -158,6 +170,7 @@ class SingleLinkTransport final : public ChunkTransport {
     bool settled = false;  // guards the timeout event against re-fire
   };
 
+  void init();
   void pump();
   void finish_without_delivery(ChunkRequest& request, sim::Time when,
                                FetchOutcome outcome);
@@ -167,7 +180,10 @@ class SingleLinkTransport final : public ChunkTransport {
     return urgent_queue_.size() + regular_queue_.size();
   }
 
-  net::Link& link_;
+  // Set only by the deprecated Link& overload; declared before source_ so
+  // the reference can bind to it during construction.
+  std::unique_ptr<net::LinkSource> owned_source_;
+  net::ChunkSource& source_;
   TransportOptions options_;
   obs::Counter* requests_metric_ = nullptr;
   obs::Counter* bytes_metric_ = nullptr;

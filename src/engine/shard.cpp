@@ -34,6 +34,12 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
   if (shard_sessions > 0) {
     batch_ = std::make_unique<core::SessionBatch>(video_, shard_sessions);
   }
+  // The topology owns every link this shard's fetches can touch; with the
+  // CDN tier enabled it also builds one warmed edge (cache + backhaul) per
+  // edge_of_group cluster, all of whose groups land on this shard.
+  topology_ = std::make_unique<cdn::Topology>(
+      simulator_, spec.cdn, spec.session_telemetry ? telemetry_.get() : nullptr,
+      video_.get(), spec.crowd);
   for (int g = 0; g < groups; ++g) {
     if (shard_of_group(spec, g) != shard_id_) continue;
     net::LinkConfig link_config =
@@ -41,15 +47,15 @@ Shard::Shard(const WorldSpec& spec, int shard_id,
     net::FaultPlan faults = faults_of_group(spec, g);
     if (!faults.empty()) link_config.faults = std::move(faults);
     link_has_faults_.push_back(!link_config.faults.empty());
-    links_.push_back(
-        std::make_unique<net::Link>(simulator_, std::move(link_config)));
+    net::ChunkSource& source =
+        topology_->add_group(edge_of_group(spec, g), std::move(link_config));
     core::TransportOptions transport_options;
     transport_options.max_concurrent = spec.transport_max_concurrent;
     transport_options.telemetry =
         spec.session_telemetry ? telemetry_.get() : nullptr;
     transport_options.recovery = spec.transport_recovery;
-    transports_.push_back(std::make_unique<core::SingleLinkTransport>(
-        *links_.back(), transport_options));
+    transports_.push_back(
+        std::make_unique<core::SingleLinkTransport>(source, transport_options));
     core::SingleLinkTransport& transport = *transports_.back();
 
     const int first = g * spec.sessions_per_link;
@@ -111,10 +117,10 @@ void Shard::run() {
   // group order, so the merged histogram is deterministic; fault-free
   // worlds register nothing.
   if (spec_.session_telemetry) {
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      if (!link_has_faults_[i]) continue;
+    for (int i = 0; i < topology_->access_link_count(); ++i) {
+      if (!link_has_faults_[static_cast<std::size_t>(i)]) continue;
       telemetry_->metrics().histogram("net.outage_s")
-          .observe(links_[i]->outage_seconds());
+          .observe(topology_->access_link(i).outage_seconds());
     }
   }
 }

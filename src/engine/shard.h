@@ -1,7 +1,9 @@
 // One shard of a sharded world: a self-contained, mono-threaded slice.
 //
 // A Shard owns everything its sessions can touch while running — its own
-// sim::Simulator, its own net::Links and transports, its own VideoModel
+// sim::Simulator, its own fetch fabric (a cdn::Topology holding the access
+// links, and the edge caches + backhauls when the CDN tier is enabled,
+// DESIGN.md §15) and transports, its own VideoModel
 // (the TileGeometry visibility LUT is a mutable cache, so the model is
 // shard-confined rather than shared), its own obs::Telemetry sink and
 // SimMonitor, and a private RNG stream derived as spec.seed ^ shard_id.
@@ -20,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "cdn/topology.h"
 #include "core/session.h"
 #include "core/session_batch.h"
 #include "core/transport.h"
@@ -89,9 +92,12 @@ class Shard {
   sim::Simulator simulator_;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<const media::VideoModel> video_;
-  std::vector<std::unique_ptr<net::Link>> links_;
-  // Which links carry a non-empty FaultPlan: gates the post-run outage
-  // metric so fault-free worlds register nothing (byte-identity).
+  // Fetch fabric: owns every link (access + backhaul), edge and ChunkSource
+  // the shard's transports consume. Declared before transports_, which hold
+  // references into it.
+  std::unique_ptr<cdn::Topology> topology_;
+  // Which access links carry a non-empty FaultPlan: gates the post-run
+  // outage metric so fault-free worlds register nothing (byte-identity).
   std::vector<bool> link_has_faults_;
   std::vector<std::unique_ptr<core::SingleLinkTransport>> transports_;
   // SoA arena for the shard's session hot state (DESIGN.md §13): sized by

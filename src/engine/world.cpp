@@ -14,7 +14,22 @@ int group_of_session(const WorldSpec& spec, int session) {
   return session / spec.sessions_per_link;
 }
 
+int groups_per_edge(const WorldSpec& spec) {
+  // validate() guarantees divisibility when the tier is enabled.
+  return spec.cdn.sessions_per_edge / spec.sessions_per_link;
+}
+
+int edge_of_group(const WorldSpec& spec, int group) {
+  if (!spec.cdn.enabled()) return -1;
+  return group / groups_per_edge(spec);
+}
+
 int shard_of_group(const WorldSpec& spec, int group) {
+  // With a CDN tier the edge is the partition unit: every group of an edge
+  // must land on one shard, or its cache would be touched from two
+  // threads and the hit sequence would depend on scheduling. Without one,
+  // the link group partitions exactly as before (byte-identity).
+  if (spec.cdn.enabled()) return edge_of_group(spec, group) % spec.shards;
   return group % spec.shards;
 }
 
@@ -56,6 +71,9 @@ void validate(const WorldSpec& spec) {
   }
   for (const obs::SloSpec& slo : spec.slos) obs::validate_slo(slo);
   net::validate(spec.faults);
+  // CDN topology section: every error lists the section's field names
+  // (cdn::topology_field_names), mirroring validate_policy_name below.
+  cdn::validate(spec.cdn, spec.sessions_per_link, spec.crowd != nullptr);
   // Fail fast on a bad policy name in the template spec; per-session
   // overrides from session_for() are still checked at construction inside
   // the shard (abr::make_policy throws the same error).

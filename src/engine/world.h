@@ -12,11 +12,14 @@
 //     derives from its *global* id — its head trace (id % trace_pool), its
 //     start time (id * start_stagger), its config (session_for(id)) — never
 //     from its position within a shard.
-//   * Sessions couple only through their shared access link (Hosseini &
+//   * Sessions couple only through shared infrastructure (Hosseini &
 //     Swaminathan's divide-and-conquer tiling): consecutive global ids share
-//     links in groups of sessions_per_link, and the link group is the unit
-//     of partitioning. Group g maps to shard g % shards, so a group's
-//     dynamics are identical no matter how many shards (or threads) run.
+//     links in groups of sessions_per_link, and — with the CDN tier enabled
+//     (cdn.sessions_per_edge > 0) — consecutive groups share an edge cache.
+//     The partition unit is whatever sessions couple through: the link
+//     group without a CDN tier (group g -> shard g % shards), the whole
+//     edge with one (edge e -> shard e % shards), so a unit's dynamics are
+//     identical no matter how many shards (or threads) run.
 //   * The shard count is part of the WORLD, not of the runtime: merged
 //     metrics depend on `shards` (partial-sum order), while the thread
 //     count executing those shards never changes a single byte.
@@ -26,6 +29,7 @@
 #include <functional>
 #include <vector>
 
+#include "cdn/topology.h"
 #include "core/session.h"
 #include "hmp/head_trace.h"
 #include "hmp/heatmap.h"
@@ -80,8 +84,17 @@ struct WorldSpec {
   core::SessionConfig session;
   std::function<core::SessionConfig(int session)> session_for;
 
+  // CDN tier (DESIGN.md §15): when cdn.sessions_per_edge > 0, consecutive
+  // link groups covering that many sessions fetch through a shared edge
+  // cache with a coalescing origin behind it, and the edge becomes the
+  // partition unit (see shard_of_group). Left at its default (disabled),
+  // every group fetches over a direct net::LinkSource and the world is
+  // byte-identical to the pre-CDN engine.
+  cdn::TopologySpec cdn;
+
   // Cross-user crowd prior shared read-only by every session (may be null).
   // Must be a frozen snapshot: its version() must not change while running.
+  // Also feeds CDN cache warming when cdn.warm_tiles_per_chunk > 0.
   const hmp::ViewingHeatmap* crowd = nullptr;
 
   // Consecutive global sessions start this far apart.
@@ -112,10 +125,19 @@ struct WorldSpec {
   std::vector<obs::SloSpec> slos;
 };
 
-// Number of link groups (= partition units) the spec induces.
+// Number of link groups the spec induces.
 [[nodiscard]] int group_count(const WorldSpec& spec);
 
-// Stable identity mapping: global session -> link group -> shard.
+// CDN mapping (enabled tier only): link groups per edge and the edge a
+// group belongs to. edge_of_group returns -1 when the tier is disabled —
+// the "fetch directly" signal cdn::Topology::add_group understands.
+[[nodiscard]] int groups_per_edge(const WorldSpec& spec);
+[[nodiscard]] int edge_of_group(const WorldSpec& spec, int group);
+
+// Stable identity mapping: global session -> link group -> shard. The
+// partition unit is the link group, or the whole edge when the CDN tier is
+// enabled (all of an edge's groups land on one shard, so a cache's
+// dynamics never depend on thread placement).
 [[nodiscard]] int group_of_session(const WorldSpec& spec, int session);
 [[nodiscard]] int shard_of_group(const WorldSpec& spec, int group);
 

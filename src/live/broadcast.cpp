@@ -18,12 +18,15 @@ LiveBroadcastSession::LiveBroadcastSession(Config config)
   const double down = config_.network.down_kbps > 0.0
                           ? config_.network.down_kbps
                           : config_.unconstrained_kbps;
+  // The broadcaster's physical first-mile pipes, not a chunk-fetch path —
+  // no CDN tier sits on them. sperke-lint: allow(link-construction)
   uplink_ = std::make_unique<net::Link>(
       simulator_, net::LinkConfig{.name = "uplink",
                                   .bandwidth = net::BandwidthTrace::constant(up),
                                   .rtt = config_.link_rtt,
                                   .loss_rate = 0.0,
                                   .faults = config_.uplink_faults});
+  // sperke-lint: allow(link-construction)
   downlink_ = std::make_unique<net::Link>(
       simulator_, net::LinkConfig{.name = "downlink",
                                   .bandwidth = net::BandwidthTrace::constant(down),

@@ -140,7 +140,7 @@ void TiledLiveSession::dispatch(const media::ChunkAddress& address,
   ++fetches_;
   if (is_upgrade) ++upgrades_;
   core::ChunkRequest request;
-  request.address = address;
+  request.id = net::to_chunk_id(address);
   request.bytes = video_->size_bytes(address);
   request.spatial = spatial;
   request.urgent = (deadline - simulator_.now()) < video_->chunk_duration();

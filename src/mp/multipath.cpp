@@ -213,9 +213,9 @@ void MultipathTransport::fetch(core::ChunkRequest request) {
     telemetry_->trace().record(
         {.type = obs::TraceEventType::kPathAssigned,
          .ts = simulator_.now(),
-         .tile = request.address.key.tile,
-         .chunk = request.address.key.index,
-         .quality = request.address.level,
+         .tile = request.id.tile,
+         .chunk = request.id.chunk,
+         .quality = request.id.level(),
          .path = static_cast<std::int32_t>(index),
          .bytes = request.bytes,
          .urgent = request.urgent,
@@ -374,9 +374,9 @@ void MultipathTransport::pump(std::size_t path_index) {
       telemetry_->trace().record(
           {.type = obs::TraceEventType::kFetchAttemptStart,
            .ts = started,
-           .tile = holder->request.address.key.tile,
-           .chunk = holder->request.address.key.index,
-           .quality = holder->request.address.level,
+           .tile = holder->request.id.tile,
+           .chunk = holder->request.id.chunk,
+           .quality = holder->request.id.level(),
            .path = static_cast<std::int32_t>(path_index),
            .bytes = bytes,
            .urgent = holder->request.urgent,
@@ -397,9 +397,9 @@ void MultipathTransport::pump(std::size_t path_index) {
             telemetry_->trace().record(
                 {.type = obs::TraceEventType::kFetchAttemptEnd,
                  .ts = r.time,
-                 .tile = holder->request.address.key.tile,
-                 .chunk = holder->request.address.key.index,
-                 .quality = holder->request.address.level,
+                 .tile = holder->request.id.tile,
+                 .chunk = holder->request.id.chunk,
+                 .quality = holder->request.id.level(),
                  .path = static_cast<std::int32_t>(path_index),
                  .bytes = r.completed() ? bytes : 0,
                  .urgent = holder->request.urgent,

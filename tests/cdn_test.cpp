@@ -1,0 +1,677 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cdn/cache.h"
+#include "cdn/edge.h"
+#include "cdn/origin.h"
+#include "cdn/topology.h"
+#include "geo/visibility.h"
+#include "hmp/heatmap.h"
+#include "media/chunk.h"
+#include "media/video_model.h"
+#include "net/chunk_source.h"
+#include "net/link.h"
+#include "obs/telemetry.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sperke::cdn {
+namespace {
+
+using net::ChunkId;
+using net::TransferResult;
+using net::TransferStatus;
+
+// Shorthand for single-video AVC objects: the tests only need one axis.
+ChunkId cid(std::int32_t tile, std::int32_t chunk = 0, std::int32_t quality = 0) {
+  return ChunkId{.chunk = chunk, .tile = tile, .quality = quality};
+}
+
+net::LinkConfig link_config(const std::string& name, double kbps = 80'000.0) {
+  net::LinkConfig config;
+  config.name = name;
+  config.bandwidth = net::BandwidthTrace::constant(kbps);
+  config.rtt = sim::milliseconds(20);
+  return config;
+}
+
+// ------------------------------------------------------------------ ChunkId
+
+TEST(ChunkId, RoundTripsAvcAddresses) {
+  const media::ChunkAddress avc{
+      .key = {.tile = 5, .index = 7}, .encoding = media::Encoding::kAvc, .level = 3};
+  const ChunkId id = net::to_chunk_id(avc);
+  EXPECT_EQ(id.tile, 5);
+  EXPECT_EQ(id.chunk, 7);
+  EXPECT_EQ(id.quality, 3);
+  EXPECT_EQ(id.layer, -1);
+  EXPECT_FALSE(id.svc());
+  EXPECT_EQ(id.level(), 3);
+  EXPECT_EQ(net::to_chunk_address(id), avc);
+}
+
+TEST(ChunkId, RoundTripsSvcAddresses) {
+  const media::ChunkAddress svc{
+      .key = {.tile = 2, .index = 4}, .encoding = media::Encoding::kSvc, .level = 1};
+  const ChunkId id = net::to_chunk_id(svc, /*video=*/9);
+  EXPECT_EQ(id.video, 9);
+  EXPECT_EQ(id.quality, 0);  // the layer IS the quality coordinate
+  EXPECT_EQ(id.layer, 1);
+  EXPECT_TRUE(id.svc());
+  EXPECT_EQ(id.level(), 1);
+  EXPECT_EQ(net::to_chunk_address(id), svc);
+}
+
+TEST(ChunkId, OrdersLexicographically) {
+  EXPECT_LT(cid(0, 0), cid(1, 0));
+  EXPECT_LT(cid(9, 0), cid(0, 1));  // chunk dominates tile
+  EXPECT_LT(cid(3, 3, 0), cid(3, 3, 1));
+  EXPECT_EQ(cid(3, 3, 1), cid(3, 3, 1));
+  // AVC (layer -1) and SVC layer objects of the same rung never collide.
+  ChunkId svc = cid(3, 3, 0);
+  svc.layer = 1;
+  EXPECT_NE(svc, cid(3, 3, 1));
+}
+
+// ----------------------------------------------------------------- EdgeCache
+
+TEST(EdgeCache, ParsePolicyNames) {
+  EXPECT_EQ(parse_cache_policy("lru"), CachePolicy::kLru);
+  EXPECT_EQ(parse_cache_policy("lfu"), CachePolicy::kLfu);
+  EXPECT_STREQ(to_string(CachePolicy::kLru), "lru");
+  EXPECT_STREQ(to_string(CachePolicy::kLfu), "lfu");
+  try {
+    (void)parse_cache_policy("arc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("arc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("valid names: lru, lfu"),
+              std::string::npos);
+  }
+}
+
+TEST(EdgeCache, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(EdgeCache({.capacity_bytes = 0}), std::invalid_argument);
+  EXPECT_THROW(EdgeCache({.capacity_bytes = -1}), std::invalid_argument);
+}
+
+TEST(EdgeCache, LruGoldenEvictionSequence) {
+  EdgeCache cache({.policy = CachePolicy::kLru, .capacity_bytes = 300});
+  EXPECT_EQ(cache.insert(cid(0), 100), 0);
+  EXPECT_EQ(cache.insert(cid(1), 100), 0);
+  EXPECT_EQ(cache.insert(cid(2), 100), 0);
+  EXPECT_EQ(cache.used_bytes(), 300);
+
+  // Touching 0 makes 1 the least recently used.
+  EXPECT_TRUE(cache.touch(cid(0)));
+  EXPECT_EQ(cache.insert(cid(3), 100), 1);
+  EXPECT_FALSE(cache.contains(cid(1)));
+  EXPECT_EQ(cache.resident(), (std::vector<ChunkId>{cid(0), cid(2), cid(3)}));
+
+  // A 150-byte object displaces the two least recent residents: 2, then 0.
+  EXPECT_EQ(cache.insert(cid(4), 150), 2);
+  EXPECT_EQ(cache.resident(), (std::vector<ChunkId>{cid(3), cid(4)}));
+  EXPECT_EQ(cache.used_bytes(), 250);
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(EdgeCache, LfuGoldenEvictionSequence) {
+  EdgeCache cache({.policy = CachePolicy::kLfu, .capacity_bytes = 300});
+  (void)cache.insert(cid(0), 100);  // freq 1
+  (void)cache.insert(cid(1), 100);  // freq 1
+  (void)cache.insert(cid(2), 100);  // freq 1
+  EXPECT_TRUE(cache.touch(cid(0)));  // freq 3 after the next touch
+  EXPECT_TRUE(cache.touch(cid(0)));
+  EXPECT_TRUE(cache.touch(cid(1)));  // freq 2
+
+  // Least frequent wins eviction: 2 (freq 1).
+  EXPECT_EQ(cache.insert(cid(3), 100), 1);
+  EXPECT_FALSE(cache.contains(cid(2)));
+  // Then the freshly inserted 3 (freq 1) is the least frequent again.
+  EXPECT_EQ(cache.insert(cid(4), 100), 1);
+  EXPECT_EQ(cache.resident(), (std::vector<ChunkId>{cid(0), cid(1), cid(4)}));
+}
+
+TEST(EdgeCache, LfuTiesBreakByLeastRecent) {
+  EdgeCache cache({.policy = CachePolicy::kLfu, .capacity_bytes = 200});
+  (void)cache.insert(cid(0), 100);
+  (void)cache.insert(cid(1), 100);
+  // Both at freq 1: the earlier-used (0) is the victim.
+  EXPECT_EQ(cache.insert(cid(2), 100), 1);
+  EXPECT_EQ(cache.resident(), (std::vector<ChunkId>{cid(1), cid(2)}));
+}
+
+TEST(EdgeCache, ReinsertCountsAsTouch) {
+  EdgeCache cache({.policy = CachePolicy::kLru, .capacity_bytes = 300});
+  (void)cache.insert(cid(0), 100);
+  (void)cache.insert(cid(1), 100);
+  EXPECT_EQ(cache.insert(cid(0), 100), 0);  // already resident: a touch
+  EXPECT_EQ(cache.used_bytes(), 200);
+  EXPECT_EQ(cache.size(), 2);
+  // The re-insert refreshed 0's recency, so 1 is now the LRU victim.
+  (void)cache.insert(cid(2), 100);
+  EXPECT_EQ(cache.insert(cid(3), 100), 1);
+  EXPECT_FALSE(cache.contains(cid(1)));
+  EXPECT_TRUE(cache.contains(cid(0)));
+}
+
+TEST(EdgeCache, OversizedObjectIsNeverAdmitted) {
+  EdgeCache cache({.policy = CachePolicy::kLru, .capacity_bytes = 300});
+  (void)cache.insert(cid(0), 100);
+  EXPECT_EQ(cache.insert(cid(9), 301), -1);
+  // Nothing was evicted to make room for an object that can never fit.
+  EXPECT_TRUE(cache.contains(cid(0)));
+  EXPECT_EQ(cache.used_bytes(), 100);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// -------------------------------------------------------------------- Origin
+
+TEST(Origin, CoalescesConcurrentFetchesIntoOneTransfer) {
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+  obs::Telemetry telemetry;
+  Origin origin(backhaul, &telemetry);
+
+  // The settle hook (the edge's cache-fill point) must fire before any
+  // waiter; record the global firing order to prove it.
+  std::vector<std::string> order;
+  origin.set_on_settled([&](const ChunkId&, const TransferResult& r) {
+    EXPECT_TRUE(r.completed());
+    order.push_back("settle");
+  });
+
+  const ChunkId id = cid(3);
+  std::vector<TransferResult> results(3);
+  std::vector<int> fired(3, 0);
+  for (int w = 0; w < 3; ++w) {
+    origin.fetch(id, 100'000, 1.0, [&, w](const TransferResult& r) {
+      ++fired[static_cast<std::size_t>(w)];
+      results[static_cast<std::size_t>(w)] = r;
+      order.push_back("waiter" + std::to_string(w));
+    });
+  }
+  EXPECT_EQ(origin.transfers_started(), 1u);  // three fetches, one transfer
+  EXPECT_EQ(origin.inflight(), 1);
+  EXPECT_TRUE(origin.inflight_contains(id));
+
+  simulator.run();
+  EXPECT_EQ(origin.inflight(), 0);
+  EXPECT_EQ(origin.egress_bytes(), 100'000);  // backhaul bytes counted once
+  EXPECT_EQ(telemetry.metrics().counter("cdn.origin.egress_bytes").value(),
+            100'000);
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(w)], 1) << "waiter " << w;
+    EXPECT_TRUE(results[static_cast<std::size_t>(w)].completed());
+    EXPECT_EQ(results[static_cast<std::size_t>(w)].bytes_delivered, 100'000);
+  }
+  // Settle hook first, then waiters in join order.
+  EXPECT_EQ(order, (std::vector<std::string>{"settle", "waiter0", "waiter1",
+                                             "waiter2"}));
+}
+
+TEST(Origin, FaultedTransferFiresEveryWaiterExactlyOnce) {
+  sim::Simulator simulator;
+  net::LinkConfig config = link_config("backhaul");
+  config.faults.outages.push_back({.start_s = 0.0, .duration_s = 5.0});
+  net::Link backhaul(simulator, config);
+  Origin origin(backhaul, nullptr);
+
+  const ChunkId id = cid(1);
+  std::vector<int> fired(2, 0);
+  for (int w = 0; w < 2; ++w) {
+    origin.fetch(id, 50'000, 1.0, [&, w](const TransferResult& r) {
+      ++fired[static_cast<std::size_t>(w)];
+      EXPECT_EQ(r.status, TransferStatus::kFailed);
+      EXPECT_EQ(r.bytes_delivered, 0);
+      // In-flight state is cleared before waiters fire, so a retry issued
+      // from this callback starts a fresh transfer instead of joining the
+      // transfer that just died.
+      EXPECT_FALSE(origin.inflight_contains(id));
+    });
+  }
+  EXPECT_EQ(origin.transfers_started(), 1u);
+  simulator.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 1}));  // no double-fire
+  EXPECT_EQ(origin.egress_bytes(), 0);
+
+  // A retry after the outage window is a new transfer and completes.
+  int completed = 0;
+  origin.fetch(id, 50'000, 1.0, [&](const TransferResult& r) {
+    EXPECT_TRUE(r.completed());
+    ++completed;
+  });
+  EXPECT_EQ(origin.transfers_started(), 2u);
+  simulator.run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(origin.egress_bytes(), 50'000);
+}
+
+TEST(Origin, CancelDetachesOneWaiterOnly) {
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+  Origin origin(backhaul, nullptr);
+
+  const ChunkId id = cid(6);
+  TransferResult first{};
+  TransferResult second{};
+  int first_fired = 0;
+  int second_fired = 0;
+  const Origin::Ticket keep = origin.fetch(id, 80'000, 1.0,
+                                           [&](const TransferResult& r) {
+                                             first = r;
+                                             ++first_fired;
+                                           });
+  const Origin::Ticket drop = origin.fetch(id, 80'000, 1.0,
+                                           [&](const TransferResult& r) {
+                                             second = r;
+                                             ++second_fired;
+                                           });
+
+  // Cancelling fires the dropped waiter synchronously with kCancelled…
+  EXPECT_TRUE(origin.cancel(drop));
+  EXPECT_EQ(second_fired, 1);
+  EXPECT_EQ(second.status, TransferStatus::kCancelled);
+  EXPECT_EQ(second.bytes_delivered, 0);
+  EXPECT_FALSE(origin.cancel(drop));  // already settled: fires nothing
+
+  // …while the transfer keeps running for the remaining waiter.
+  EXPECT_TRUE(origin.inflight_contains(id));
+  simulator.run();
+  EXPECT_EQ(first_fired, 1);
+  EXPECT_TRUE(first.completed());
+  EXPECT_EQ(second_fired, 1);
+  EXPECT_EQ(origin.egress_bytes(), 80'000);
+  EXPECT_FALSE(origin.cancel(keep));  // settled tickets cannot cancel
+}
+
+// ---------------------------------------------------------------------- Edge
+
+struct EdgeHarness {
+  sim::Simulator simulator;
+  obs::Telemetry telemetry;
+  net::Link backhaul;
+  net::Link access;
+  Edge edge;
+  EdgeSource source;
+
+  explicit EdgeHarness(std::int64_t capacity_bytes = 1 << 20,
+                       CachePolicy policy = CachePolicy::kLru)
+      : backhaul(simulator, link_config("backhaul")),
+        access(simulator, link_config("access")),
+        edge(backhaul, {.policy = policy, .capacity_bytes = capacity_bytes},
+             &telemetry),
+        source(access, edge) {}
+
+  [[nodiscard]] std::int64_t counter(const char* name) {
+    return telemetry.metrics().counter(name).value();
+  }
+};
+
+TEST(EdgeSource, MissFillsCacheThenHitSkipsBackhaul) {
+  EdgeHarness h;
+  const ChunkId id = cid(2, 1);
+
+  TransferResult miss{};
+  h.source.fetch({.id = id, .bytes = 60'000}, [&](const TransferResult& r) {
+    miss = r;
+  });
+  h.simulator.run();
+  EXPECT_TRUE(miss.completed());
+  EXPECT_EQ(miss.bytes_delivered, 60'000);
+  EXPECT_TRUE(h.edge.cache().contains(id));
+  EXPECT_EQ(h.edge.stats().misses, 1);
+  EXPECT_EQ(h.edge.stats().hits, 0);
+  EXPECT_EQ(h.edge.origin().egress_bytes(), 60'000);
+  const sim::Time miss_done = miss.time;
+
+  TransferResult hit{};
+  h.source.fetch({.id = id, .bytes = 60'000}, [&](const TransferResult& r) {
+    hit = r;
+  });
+  h.simulator.run();
+  EXPECT_TRUE(hit.completed());
+  EXPECT_EQ(h.edge.stats().hits, 1);
+  // The hit never touched the backhaul…
+  EXPECT_EQ(h.edge.origin().egress_bytes(), 60'000);
+  // …and finished faster than the miss, which paid backhaul + access.
+  EXPECT_LT(hit.time - miss_done, miss_done - sim::kTimeZero);
+
+  EXPECT_EQ(h.counter("cdn.edge.hits"), 1);
+  EXPECT_EQ(h.counter("cdn.edge.misses"), 1);
+}
+
+TEST(EdgeSource, ConcurrentMissesCoalesceOnTheBackhaul) {
+  EdgeHarness h;
+  const ChunkId id = cid(4);
+  std::vector<TransferResult> results(2);
+  for (int w = 0; w < 2; ++w) {
+    h.source.fetch({.id = id, .bytes = 70'000}, [&, w](const TransferResult& r) {
+      results[static_cast<std::size_t>(w)] = r;
+    });
+  }
+  EXPECT_EQ(h.edge.stats().misses, 2);
+  EXPECT_EQ(h.edge.stats().coalesced, 1);  // the second miss joined in flight
+  EXPECT_EQ(h.edge.origin().transfers_started(), 1u);
+
+  h.simulator.run();
+  for (const TransferResult& r : results) {
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.bytes_delivered, 70'000);  // each client got the full object
+  }
+  EXPECT_EQ(h.edge.origin().egress_bytes(), 70'000);  // backhaul paid once
+  EXPECT_EQ(h.counter("cdn.edge.coalesced"), 1);
+  EXPECT_EQ(h.counter("cdn.origin.egress_bytes"), 70'000);
+}
+
+TEST(EdgeSource, BackhaulFaultReachesClientAsFailure) {
+  // A backhaul outage covers the first fetch: the miss fails upstream of
+  // the access link and the client sees kFailed with zero bytes.
+  sim::Simulator simulator;
+  net::LinkConfig config = link_config("backhaul");
+  config.faults.outages.push_back({.start_s = 0.0, .duration_s = 3.0});
+  net::Link backhaul(simulator, config);
+  net::Link access(simulator, link_config("access"));
+  Edge edge(backhaul, {.capacity_bytes = 1 << 20}, nullptr);
+  EdgeSource source(access, edge);
+
+  TransferResult result{};
+  int fired = 0;
+  source.fetch({.id = cid(1), .bytes = 40'000}, [&](const TransferResult& r) {
+    result = r;
+    ++fired;
+  });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(result.status, TransferStatus::kFailed);
+  EXPECT_EQ(result.bytes_delivered, 0);  // nothing reached the client
+  EXPECT_FALSE(edge.cache().contains(cid(1)));
+}
+
+TEST(EdgeSource, CancelWhileWaitingOnOriginStillFillsCache) {
+  EdgeHarness h;
+  const ChunkId id = cid(8);
+  TransferResult result{};
+  int fired = 0;
+  const net::FetchId fetch = h.source.fetch(
+      {.id = id, .bytes = 90'000}, [&](const TransferResult& r) {
+        result = r;
+        ++fired;
+      });
+
+  EXPECT_TRUE(h.source.cancel(fetch));
+  EXPECT_EQ(fired, 1);  // synchronous, exactly once
+  EXPECT_EQ(result.status, TransferStatus::kCancelled);
+  EXPECT_EQ(result.bytes_delivered, 0);
+  EXPECT_FALSE(h.source.cancel(fetch));  // already settled
+
+  // The backhaul transfer kept running: the cache still gets the object.
+  h.simulator.run();
+  EXPECT_TRUE(h.edge.cache().contains(id));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EdgeSource, CancelWhileServingAbortsTheAccessTransfer) {
+  EdgeHarness h;
+  const ChunkId id = cid(5);
+  ASSERT_EQ(h.edge.cache().insert(id, 90'000), 0);  // pre-seed: fetch hits
+
+  TransferResult result{};
+  int fired = 0;
+  const net::FetchId fetch = h.source.fetch(
+      {.id = id, .bytes = 90'000}, [&](const TransferResult& r) {
+        result = r;
+        ++fired;
+      });
+  EXPECT_EQ(h.edge.stats().hits, 1);
+
+  EXPECT_TRUE(h.source.cancel(fetch));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(result.status, TransferStatus::kCancelled);
+  EXPECT_FALSE(h.source.cancel(fetch));
+  h.simulator.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ------------------------------------------------------------------- warming
+
+media::VideoModelConfig tiny_video() {
+  media::VideoModelConfig cfg;
+  cfg.duration_s = 4.0;
+  cfg.chunk_duration_s = 1.0;
+  cfg.tile_rows = 2;
+  cfg.tile_cols = 3;
+  cfg.seed = 17;
+  return cfg;
+}
+
+// A crowd that overwhelmingly watched tile `hot` in every chunk.
+hmp::ViewingHeatmap hot_tile_crowd(const media::VideoModel& video,
+                                   geo::TileId hot) {
+  hmp::ViewingHeatmap crowd(video.tile_count(), video.chunk_count());
+  const std::vector<geo::TileId> visible = {hot};
+  for (media::ChunkIndex chunk = 0; chunk < video.chunk_count(); ++chunk) {
+    for (int views = 0; views < 50; ++views) crowd.add_view(chunk, visible);
+  }
+  return crowd;
+}
+
+TEST(EdgeWarm, PreloadsTheCrowdsFavouriteTiles) {
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+  obs::Telemetry telemetry;
+  Edge edge(backhaul, {.capacity_bytes = 1LL << 30}, &telemetry);
+
+  const media::VideoModel video(tiny_video());
+  const hmp::ViewingHeatmap crowd = hot_tile_crowd(video, /*hot=*/4);
+  const int warmed = edge.warm(video, crowd,
+                               {.tiles_per_chunk = 2, .level = 1});
+  // 2 tiles per chunk x 4 chunks, one AVC object each.
+  EXPECT_EQ(warmed, 8);
+  EXPECT_EQ(edge.stats().warmed, 8);
+  EXPECT_EQ(telemetry.metrics().counter("cdn.edge.warmed").value(), 8);
+  // The hot tile is resident for every chunk, at the requested rung.
+  for (std::int32_t chunk = 0; chunk < 4; ++chunk) {
+    EXPECT_TRUE(edge.cache().contains(cid(4, chunk, 1))) << "chunk " << chunk;
+  }
+  EXPECT_EQ(edge.cache().evictions(), 0u);  // warming never evicts
+}
+
+TEST(EdgeWarm, IsDeterministicAcrossEdges) {
+  const media::VideoModel video(tiny_video());
+  const hmp::ViewingHeatmap crowd = hot_tile_crowd(video, /*hot=*/1);
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+
+  Edge a(backhaul, {.capacity_bytes = 200'000}, nullptr);
+  Edge b(backhaul, {.capacity_bytes = 200'000}, nullptr);
+  const WarmSpec spec{.tiles_per_chunk = 3, .level = 2};
+  EXPECT_EQ(a.warm(video, crowd, spec), b.warm(video, crowd, spec));
+  EXPECT_EQ(a.cache().resident(), b.cache().resident());
+  EXPECT_EQ(a.cache().used_bytes(), b.cache().used_bytes());
+}
+
+TEST(EdgeWarm, StopsAtTheByteBudgetWithoutEvicting) {
+  const media::VideoModel video(tiny_video());
+  const hmp::ViewingHeatmap crowd = hot_tile_crowd(video, /*hot=*/0);
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+
+  // A budget big enough for roughly one object: warming stops at the first
+  // non-fit instead of churning what it just preloaded.
+  const std::int64_t one_object =
+      video.size_bytes({.key = {.tile = 0, .index = 0},
+                        .encoding = media::Encoding::kAvc,
+                        .level = 0});
+  Edge edge(backhaul, {.capacity_bytes = one_object}, nullptr);
+  const int warmed = edge.warm(video, crowd, {.tiles_per_chunk = 6});
+  EXPECT_GE(warmed, 1);
+  EXPECT_EQ(edge.cache().evictions(), 0u);
+  EXPECT_LE(edge.cache().used_bytes(), edge.cache().capacity_bytes());
+  // The single highest-probability object made it in.
+  EXPECT_TRUE(edge.cache().contains(cid(0, 0, 0)));
+}
+
+TEST(EdgeWarm, SvcWarmsThePlayableLayerPrefix) {
+  const media::VideoModel video(tiny_video());
+  const hmp::ViewingHeatmap crowd = hot_tile_crowd(video, /*hot=*/3);
+  sim::Simulator simulator;
+  net::Link backhaul(simulator, link_config("backhaul"));
+  Edge edge(backhaul, {.capacity_bytes = 1LL << 30}, nullptr);
+
+  (void)edge.warm(video, crowd,
+                  {.tiles_per_chunk = 1,
+                   .encoding = media::Encoding::kSvc,
+                   .level = 2});
+  // Playing SVC layer 2 needs layers 0..2 resident, not just layer 2.
+  for (std::int32_t layer = 0; layer <= 2; ++layer) {
+    ChunkId id = cid(3, 0, 0);
+    id.layer = layer;
+    EXPECT_TRUE(edge.cache().contains(id)) << "layer " << layer;
+  }
+}
+
+// ------------------------------------------------------------------ topology
+
+TEST(TopologyValidate, ErrorsListTheValidFieldNames) {
+  const auto expect_fields = [](TopologySpec spec, bool has_crowd,
+                                const std::string& needle) {
+    try {
+      validate(spec, /*sessions_per_link=*/4, has_crowd);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      EXPECT_NE(what.find("valid fields: sessions_per_edge, backhaul, "
+                          "backhaul_for_edge, cache_policy, "
+                          "cache_capacity_bytes, warm_tiles_per_chunk, "
+                          "warm_encoding, warm_level"),
+                std::string::npos)
+          << what;
+    }
+  };
+
+  TopologySpec negative;
+  negative.sessions_per_edge = -1;
+  expect_fields(negative, false, "sessions_per_edge");
+
+  TopologySpec indivisible;
+  indivisible.sessions_per_edge = 6;  // not a multiple of 4
+  expect_fields(indivisible, false, "multiple of sessions_per_link");
+
+  TopologySpec no_budget;
+  no_budget.sessions_per_edge = 8;
+  no_budget.cache_capacity_bytes = 0;
+  expect_fields(no_budget, false, "cache_capacity_bytes");
+
+  TopologySpec bad_policy;
+  bad_policy.sessions_per_edge = 8;
+  bad_policy.cache_policy = "arc";
+  expect_fields(bad_policy, false, "valid names: lru, lfu");
+
+  TopologySpec warm_without_crowd;
+  warm_without_crowd.sessions_per_edge = 8;
+  warm_without_crowd.warm_tiles_per_chunk = 2;
+  expect_fields(warm_without_crowd, false, "crowd heatmap");
+
+  TopologySpec bad_level;
+  bad_level.sessions_per_edge = 8;
+  bad_level.warm_tiles_per_chunk = 2;
+  bad_level.warm_level = -1;
+  expect_fields(bad_level, true, "warm_level");
+
+  // Well-formed sections pass: disabled, enabled, enabled + warming.
+  EXPECT_NO_THROW(validate(TopologySpec{}, 4, false));
+  TopologySpec enabled;
+  enabled.sessions_per_edge = 8;
+  EXPECT_NO_THROW(validate(enabled, 4, false));
+  enabled.warm_tiles_per_chunk = 2;
+  EXPECT_NO_THROW(validate(enabled, 4, true));
+}
+
+TEST(Topology, DisabledTierFetchesOverDirectLinkSources) {
+  sim::Simulator simulator;
+  TopologySpec spec;  // disabled
+  Topology topology(simulator, spec, nullptr, nullptr, nullptr);
+  net::ChunkSource& source = topology.add_group(-1, link_config("access"));
+  EXPECT_EQ(topology.access_link_count(), 1);
+  EXPECT_EQ(topology.edge_count(), 0);  // no edge, no backhaul
+
+  TransferResult result{};
+  source.fetch({.id = cid(0), .bytes = 10'000}, [&](const TransferResult& r) {
+    result = r;
+  });
+  simulator.run();
+  EXPECT_TRUE(result.completed());
+  EXPECT_EQ(result.bytes_delivered, 10'000);
+}
+
+TEST(Topology, GroupsOfOneEdgeShareItsCache) {
+  sim::Simulator simulator;
+  obs::Telemetry telemetry;
+  TopologySpec spec;
+  spec.sessions_per_edge = 8;
+  spec.backhaul = link_config("backhaul");
+  spec.cache_capacity_bytes = 1 << 20;
+  Topology topology(simulator, spec, &telemetry, nullptr, nullptr);
+
+  net::ChunkSource& group0 = topology.add_group(0, link_config("access0"));
+  net::ChunkSource& group1 = topology.add_group(0, link_config("access1"));
+  EXPECT_EQ(topology.access_link_count(), 2);
+  EXPECT_EQ(topology.edge_count(), 1);  // one shared edge, built lazily
+
+  // Group 0's miss fills the shared cache; group 1's fetch of the same
+  // object is a pure hit — that is exactly how sessions share an edge.
+  const ChunkId id = cid(7, 2);
+  TransferResult first{};
+  group0.fetch({.id = id, .bytes = 30'000}, [&](const TransferResult& r) {
+    first = r;
+  });
+  simulator.run();
+  TransferResult second{};
+  group1.fetch({.id = id, .bytes = 30'000}, [&](const TransferResult& r) {
+    second = r;
+  });
+  simulator.run();
+
+  EXPECT_TRUE(first.completed());
+  EXPECT_TRUE(second.completed());
+  const EdgeStats& stats = topology.edge(0).stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(telemetry.metrics().counter("cdn.edge.hits").value(), 1);
+  EXPECT_EQ(telemetry.metrics().counter("cdn.origin.egress_bytes").value(),
+            30'000);
+}
+
+TEST(Topology, DistinctEdgeIdsGetDistinctCaches) {
+  sim::Simulator simulator;
+  TopologySpec spec;
+  spec.sessions_per_edge = 4;
+  spec.backhaul = link_config("backhaul");
+  Topology topology(simulator, spec, nullptr, nullptr, nullptr);
+  net::ChunkSource& edge0 = topology.add_group(0, link_config("a0"));
+  net::ChunkSource& edge1 = topology.add_group(1, link_config("a1"));
+  EXPECT_EQ(topology.edge_count(), 2);
+
+  const ChunkId id = cid(1);
+  TransferResult r0{};
+  TransferResult r1{};
+  edge0.fetch({.id = id, .bytes = 20'000}, [&](const TransferResult& r) { r0 = r; });
+  simulator.run();
+  edge1.fetch({.id = id, .bytes = 20'000}, [&](const TransferResult& r) { r1 = r; });
+  simulator.run();
+  EXPECT_TRUE(r0.completed());
+  EXPECT_TRUE(r1.completed());
+  // No sharing across edges: both were misses against their own cache.
+  EXPECT_EQ(topology.edge(0).stats().misses, 1);
+  EXPECT_EQ(topology.edge(1).stats().misses, 1);
+  EXPECT_EQ(topology.edge(1).stats().hits, 0);
+}
+
+}  // namespace
+}  // namespace sperke::cdn

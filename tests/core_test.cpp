@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/buffer.h"
 #include "core/session.h"
@@ -135,7 +137,7 @@ TEST_F(TransportTest, DeliversAndEstimates) {
   SingleLinkTransport transport(link);
   bool done = false;
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.on_done = [&](sim::Time, FetchOutcome outcome) {
     done = delivered(outcome);
@@ -154,7 +156,7 @@ TEST_F(TransportTest, ConcurrencyLimitQueues) {
   std::vector<int> order;
   auto submit = [&](int id, bool urgent) {
     ChunkRequest req;
-    req.address = {{id, 0}, Encoding::kAvc, 0};
+    req.id = net::to_chunk_id({{id, 0}, Encoding::kAvc, 0});
     req.bytes = 100'000;
     req.urgent = urgent;
     req.on_done = [&order, id](sim::Time, FetchOutcome) { order.push_back(id); };
@@ -178,6 +180,58 @@ TEST_F(TransportTest, RejectsBadRequests) {
   bad_retries.recovery.enabled = true;
   bad_retries.recovery.max_retries = -1;
   EXPECT_THROW(SingleLinkTransport(link, bad_retries), std::invalid_argument);
+}
+
+TEST(TransportAdapter, LinkCtorMatchesExplicitLinkSource) {
+  // The deprecated SingleLinkTransport(net::Link&) ctor is a thin adapter
+  // over an owned net::LinkSource; a mixed-priority workload through both
+  // wirings must settle byte-identically (same outcomes, same instants).
+  struct Run {
+    std::vector<std::pair<sim::Time, FetchOutcome>> settled;
+    std::int64_t bytes = 0;
+    double kbps = 0.0;
+  };
+  const auto run_workload = [](bool explicit_source) {
+    sim::Simulator simulator;
+    net::Link link{simulator,
+                   net::LinkConfig{.name = "adapter",
+                                   .bandwidth = net::BandwidthTrace::constant(6000.0),
+                                   .rtt = sim::milliseconds(40),
+                                   .loss_rate = 0.0,
+                                   .faults = {}}};
+    std::unique_ptr<net::LinkSource> source;
+    std::unique_ptr<SingleLinkTransport> transport;
+    TransportOptions options;
+    options.max_concurrent = 2;
+    if (explicit_source) {
+      source = std::make_unique<net::LinkSource>(link);
+      transport = std::make_unique<SingleLinkTransport>(*source, options);
+    } else {
+      transport = std::make_unique<SingleLinkTransport>(link, options);
+    }
+    Run run;
+    for (int i = 0; i < 8; ++i) {
+      ChunkRequest req;
+      req.id = net::to_chunk_id({{i % 4, i / 4}, Encoding::kAvc, i % 3});
+      req.bytes = 50'000 + 10'000 * i;
+      req.urgent = i % 3 == 0;
+      req.spatial = i % 2 == 0 ? abr::SpatialClass::kFov : abr::SpatialClass::kOos;
+      req.on_done = [&run](sim::Time t, FetchOutcome outcome) {
+        run.settled.emplace_back(t, outcome);
+      };
+      transport->fetch(std::move(req));
+    }
+    simulator.run();
+    run.bytes = transport->bytes_fetched();
+    run.kbps = transport->estimated_kbps();
+    return run;
+  };
+  const Run adapter = run_workload(false);
+  const Run explicit_wiring = run_workload(true);
+  ASSERT_EQ(adapter.settled.size(), 8u);
+  EXPECT_EQ(adapter.settled, explicit_wiring.settled);
+  EXPECT_EQ(adapter.bytes, explicit_wiring.bytes);
+  EXPECT_EQ(adapter.kbps, explicit_wiring.kbps);
 }
 
 TEST(TransportRecovery, BackoffGrowsGeometrically) {
@@ -237,7 +291,7 @@ TEST_F(TransportRecoveryTest, RetriesThroughOutageAndDelivers) {
   SingleLinkTransport transport(link, recovery_options());
   std::optional<FetchOutcome> outcome;
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.deadline = sim::seconds(30.0);
   req.on_done = [&](sim::Time, FetchOutcome o) { outcome = o; };
@@ -259,7 +313,7 @@ TEST_F(TransportRecoveryTest, BudgetExhaustionReportsFailed) {
   std::optional<FetchOutcome> outcome;
   sim::Time settled{sim::kTimeZero};
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.deadline = sim::seconds(30.0);
   req.on_done = [&](sim::Time t, FetchOutcome o) {
@@ -282,7 +336,7 @@ TEST_F(TransportRecoveryTest, DeadlineDerivedTimeoutCancelsSlowTransfer) {
   std::optional<FetchOutcome> outcome;
   sim::Time settled{sim::kTimeZero};
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.deadline = sim::seconds(0.5);
   req.on_done = [&](sim::Time t, FetchOutcome o) {
@@ -305,7 +359,7 @@ TEST_F(TransportRecoveryTest, OosPrefetchAbandonedOnFirstFailure) {
   SingleLinkTransport transport(link, recovery_options());
   std::optional<FetchOutcome> outcome;
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.spatial = abr::SpatialClass::kOos;
   req.deadline = sim::seconds(30.0);
@@ -323,7 +377,7 @@ TEST_F(TransportRecoveryTest, RecoveryDisabledKeepsLegacySemantics) {
   SingleLinkTransport transport(link);  // recovery off
   std::optional<FetchOutcome> outcome;
   ChunkRequest req;
-  req.address = {{0, 0}, Encoding::kAvc, 0};
+  req.id = net::to_chunk_id({{0, 0}, Encoding::kAvc, 0});
   req.bytes = 1'000'000;
   req.deadline = sim::seconds(30.0);
   req.on_done = [&](sim::Time, FetchOutcome o) { outcome = o; };

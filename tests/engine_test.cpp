@@ -472,5 +472,178 @@ TEST(Engine, PerGroupLinkFactoryIsAppliedByGlobalGroupId) {
   }
 }
 
+// -------------------------------------------------------------- engine+CDN
+
+// small_world with a CDN tier: 8 sessions (2 link groups) per edge, so 24
+// sessions induce 3 edges, each with its own backhaul and shared cache.
+engine::WorldSpec cdn_world(int shards, int sessions = 24) {
+  engine::WorldSpec spec = small_world(shards);
+  spec.sessions = sessions;
+  spec.cdn.sessions_per_edge = 8;
+  spec.cdn.backhaul.name = "backhaul";
+  spec.cdn.backhaul.bandwidth = net::BandwidthTrace::constant(100'000.0);
+  spec.cdn.backhaul.rtt = sim::milliseconds(20);
+  spec.cdn.cache_capacity_bytes = 64LL << 20;
+  return spec;
+}
+
+TEST(EngineCdn, MergedMetricsIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to the CDN tier: the edge is the
+  // partition unit, so hit/miss/coalescing sequences — and with them every
+  // merged byte, the sampled series and the SLO rollup — are independent of
+  // how many threads execute the shards.
+  auto observed_cdn_world = [] {
+    engine::WorldSpec spec = cdn_world(3);
+    spec.sample_period = sim::seconds(0.5);
+    spec.slos = {{.name = "stall", .metric = "session.stalled",
+                  .signal = obs::SloSignal::kGaugeValue, .threshold = 0.5,
+                  .window_intervals = 1}};
+    return spec;
+  };
+  engine::EngineResult serial =
+      engine::run_world(observed_cdn_world(), {.threads = 1});
+  engine::EngineResult threaded =
+      engine::run_world(observed_cdn_world(), {.threads = 8});
+  EXPECT_EQ(threaded.threads_used, 3);  // clamped to the edge-shard count
+  EXPECT_EQ(metrics_csv(serial.metrics), metrics_csv(threaded.metrics));
+  EXPECT_EQ(serial.events_executed, threaded.events_executed);
+  EXPECT_EQ(serial.completed, threaded.completed);
+  EXPECT_EQ(serial.completed, 24);
+
+  std::ostringstream series_a, series_b;
+  obs::write_timeseries_csv(series_a, serial.series);
+  obs::write_timeseries_csv(series_b, threaded.series);
+  EXPECT_FALSE(series_a.str().empty());
+  EXPECT_EQ(series_a.str(), series_b.str());
+  std::ostringstream slo_a, slo_b;
+  obs::write_slo_csv(slo_a, serial.slos);
+  obs::write_slo_csv(slo_b, threaded.slos);
+  EXPECT_EQ(slo_a.str(), slo_b.str());
+
+  // The tier actually carried traffic: sessions shared their edges.
+  const obs::Counter* hits = serial.metrics.find_counter("cdn.edge.hits");
+  const obs::Counter* misses = serial.metrics.find_counter("cdn.edge.misses");
+  const obs::Counter* egress =
+      serial.metrics.find_counter("cdn.origin.egress_bytes");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(egress, nullptr);
+  EXPECT_GT(hits->value(), 0);
+  EXPECT_GT(misses->value(), 0);
+  EXPECT_GT(egress->value(), 0);
+}
+
+TEST(EngineCdn, DisabledTierRegistersNoCdnMetrics) {
+  // cdn.* counters exist only when the tier does — an empty topology stays
+  // byte-identical to the pre-CDN engine, metric names included.
+  engine::EngineResult result = engine::run_world(small_world(2), {.threads = 2});
+  EXPECT_EQ(result.metrics.find_counter("cdn.edge.hits"), nullptr);
+  EXPECT_EQ(result.metrics.find_counter("cdn.origin.egress_bytes"), nullptr);
+}
+
+TEST(EngineCdn, SharedEdgeHitRateRisesWithUserCount) {
+  // The point of an edge: the more users behind it, the more their request
+  // streams overlap — hit-rate rises and per-user origin egress falls.
+  auto run_users = [](int sessions) {
+    engine::WorldSpec spec = cdn_world(1, sessions);
+    spec.cdn.sessions_per_edge = 24;  // one edge for every population size
+    return engine::run_world(spec, {.threads = 2});
+  };
+  auto hit_rate = [](const engine::EngineResult& result) {
+    const double hits =
+        static_cast<double>(result.metrics.find_counter("cdn.edge.hits")->value());
+    const double misses = static_cast<double>(
+        result.metrics.find_counter("cdn.edge.misses")->value());
+    return hits / (hits + misses);
+  };
+  auto egress_per_user = [](const engine::EngineResult& result, int sessions) {
+    return static_cast<double>(
+               result.metrics.find_counter("cdn.origin.egress_bytes")->value()) /
+           sessions;
+  };
+  const engine::EngineResult few = run_users(8);
+  const engine::EngineResult many = run_users(24);
+  EXPECT_GT(hit_rate(many), hit_rate(few));
+  EXPECT_LT(egress_per_user(many, 24), egress_per_user(few, 8));
+}
+
+TEST(EngineCdn, CrowdWarmedCacheBeatsColdOnEarlyHitRate) {
+  // Crowd-driven warming (paper §3.2): preloading the heatmap's favourite
+  // tiles converts a cold cache's compulsory misses into day-one hits.
+  engine::WorldSpec cold = cdn_world(1, 8);
+  cold.cdn.sessions_per_edge = 8;
+  cold.horizon = sim::seconds(60.0);  // the first minute is what warming buys
+
+  // A perfect prior: the crowd heatmap is built from the very trace pool
+  // the sessions will play.
+  const media::VideoModel video(cold.video);
+  hmp::ViewingHeatmap crowd(video.tile_count(), video.chunk_count());
+  for (const hmp::HeadTrace& trace : engine::build_trace_pool(cold)) {
+    crowd.add_trace(trace, video.geometry(), {100.0, 90.0},
+                    video.chunk_duration());
+  }
+
+  engine::WorldSpec warm = cold;
+  warm.crowd = &crowd;
+  warm.cdn.warm_tiles_per_chunk = video.tile_count();  // preload every tile
+  warm.cdn.warm_level = 0;  // the baseline rung every session fetches
+
+  const engine::EngineResult cold_result = engine::run_world(cold, {.threads = 1});
+  const engine::EngineResult warm_result = engine::run_world(warm, {.threads = 1});
+  auto counter = [](const engine::EngineResult& result, const char* name) {
+    const obs::Counter* c = result.metrics.find_counter(name);
+    return c == nullptr ? std::int64_t{0} : c->value();
+  };
+  EXPECT_GT(counter(warm_result, "cdn.edge.warmed"), 0);
+  EXPECT_EQ(counter(cold_result, "cdn.edge.warmed"), 0);
+  const auto rate = [&](const engine::EngineResult& result) {
+    const double hits = static_cast<double>(counter(result, "cdn.edge.hits"));
+    const double misses = static_cast<double>(counter(result, "cdn.edge.misses"));
+    return hits / (hits + misses);
+  };
+  EXPECT_GT(rate(warm_result), rate(cold_result));
+}
+
+TEST(EngineCdn, ValidateRejectsBadTopologySections) {
+  // Topology errors surface through engine::validate and list the section's
+  // field names (the validate_policy_name convention).
+  auto expect_cdn_error = [](engine::WorldSpec spec, const std::string& needle) {
+    try {
+      engine::validate(spec);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      EXPECT_NE(what.find("valid fields: sessions_per_edge"), std::string::npos)
+          << what;
+    }
+  };
+  engine::WorldSpec indivisible = cdn_world(1);
+  indivisible.cdn.sessions_per_edge = 6;  // not a multiple of 4
+  expect_cdn_error(indivisible, "multiple of sessions_per_link");
+
+  engine::WorldSpec bad_policy = cdn_world(1);
+  bad_policy.cdn.cache_policy = "arc";
+  expect_cdn_error(bad_policy, "valid names: lru, lfu");
+
+  engine::WorldSpec no_crowd = cdn_world(1);
+  no_crowd.cdn.warm_tiles_per_chunk = 4;  // warming needs WorldSpec::crowd
+  expect_cdn_error(no_crowd, "crowd heatmap");
+}
+
+TEST(EngineCdn, EdgeIsThePartitionUnit) {
+  engine::WorldSpec spec = cdn_world(2);
+  // 6 groups, 3 edges: groups of one edge always share a shard.
+  EXPECT_EQ(engine::groups_per_edge(spec), 2);
+  for (int g = 0; g < engine::group_count(spec); ++g) {
+    EXPECT_EQ(engine::edge_of_group(spec, g), g / 2);
+    EXPECT_EQ(engine::shard_of_group(spec, g), (g / 2) % 2);
+  }
+  // Disabled tier: back to per-group partitioning, edge_of_group = -1.
+  engine::WorldSpec off = small_world(2);
+  EXPECT_EQ(engine::edge_of_group(off, 3), -1);
+  EXPECT_EQ(engine::shard_of_group(off, 3), 1);
+}
+
 }  // namespace
 }  // namespace sperke

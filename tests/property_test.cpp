@@ -225,8 +225,8 @@ TEST(RecoveryProperty, RetryBudgetAndDeadlineNeverExceeded) {
     std::vector<sim::Time> deadlines(requests, sim::kTimeZero);
     for (int i = 0; i < requests; ++i) {
       core::ChunkRequest req;
-      req.address = {{static_cast<geo::TileId>(i % 8), 0},
-                     media::Encoding::kAvc, 0};
+      req.id = net::to_chunk_id(
+          {{static_cast<geo::TileId>(i % 8), 0}, media::Encoding::kAvc, 0});
       req.bytes = rng.uniform_int(50'000, 500'000);
       req.deadline = sim::seconds(rng.uniform(outage_s + 0.1, 5.0));
       deadlines[static_cast<std::size_t>(i)] = req.deadline;

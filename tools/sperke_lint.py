@@ -36,6 +36,14 @@ that keep it that way. It scans ``src/``, ``tests/``, ``bench/``,
                       so every policy stays selectable by name (the arena
                       contract). ``tests/`` and ``tools/`` are exempt —
                       unit tests exercise the concrete classes directly.
+  link-construction   Direct construction of ``net::Link`` in ``src/``
+                      outside ``src/net/`` and ``src/cdn/``. Product code
+                      fetches through the ``net::ChunkSource`` seam
+                      (``cdn::Topology`` hands out sources), so links are
+                      wired by the net/cdn layers only. References,
+                      pointers and ``net::LinkConfig`` stay fair game;
+                      ``tests/``/``bench/``/``examples/`` build link
+                      fixtures directly and are out of scope.
   metric-name         Metric registration sites (``.counter(`` /
                       ``.gauge(`` / ``.histogram(`` in ``src``, ``bench``
                       and ``examples``) whose name is not a string literal
@@ -149,6 +157,7 @@ RULES = (
     "include-hygiene",
     "header-guard",
     "abr-factory",
+    "link-construction",
     "metric-name",
     "format-basics",
 )
@@ -159,6 +168,16 @@ ABR_CONCRETE_RE = re.compile(
     r"\b(SperkeVra|KnapsackVra|ConsistencyVra|FullPanoramaVra)\b(?!Config)"
 )
 ABR_FACTORY_DIRS = ("src", "bench", "examples")
+
+# Direct net::Link construction: owning smart-pointer factories, bare new,
+# or a stack/member instance (``net::Link name(...)`` / ``{...}``). The
+# trailing [({] keeps ``net::Link&`` parameters, ``net::Link*`` pointers
+# and ``net::LinkConfig``/``net::LinkSource`` out of the net.
+LINK_CONSTRUCT_RE = re.compile(
+    r"make_unique<\s*net::Link\s*>|make_shared<\s*net::Link\s*>"
+    r"|\bnew\s+net::Link\b|\bnet::Link\s+\w+\s*[({]"
+)
+LINK_EXEMPT_SUBDIRS = ("net", "cdn")
 
 
 def blank_comments_and_strings(text):
@@ -340,6 +359,7 @@ class Linter:
             self.check_metric_names(path, raw, blanked, raw_lines)
 
         self.check_abr_factory(path, blanked, raw_lines)
+        self.check_link_construction(path, blanked, raw_lines)
 
         if is_header:
             if "#pragma once" not in raw:
@@ -408,6 +428,30 @@ class Linter:
                     "selectable by name", raw_lines,
                 )
 
+    def check_link_construction(self, path, blanked, raw_lines):
+        """Links are wired by src/net and src/cdn; everyone else fetches.
+
+        Since the ChunkSource redesign (DESIGN.md §15), product code takes
+        a ``net::ChunkSource&`` (or asks ``cdn::Topology`` for one) instead
+        of owning a ``net::Link``. Direct construction elsewhere in
+        ``src/`` reopens the seam the CDN tier sits behind. Test/bench/
+        example trees build link fixtures on purpose and are out of scope.
+        """
+        parts = path.relative_to(self.root).parts
+        if parts[0] != "src":
+            return
+        if len(parts) > 1 and parts[1] in LINK_EXEMPT_SUBDIRS:
+            return
+        for idx, line in enumerate(blanked.splitlines(), start=1):
+            if LINK_CONSTRUCT_RE.search(line):
+                self.report(
+                    path, idx, "link-construction",
+                    "direct net::Link construction outside src/net//src/cdn; "
+                    "fetch through a net::ChunkSource (cdn::Topology hands "
+                    "them out) so the CDN tier stays in the path",
+                    raw_lines,
+                )
+
     def check_include_hygiene(self, path, blanked, raw_lines):
         included = set(re.findall(r'#include <([^>]+)>', blanked))
         for token, header in sorted(STD_NEEDS.items()):
@@ -454,11 +498,15 @@ class Linter:
 
 
 def self_test():
-    """Exercise the abr-factory rule on a synthetic tree (ctest lint-selftest).
+    """Exercise the factory rules on a synthetic tree (ctest lint-selftest).
 
-    Covers: violation in src/ and bench/, the src/abr/ and tests/ scope
-    exemptions, ``*Config`` structs staying legal, comment mentions not
-    firing (blanked text), and allow-comment suppression.
+    abr-factory: violation in src/ and bench/, the src/abr/ and tests/
+    scope exemptions, ``*Config`` structs staying legal, comment mentions
+    not firing (blanked text), and allow-comment suppression.
+
+    link-construction: make_unique and stack-instance violations in src/,
+    the src/net//src/cdn exemptions, tests/ being out of scope,
+    references/LinkConfig not firing, and allow-comment suppression.
     """
     import tempfile
 
@@ -481,15 +529,36 @@ def self_test():
             "// sperke-lint: allow(abr-factory)\n"
             "abr::ConsistencyVra vra(video, {});\n")
 
+        put("src/engine/bad_link.cpp",
+            "links_.push_back(std::make_unique<net::Link>(sim, cfg));\n")
+        put("src/core/bad_link.cpp", "net::Link link(simulator, config);\n")
+        put("src/net/ok_link.cpp",
+            "auto l = std::make_unique<net::Link>(sim, cfg);\n")
+        put("src/cdn/ok_link.cpp", "net::Link backhaul{sim, cfg};\n")
+        put("tests/ok_link_test.cpp", "net::Link link(sim, cfg);\n")
+        put("src/mp/ok_link_ref.cpp",
+            "net::LinkConfig cfg;\n"
+            "net::Link& link = topology.access_link(0);\n"
+            "void wire(net::Link* l);\n")
+        put("src/live/ok_link_allowed.cpp",
+            "// sperke-lint: allow(link-construction)\n"
+            "uplink_ = std::make_unique<net::Link>(sim, cfg);\n")
+
         findings, _ = Linter(root).run()
-        abr = sorted(f.split(" ")[0] for f in findings if "[abr-factory]" in f)
-        expected = ["bench/bad.cpp:1:", "src/core/bad.cpp:1:"]
-        if abr != expected:
-            print(f"sperke_lint: SELF-TEST FAIL — abr-factory findings "
-                  f"{abr} != {expected}", file=sys.stderr)
-            for f in findings:
-                print(f"  {f}", file=sys.stderr)
-            return 1
+        for rule, expected in (
+            ("abr-factory", ["bench/bad.cpp:1:", "src/core/bad.cpp:1:"]),
+            ("link-construction",
+             ["src/core/bad_link.cpp:1:", "src/engine/bad_link.cpp:1:"]),
+        ):
+            got = sorted(
+                f.split(" ")[0] for f in findings if f"[{rule}]" in f
+            )
+            if got != expected:
+                print(f"sperke_lint: SELF-TEST FAIL — {rule} findings "
+                      f"{got} != {expected}", file=sys.stderr)
+                for f in findings:
+                    print(f"  {f}", file=sys.stderr)
+                return 1
     print("sperke_lint: self-test OK")
     return 0
 

@@ -61,9 +61,10 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default --output-on-failure
 
-step "deterministic QoE gates: fault-recovery + ABR arena baselines"
+step "deterministic QoE gates: fault-recovery + ABR arena + CDN baselines"
 cmake --build --preset default --target fault-recovery-check
 cmake --build --preset default --target arena-check
+cmake --build --preset default --target cdn-check
 
 step "clang-tidy"
 run_optional "tidy-check" tools/run_clang_tidy.sh build
