@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "abr/factory.h"
@@ -196,7 +197,8 @@ int main(int argc, char** argv) {
       // Rank the cell's policies by mean QoE score (the league table).
       std::multimap<double, std::pair<std::string, CellResult>,
                     std::greater<>> league;
-      for (const std::string& policy : policies) {
+      for (std::string_view policy_name : policies) {
+        const std::string policy(policy_name);
         const CellResult cell = run_cell(policy, bw.trace, head.profile);
         league.insert({cell.qoe_score, {policy, cell}});
         rows.push_back(

@@ -1,22 +1,28 @@
 #include "abr/factory.h"
 
+#include <array>
 #include <stdexcept>
 #include <utility>
 
 namespace sperke::abr {
 
-const std::vector<std::string>& policy_names() {
-  static const std::vector<std::string> kNames = {"sperke", "knapsack",
-                                                  "consistency", "fullpano"};
-  return kNames;
+namespace {
+
+constexpr std::array<std::string_view, 4> kPolicyNames = {
+    "sperke", "knapsack", "consistency", "fullpano"};
+
+}  // namespace
+
+std::span<const std::string_view> policy_names() noexcept {
+  return kPolicyNames;
 }
 
 void validate_policy_name(const std::string& name) {
-  for (const std::string& known : policy_names()) {
+  for (std::string_view known : policy_names()) {
     if (name == known) return;
   }
   std::string valid;
-  for (const std::string& known : policy_names()) {
+  for (std::string_view known : policy_names()) {
     if (!valid.empty()) valid += ", ";
     valid += known;
   }

@@ -9,8 +9,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "abr/consistency_vra.h"
 #include "abr/knapsack_vra.h"
@@ -31,8 +32,9 @@ struct TileAbrConfig {
   FullPanoramaConfig fullpano;
 };
 
-// Valid policy names, in factory order.
-[[nodiscard]] const std::vector<std::string>& policy_names();
+// Valid policy names, in factory order. Views into a constexpr table —
+// no construction-order or shared-mutable-state hazards (sperke_analyze).
+[[nodiscard]] std::span<const std::string_view> policy_names() noexcept;
 
 // Throws std::invalid_argument listing the valid names on an unknown one.
 // engine::validate calls this so a typo'd spec fails before shards spin up.

@@ -1,21 +1,27 @@
 #include "cdn/cache.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "util/check.h"
 
 namespace sperke::cdn {
 
-const std::vector<std::string>& cache_policy_names() {
-  static const std::vector<std::string> names = {"lru", "lfu"};
-  return names;
+namespace {
+
+constexpr std::array<std::string_view, 2> kCachePolicyNames = {"lru", "lfu"};
+
+}  // namespace
+
+std::span<const std::string_view> cache_policy_names() noexcept {
+  return kCachePolicyNames;
 }
 
 CachePolicy parse_cache_policy(const std::string& name) {
   if (name == "lru") return CachePolicy::kLru;
   if (name == "lfu") return CachePolicy::kLfu;
   std::string valid;
-  for (const std::string& n : cache_policy_names()) {
+  for (std::string_view n : cache_policy_names()) {
     if (!valid.empty()) valid += ", ";
     valid += n;
   }

@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/chunk_source.h"
@@ -22,8 +24,9 @@ namespace sperke::cdn {
 
 enum class CachePolicy : std::uint8_t { kLru, kLfu };
 
-// Stable policy names for the declarative topology section.
-[[nodiscard]] const std::vector<std::string>& cache_policy_names();
+// Stable policy names for the declarative topology section. Views into a
+// constexpr table — no shared mutable state (sperke_analyze).
+[[nodiscard]] std::span<const std::string_view> cache_policy_names() noexcept;
 
 // Parse a policy name; throws std::invalid_argument listing the valid
 // names (same convention as abr::validate_policy_name).

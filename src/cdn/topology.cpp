@@ -1,5 +1,6 @@
 #include "cdn/topology.h"
 
+#include <array>
 #include <stdexcept>
 #include <utility>
 
@@ -11,7 +12,7 @@ namespace {
 
 std::string joined_field_names() {
   std::string out;
-  for (const std::string& f : topology_field_names()) {
+  for (std::string_view f : topology_field_names()) {
     if (!out.empty()) out += ", ";
     out += f;
   }
@@ -25,12 +26,12 @@ std::string joined_field_names() {
 
 }  // namespace
 
-const std::vector<std::string>& topology_field_names() {
-  static const std::vector<std::string> names = {
+std::span<const std::string_view> topology_field_names() noexcept {
+  static constexpr std::array<std::string_view, 8> kNames = {
       "sessions_per_edge", "backhaul",           "backhaul_for_edge",
       "cache_policy",      "cache_capacity_bytes", "warm_tiles_per_chunk",
       "warm_encoding",     "warm_level"};
-  return names;
+  return kNames;
 }
 
 void validate(const TopologySpec& spec, int sessions_per_link, bool has_crowd) {

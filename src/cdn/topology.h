@@ -21,7 +21,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdn/cache.h"
@@ -61,8 +63,9 @@ struct TopologySpec {
   [[nodiscard]] bool enabled() const { return sessions_per_edge > 0; }
 };
 
-// The section's field names, as every validation error lists them.
-[[nodiscard]] const std::vector<std::string>& topology_field_names();
+// The section's field names, as every validation error lists them. Views
+// into a constexpr table — no shared mutable state (sperke_analyze).
+[[nodiscard]] std::span<const std::string_view> topology_field_names() noexcept;
 
 // Throws std::invalid_argument on a nonsensical section; every message
 // names the offending field and lists the valid field names (the

@@ -64,7 +64,7 @@ StreamingSession::StreamingSession(sim::Simulator& simulator,
     metrics_.bytes_wasted = &m.counter("session.bytes_wasted");
     // The counter name embeds the factory policy name (all [a-z0-9_]+,
     // enforced by abr::make_policy's closed name set), so mixed-population
-    // worlds merge into one row per policy. sperke-lint: allow(metric-name)
+    // worlds merge into one row per policy.
     metrics_.abr_plans =
         &m.counter("abr." + std::string(policy_->name()) + ".plans");
     if (config_.fetch_recovery) {

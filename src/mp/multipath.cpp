@@ -155,7 +155,7 @@ MultipathTransport::MultipathTransport(sim::Simulator& simulator,
   if (telemetry_ != nullptr) {
     for (std::size_t r = 0; r < class_metrics_.size(); ++r) {
       class_metrics_[r] =
-          &telemetry_->metrics().counter("mp.class" + std::to_string(r) +  // sperke-lint: allow(metric-name)
+          &telemetry_->metrics().counter("mp.class" + std::to_string(r) +
                                          ".requests");
     }
     dropped_metric_ = &telemetry_->metrics().counter("mp.dropped_best_effort");

@@ -64,7 +64,7 @@ SloEvaluator::SloEvaluator(std::vector<SloSpec> specs,
   states_.resize(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     validate_slo(specs_[i]);
-    states_[i].budget = &telemetry_.metrics().counter(  // sperke-lint: allow(metric-name)
+    states_[i].budget = &telemetry_.metrics().counter(
         "slo." + specs_[i].name + ".breached_intervals");
   }
 }

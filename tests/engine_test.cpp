@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "abr/factory.h"
@@ -322,7 +323,7 @@ TEST(EngineDeterminism, EveryAbrPolicyMergesIdenticalAcrossThreadCounts) {
   // every factory policy must merge the same metrics at any thread count,
   // because each shard constructs its own instance from the shared
   // TileAbrConfig and no ABR state crosses a shard boundary.
-  for (const std::string& name : abr::policy_names()) {
+  for (std::string_view name : abr::policy_names()) {
     engine::WorldSpec spec = small_world(6);
     spec.session.abr.policy = name;
     engine::EngineResult serial = engine::run_world(spec, {.threads = 1});
@@ -333,7 +334,7 @@ TEST(EngineDeterminism, EveryAbrPolicyMergesIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.completed, 24) << name;
     // The policy-scoped plan counter surfaced in the merged registry.
     const obs::Counter* plans =
-        serial.metrics.find_counter("abr." + name + ".plans");
+        serial.metrics.find_counter("abr." + std::string(name) + ".plans");
     ASSERT_NE(plans, nullptr) << name;
     EXPECT_GT(plans->value(), 0) << name;
     const obs::Counter* downloaded =
@@ -366,9 +367,9 @@ TEST(EngineDeterminism, MixedPolicyPopulationMergesIdenticalAcrossThreadCounts) 
   EXPECT_EQ(serial.events_executed, threaded.events_executed);
   EXPECT_EQ(serial.completed, 24);
   // Every policy planned for its 6 of the 24 sessions.
-  for (const std::string& name : abr::policy_names()) {
+  for (std::string_view name : abr::policy_names()) {
     const obs::Counter* plans =
-        serial.metrics.find_counter("abr." + name + ".plans");
+        serial.metrics.find_counter("abr." + std::string(name) + ".plans");
     ASSERT_NE(plans, nullptr) << name;
     EXPECT_GT(plans->value(), 0) << name;
   }

@@ -97,8 +97,12 @@ def main():
     args = parser.parse_args()
 
     hb_re = re.compile(args.higher_better) if args.higher_better else None
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"bench_compare: malformed input: {exc!r}", file=sys.stderr)
+        return 2
     if not baseline:
         print(f"bench_compare: no benchmarks in baseline {args.baseline}",
               file=sys.stderr)

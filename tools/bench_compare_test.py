@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (ctest: bench-compare-test).
+
+bench_compare gates every perf-sensitive PR (DESIGN.md §8) but was itself
+untested. These tests drive the real CLI through subprocess — the same
+surface verify_all.sh and the bench goldens use — covering the plain
+regression gate, the --higher-better flip, derived speedup rows,
+--min-speedup floors, and the malformed-baseline error paths.
+
+Stdlib-only; run directly or via ctest -R bench-compare-test.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = pathlib.Path(__file__).resolve().parent / "bench_compare.py"
+
+
+def bench_doc(rows):
+    """google-benchmark JSON with one iteration row per (name, real_time)."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": rt}
+            for name, rt in rows.items()
+        ]
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
+        self.addCleanup(self._tmp.cleanup)
+        self.tmp = pathlib.Path(self._tmp.name)
+
+    def write(self, name, doc):
+        path = self.tmp / name
+        if isinstance(doc, str):
+            path.write_text(doc, encoding="utf-8")
+        else:
+            path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def run_tool(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, str(TOOL), baseline, current, *extra],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+    # ------------------------------------------------------------- basic gate
+
+    def test_identical_ok(self):
+        base = self.write("base.json", bench_doc({"BM_widget": 100.0}))
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bench_compare: OK", proc.stdout)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", bench_doc({"BM_widget": 100.0}))
+        cur = self.write("cur.json", bench_doc({"BM_widget": 130.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("BM_widget", proc.stderr)
+
+    def test_threshold_flag_widens_gate(self):
+        base = self.write("base.json", bench_doc({"BM_widget": 100.0}))
+        cur = self.write("cur.json", bench_doc({"BM_widget": 130.0}))
+        proc = self.run_tool(base, cur, "--threshold", "0.5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_improvement_and_one_sided_rows_pass(self):
+        # Rows present on only one side are reported but never gate.
+        base = self.write(
+            "base.json", bench_doc({"BM_widget": 100.0, "BM_retired": 50.0})
+        )
+        cur = self.write(
+            "cur.json", bench_doc({"BM_widget": 50.0, "BM_new": 10.0})
+        )
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("absent", proc.stdout)
+        self.assertIn("new", proc.stdout)
+
+    def test_aggregate_rows_skipped(self):
+        doc = bench_doc({"BM_widget": 100.0})
+        doc["benchmarks"].append(
+            {"name": "BM_widget_mean", "run_type": "aggregate",
+             "real_time": 999.0}
+        )
+        base = self.write("base.json", doc)
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("BM_widget_mean", proc.stdout)
+
+    # ---------------------------------------------------------- higher-better
+
+    def test_higher_better_drop_fails(self):
+        base = self.write("base.json", bench_doc({"arena/qoe_score": 10.0}))
+        cur = self.write("cur.json", bench_doc({"arena/qoe_score": 8.0}))
+        proc = self.run_tool(base, cur, "--higher-better", "qoe")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("arena/qoe_score", proc.stderr)
+
+    def test_higher_better_rise_passes(self):
+        # A big rise would fail the default lower-is-better gate; the flag
+        # must flip the direction for matching rows.
+        base = self.write("base.json", bench_doc({"arena/qoe_score": 10.0}))
+        cur = self.write("cur.json", bench_doc({"arena/qoe_score": 20.0}))
+        proc = self.run_tool(base, cur, "--higher-better", "qoe")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_higher_better_negative_baseline_normalized_by_abs(self):
+        # QoE scores can be negative: -2.0 -> -2.5 is a 25% drop relative
+        # to |baseline| and must fail at the default 15% threshold.
+        base = self.write("base.json", bench_doc({"arena/qoe_score": -2.0}))
+        cur = self.write("cur.json", bench_doc({"arena/qoe_score": -2.5}))
+        proc = self.run_tool(base, cur, "--higher-better", "qoe")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_higher_better_regex_scopes_the_flip(self):
+        # Non-matching rows keep the lower-is-better gate.
+        base = self.write(
+            "base.json",
+            bench_doc({"arena/qoe_score": 10.0, "BM_widget": 100.0}),
+        )
+        cur = self.write(
+            "cur.json",
+            bench_doc({"arena/qoe_score": 10.0, "BM_widget": 130.0}),
+        )
+        proc = self.run_tool(base, cur, "--higher-better", "qoe")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BM_widget", proc.stderr)
+        self.assertNotIn("qoe_score", proc.stderr)
+
+    # -------------------------------------------------------- derived speedups
+
+    def test_speedup_loss_fails(self):
+        base = self.write(
+            "base.json",
+            bench_doc({"BM_scale/threads=1": 80.0, "BM_scale/threads=hw": 10.0}),
+        )
+        cur = self.write(
+            "cur.json",
+            bench_doc({"BM_scale/threads=1": 80.0, "BM_scale/threads=hw": 40.0}),
+        )
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("speedup@threads=hw", proc.stderr)
+
+    def test_min_speedup_floor(self):
+        rows = {"BM_scale/threads=1": 80.0, "BM_scale/threads=hw": 60.0}
+        base = self.write("base.json", bench_doc(rows))
+        cur = self.write("cur.json", bench_doc(rows))
+        # Current speedup is 80/60 = 1.33x: passes a 1.2x floor ...
+        proc = self.run_tool(base, cur, "--min-speedup", "1.2")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # ... and fails a 2.0x one, even with zero drift vs. the baseline.
+        proc = self.run_tool(base, cur, "--min-speedup", "2.0")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("below --min-speedup", proc.stdout)
+
+    # ------------------------------------------------------------ error paths
+
+    def test_invalid_json_baseline_exits_2(self):
+        base = self.write("base.json", "{not json")
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("malformed input", proc.stderr)
+
+    def test_row_missing_real_time_exits_2(self):
+        base = self.write(
+            "base.json",
+            {"benchmarks": [{"name": "BM_widget", "run_type": "iteration"}]},
+        )
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("malformed input", proc.stderr)
+
+    def test_missing_file_exits_2(self):
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(str(self.tmp / "nope.json"), cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("malformed input", proc.stderr)
+
+    def test_empty_benchmarks_exits_2(self):
+        base = self.write("base.json", {"benchmarks": []})
+        cur = self.write("cur.json", bench_doc({"BM_widget": 100.0}))
+        proc = self.run_tool(base, cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no benchmarks", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,893 @@
+#!/usr/bin/env python3
+"""Sperke cross-TU architecture & shard-isolation analyzer (DESIGN.md §16).
+
+The line-level lint (tools/sperke_lint.py) checks facts visible in one
+line of one file. This pass checks the *cross-file* contracts that keep
+every reproduced figure a pure function of its seeds:
+
+  layering            The ``#include`` graph of ``src/`` must respect the
+                      declared module-layering DAG (``LAYERS`` below).
+                      A back-edge or an include of an undeclared module
+                      fails, naming the offending edge and — when the
+                      reverse dependency already exists — the include
+                      cycle it would create. ``--dot`` / ``--markdown``
+                      emit the observed dependency graph as a report.
+  shared-state        Shards share no mutable state (DESIGN.md §9): any
+                      namespace-scope mutable global, non-``constexpr``
+                      function-local ``static`` (dynamic initialization
+                      included — that is why ``static const std::vector``
+                      counts), mutable ``static`` data member, or
+                      ``thread_local`` anywhere in ``src/`` must carry a
+                      ``// sperke-analyze: shared(<why it is race-free /
+                      deterministic>)`` annotation on its own or the
+                      preceding line, or the build fails.
+  telemetry-contract  The telemetry schema is an API: every metric/SLO
+                      name referenced by ``tools/report.py`` or a
+                      backtick-quoted name in ``DESIGN.md`` must match a
+                      name registered in ``src``/``bench``/``examples``
+                      (dynamic name parts — ``"abr." + name + ".plans"``
+                      — register as wildcards, and ``<r>``-style
+                      placeholders in references match them). Every row
+                      in ``bench/baselines/*.json`` must still be backed
+                      by its bench source: the baseline file must map to
+                      ``bench/bench_<stem>.cpp`` and every non-numeric
+                      row-name segment must still occur in that source or
+                      in ``src/`` (config-driven segments such as ABR
+                      policy names live there). Orphaned baselines and
+                      unregistered references both fail.
+  stale-suppression   Suppressions must not rot: a ``sperke-lint:
+                      allow(<rule>)`` comment that no longer suppresses a
+                      lint finding, or a ``sperke-analyze: shared(...)``
+                      annotation that no longer annotates a shared-state
+                      finding, is itself an error.
+
+The shared-state scanner is a heuristic C++ scope tracker, not a parser:
+it classifies every brace as namespace / class / function-block /
+initializer from the text preceding it, which is exact for this
+repository's house style. Declarations that initialize a namespace-scope
+variable with constructor parentheses (``static Foo x(1);``) read as
+function declarations — use ``=`` or brace initialization, which the
+style already does.
+
+Usage:
+    sperke_analyze.py [--root DIR] [--dot FILE] [--markdown FILE]
+                      [--list-rules] [--self-test]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import sperke_lint  # noqa: E402  (sibling module: blanking + lint re-run)
+
+RULES = (
+    "layering",
+    "shared-state",
+    "telemetry-contract",
+    "stale-suppression",
+)
+
+# ---- Declared module-layering DAG ----------------------------------------
+# Key: module (directory under src/). Value: modules its headers and TUs may
+# #include directly. The relation is intentionally explicit rather than
+# rank-derived so a reviewer can diff exactly which edge a PR opens. It must
+# be acyclic (checked at startup) and mirrors the architecture stack:
+#
+#   util -> {sim,geo} -> {obs,media} -> {net,hmp} -> {abr,player} -> core
+#        -> {mp,live} -> cdn -> engine
+LAYERS = {
+    "util": set(),
+    "sim": {"util"},
+    "geo": {"util"},
+    "obs": {"sim", "util"},
+    "media": {"geo", "sim", "util"},
+    "net": {"media", "sim", "util"},
+    "hmp": {"geo", "media", "sim", "util"},
+    "abr": {"geo", "media", "obs", "sim", "util"},
+    "player": {"geo", "hmp", "media", "sim", "util"},
+    "core": {"abr", "geo", "hmp", "media", "net", "obs", "sim", "util"},
+    "mp": {"abr", "core", "geo", "hmp", "media", "net", "obs", "sim",
+           "util"},
+    "live": {"abr", "core", "geo", "hmp", "media", "net", "obs", "sim",
+             "util"},
+    "cdn": {"hmp", "media", "net", "obs", "sim", "util"},
+    "engine": {"abr", "cdn", "core", "geo", "hmp", "live", "media", "mp",
+               "net", "obs", "player", "sim", "util"},
+}
+
+INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
+
+SHARED_RE = re.compile(r"sperke-analyze:\s*shared\(([^)]*)\)")
+
+# Metric registration sites (same convention as the lint's metric-name
+# rule): member access into one of the MetricsRegistry instrument
+# factories, scanned in src/, bench/ and examples/.
+METRIC_REG_RE = re.compile(r"[.>](counter|gauge|histogram)\s*\(")
+METRIC_REG_DIRS = ("src", "bench", "examples")
+
+# A telemetry reference: dotted lowercase name, optionally with <r>-style
+# placeholders for dynamic segments.
+METRIC_REF_RE = re.compile(r"[a-z0-9_]+(?:\.(?:[a-z0-9_]+|<[a-z_]+>))+")
+# Dotted tokens that are file names, not metric names.
+FILE_EXT_RE = re.compile(
+    r"\.(cpp|h|py|sh|md|json|jsonl|csv|html|yml|yaml|txt|dot)$")
+
+NUMERIC_SEGMENT_RE = re.compile(r"[0-9.]+")
+
+
+def innermost_scopes(blanked, positions):
+    """Innermost scope kind ('ns'|'class'|'block'|'init') at each position.
+
+    Walks the blanked text once, classifying every ``{`` by the statement
+    head preceding it. File scope reads as 'ns'.
+    """
+    positions = sorted(set(positions))
+    result = {}
+    stack = []
+    pi = 0
+    for i, c in enumerate(blanked):
+        while pi < len(positions) and positions[pi] <= i:
+            result[positions[pi]] = stack[-1] if stack else "ns"
+            pi += 1
+        if c == "{":
+            stack.append(classify_brace(blanked, i))
+        elif c == "}" and stack:
+            stack.pop()
+    for p in positions[pi:]:
+        result[p] = stack[-1] if stack else "ns"
+    return result
+
+
+def classify_brace(blanked, brace_pos):
+    """Classify the scope a ``{`` at brace_pos opens."""
+    start = brace_pos - 1
+    while start >= 0 and blanked[start] not in ";{}":
+        start -= 1
+    head = blanked[start + 1:brace_pos].strip()
+    if not head or head[-1] in "=,([{" or re.search(r"\breturn$", head):
+        return "init"
+    if re.search(r"\bnamespace\b", head):
+        return "ns"
+    # Drop (...) and <...> groups so parameter types and template
+    # parameter lists cannot smuggle in a class-key.
+    flat = re.sub(r"\([^()]*\)|<[^<>]*>", "", head)
+    if re.search(r"\b(class|struct|union|enum)\b", flat):
+        return "class"
+    return "block"
+
+
+def declaration_at(blanked, start):
+    """Text of the declaration starting at ``start`` and whether it is a
+    function declaration (first top-level ``(`` before any ``=``/``{``).
+
+    ``<`` opens a nesting level only when it reads as a template argument
+    list (directly after an identifier that is not ``operator``), so
+    comparison expressions in initializers cannot unbalance the scan.
+    """
+    depth = 0
+    is_function = None
+    i = start
+    while i < len(blanked):
+        c = blanked[i]
+        if c in "([":
+            if c == "(" and depth == 0 and is_function is None:
+                is_function = True
+            depth += 1
+        elif c == "<":
+            prev = blanked[start:i].rstrip()
+            if (prev and (prev[-1].isalnum() or prev[-1] in "_:")
+                    and not prev.endswith("operator")):
+                depth += 1
+        elif c in ")>]":
+            if not (c == ">" and i > 0 and blanked[i - 1] == "-"):
+                depth = max(0, depth - 1)
+        elif depth == 0:
+            if c == "=" and is_function is None:
+                is_function = False
+            elif c == "{":
+                if is_function is None:
+                    is_function = False
+                break
+            elif c == ";":
+                break
+        i += 1
+    return blanked[start:i], bool(is_function)
+
+
+class Analyzer:
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.findings = []
+        self.consumed_shared = set()  # (relpath, comment lineno)
+        self.module_edges = {}  # module -> set(module) actually included
+
+    def report(self, path, lineno, rule, message):
+        rel = path.relative_to(self.root) if path.is_absolute() else path
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    # ---- rule: layering --------------------------------------------------
+
+    def check_layer_dag_acyclic(self):
+        """The declared DAG itself must be well-formed and acyclic."""
+        for mod, deps in sorted(LAYERS.items()):
+            for dep in sorted(deps):
+                if dep not in LAYERS:
+                    self.report(pathlib.Path("tools/sperke_analyze.py"), 1,
+                                "layering",
+                                f"declared dependency {mod} -> {dep} names "
+                                "an unknown module")
+        # Kahn's algorithm over the declared edges.
+        indeg = {m: 0 for m in LAYERS}
+        for deps in LAYERS.values():
+            for dep in deps:
+                if dep in indeg:
+                    indeg[dep] += 1
+        queue = sorted(m for m, d in indeg.items() if d == 0)
+        seen = 0
+        while queue:
+            mod = queue.pop()
+            seen += 1
+            for dep in sorted(LAYERS[mod]):
+                if dep in indeg:
+                    indeg[dep] -= 1
+                    if indeg[dep] == 0:
+                        queue.append(dep)
+        if seen != len(LAYERS):
+            cyclic = sorted(m for m, d in indeg.items() if d > 0)
+            self.report(pathlib.Path("tools/sperke_analyze.py"), 1,
+                        "layering",
+                        f"declared layering DAG has a cycle through {cyclic}")
+
+    def dag_path(self, src, dst):
+        """A dependency path src -> ... -> dst through the declared DAG,
+        or None. Used to show the cycle a back-edge would close."""
+        parent = {src: None}
+        queue = [src]
+        while queue:
+            mod = queue.pop(0)
+            if mod == dst:
+                path = []
+                while mod is not None:
+                    path.append(mod)
+                    mod = parent[mod]
+                return list(reversed(path))
+            for dep in sorted(LAYERS.get(mod, ())):
+                if dep not in parent:
+                    parent[dep] = mod
+                    queue.append(dep)
+        return None
+
+    def check_layering(self, path, raw, blanked):
+        parts = path.relative_to(self.root).parts
+        if parts[0] != "src" or len(parts) < 3:
+            return
+        module = parts[1]
+        if module not in LAYERS:
+            self.report(path, 1, "layering",
+                        f"src/{module}/ is not declared in the layering DAG "
+                        "(add it to LAYERS in tools/sperke_analyze.py)")
+            return
+        # Include paths are string literals, which blanking erases — match
+        # on the raw text, but only where the #include token survived
+        # blanking (commented-out includes do not count as edges).
+        for m in INCLUDE_RE.finditer(raw):
+            if blanked[m.start():m.start() + 8] != "#include":
+                continue
+            lineno = blanked.count("\n", 0, m.start()) + 1
+            target = m.group(1).split("/")[0]
+            if "/" not in m.group(1):
+                self.report(path, lineno, "layering",
+                            f'include "{m.group(1)}" is not module-qualified '
+                            "(house style: #include \"<module>/<file>\")")
+                continue
+            if target == module:
+                continue
+            self.module_edges.setdefault(module, set()).add(target)
+            if target not in LAYERS:
+                self.report(path, lineno, "layering",
+                            f'include "{m.group(1)}" names undeclared module '
+                            f"{target}")
+                continue
+            if target not in LAYERS[module]:
+                allowed = ", ".join(sorted(LAYERS[module])) or "(none)"
+                msg = (f'back-edge include "{m.group(1)}": module {module} '
+                       f"may not depend on {target} (allowed: {allowed})")
+                cycle = self.dag_path(target, module)
+                if cycle:
+                    msg += ("; this closes the include cycle "
+                            + " -> ".join([module] + cycle))
+                self.report(path, lineno, "layering", msg)
+
+    # ---- rule: shared-state ----------------------------------------------
+
+    def annotated_shared(self, raw_lines, lineno, relpath):
+        """True if the finding on raw line ``lineno`` carries a shared()
+        annotation (same or preceding line) with a non-empty reason."""
+        for probe in (lineno, lineno - 1):
+            if 1 <= probe <= len(raw_lines):
+                m = SHARED_RE.search(raw_lines[probe - 1])
+                if m:
+                    if not m.group(1).strip():
+                        self.report(pathlib.Path(relpath), probe,
+                                    "shared-state",
+                                    "shared() annotation with an empty "
+                                    "reason — say why it is race-free/"
+                                    "deterministic")
+                    self.consumed_shared.add((relpath, probe))
+                    return True
+        return False
+
+    def check_shared_state(self, path, raw, blanked):
+        parts = path.relative_to(self.root).parts
+        if parts[0] != "src":
+            return
+        relpath = str(path.relative_to(self.root))
+        raw_lines = raw.splitlines()
+        matches = [m for m in re.finditer(r"\bthread_local\b|\bstatic\b",
+                                          blanked)]
+        scopes = innermost_scopes(blanked, [m.start() for m in matches])
+        reported_lines = set()
+
+        for m in matches:
+            scope = scopes[m.start()]
+            if scope == "init":
+                continue
+            lineno = blanked.count("\n", 0, m.start()) + 1
+            if lineno in reported_lines:
+                continue
+            decl, is_function = declaration_at(blanked, m.start())
+            is_tl = "thread_local" in decl
+            is_constexpr = re.search(r"\bconstexpr\b", decl) is not None
+            is_const = is_constexpr or re.search(r"\bconst\b", decl)
+            if is_tl:
+                what = ("thread_local — per-thread state is invisible to "
+                        "the shard-isolation merge; annotate why results "
+                        "stay thread-count-invariant")
+            elif scope == "block":
+                if is_function:
+                    continue
+                if is_constexpr:
+                    continue
+                what = ("function-local static with dynamic initialization "
+                        "— make it constexpr (std::array/string_view) or "
+                        "annotate")
+            else:  # 'ns' or 'class'
+                if is_function or is_const:
+                    continue
+                where = ("namespace-scope" if scope == "ns"
+                         else "static data member")
+                what = (f"mutable {where} global — shards must not share "
+                        "mutable state; move it into per-shard/session "
+                        "objects or annotate")
+            if self.annotated_shared(raw_lines, lineno, relpath):
+                reported_lines.add(lineno)
+                continue
+            reported_lines.add(lineno)
+            self.report(path, lineno, "shared-state",
+                        what + " (// sperke-analyze: shared(<reason>))")
+
+        self.check_ns_scope_globals(path, raw, blanked, raw_lines, relpath)
+
+    def check_ns_scope_globals(self, path, raw, blanked, raw_lines, relpath):
+        """Mutable namespace-scope variables declared *without* static.
+
+        Reassembles the namespace-scope statement stream (contents of
+        class/function bodies elided, braced initializers kept) and flags
+        variable-shaped statements that are neither const nor constexpr.
+        """
+        stack = []
+        stmt_chars = []
+        stmt_start = None
+
+        def flush(end_pos, terminated):
+            nonlocal stmt_chars, stmt_start
+            text = "".join(stmt_chars).strip()
+            start = stmt_start
+            stmt_chars, stmt_start = [], None
+            if not terminated or not text or start is None:
+                return
+            self.check_ns_statement(path, text, start, raw_lines, relpath)
+
+        i = 0
+        n = len(blanked)
+        while i < n:
+            at_ns = not stack or stack[-1] == "ns"
+            c = blanked[i]
+            if c == "{":
+                kind = classify_brace(blanked, i)
+                if at_ns and kind == "init" and stmt_chars:
+                    # Keep brace initializers inside the statement, elided.
+                    depth = 1
+                    j = i + 1
+                    while j < n and depth:
+                        if blanked[j] == "{":
+                            depth += 1
+                        elif blanked[j] == "}":
+                            depth -= 1
+                        j += 1
+                    stmt_chars.append("{}")
+                    i = j
+                    continue
+                if at_ns:
+                    flush(i, terminated=False)  # function/class head
+                stack.append(kind)
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                if not stack or stack[-1] == "ns":
+                    stmt_chars, stmt_start = [], None
+            elif at_ns:
+                if c == ";":
+                    flush(i, terminated=True)
+                elif c == "\n" and stmt_chars and stmt_chars[0] == "#":
+                    stmt_chars, stmt_start = [], None  # preprocessor line
+                else:
+                    if stmt_start is None and not c.isspace():
+                        stmt_start = i
+                    if stmt_start is not None:
+                        stmt_chars.append(c)
+            i += 1
+
+    NS_SKIP_RE = re.compile(
+        r"^\s*(#|using\b|typedef\b|namespace\b|template\b|extern\b|"
+        r"friend\b|static_assert\b|class\b|struct\b|union\b|enum\b|"
+        r"public:|private:|protected:)")
+
+    def check_ns_statement(self, path, text, start_pos, raw_lines, relpath):
+        if self.NS_SKIP_RE.search(text):
+            return
+        if re.search(r"\bstatic\b|\bthread_local\b", text):
+            return  # handled by the static/thread_local pass
+        decl, is_function = declaration_at(text, 0)
+        if is_function:
+            return
+        if re.search(r"\bconstexpr\b|\bconst\b", decl):
+            return
+        # A variable declaration needs at least a type and a name.
+        if not re.search(r"[A-Za-z_][\w:<>,&*\s]*\s[A-Za-z_]\w*\s*(=|\{|$)",
+                         decl.strip()):
+            return
+        # start_pos indexes the blanked text of the whole file; recover the
+        # line from a prefix count over the statement's first character.
+        blanked_prefix = self.blanked_by_file[path][:start_pos]
+        lineno = blanked_prefix.count("\n") + 1
+        if self.annotated_shared(raw_lines, lineno, relpath):
+            return
+        self.report(path, lineno, "shared-state",
+                    "mutable namespace-scope global — shards must not share "
+                    "mutable state; move it into per-shard/session objects "
+                    "or annotate (// sperke-analyze: shared(<reason>))")
+
+    # ---- rule: telemetry-contract ----------------------------------------
+
+    def registered_patterns(self):
+        """Metric-name patterns registered in src/bench/examples.
+
+        A registration whose argument mixes literals and expressions
+        yields a wildcard pattern: ``"abr." + name + ".plans"`` registers
+        ``abr.*.plans``.
+        """
+        patterns = set()
+        for path, blanked in sorted(self.blanked_by_file.items()):
+            if path.relative_to(self.root).parts[0] not in METRIC_REG_DIRS:
+                continue
+            raw = self.raw_by_file[path]
+            for m in METRIC_REG_RE.finditer(blanked):
+                # The name is the first argument only: stop at the matching
+                # close paren or the first top-level comma (histogram
+                # registrations pass bucket bounds after the name).
+                depth = 1
+                i = m.end()
+                arg_end = i
+                while arg_end < len(blanked):
+                    c = blanked[arg_end]
+                    if c in "({":
+                        depth += 1
+                    elif c in ")}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif c == "," and depth == 1:
+                        break
+                    arg_end += 1
+                pieces = []
+                pos = i
+                while pos < arg_end:
+                    if blanked[pos] == '"':
+                        close = blanked.find('"', pos + 1)
+                        if close < 0 or close > arg_end:
+                            break
+                        pieces.append(("lit", raw[pos + 1:close]))
+                        pos = close + 1
+                    else:
+                        if not blanked[pos].isspace() and blanked[pos] != "+":
+                            if not pieces or pieces[-1][0] != "dyn":
+                                pieces.append(("dyn", ""))
+                        pos += 1
+                if not any(kind == "lit" for kind, _ in pieces):
+                    continue  # fully dynamic: metric-name lint territory
+                pattern = "".join("*" if kind == "dyn" else lit
+                                  for kind, lit in pieces)
+                patterns.add(pattern)
+        return patterns
+
+    @staticmethod
+    def reference_matches(ref, patterns):
+        probe = re.sub(r"<[a-z_]+>", "0", ref)
+        for pattern in patterns:
+            regex = ".+".join(re.escape(part)
+                              for part in pattern.split("*"))
+            if re.fullmatch(regex, probe):
+                return True
+        return False
+
+    def check_telemetry_contract(self):
+        patterns = self.registered_patterns()
+        # Telemetry namespaces we can vouch for: the first dotted segment
+        # of every registered pattern with a literal head. References
+        # rooted elsewhere (qoe.*, spec.*, file names) are not metric
+        # names and stay out of scope.
+        roots = set()
+        for p in patterns:
+            head = p.split(".")[0].split("*")[0]
+            if head:
+                roots.add(head)
+
+        def check_ref(path, lineno, ref, where):
+            if FILE_EXT_RE.search(ref):
+                return
+            if ref.split(".")[0] not in roots:
+                return  # not a telemetry namespace (qoe.*, spec.*, ...)
+            if not self.reference_matches(ref, patterns):
+                self.report(path, lineno, "telemetry-contract",
+                            f'{where} references metric/SLO name "{ref}" '
+                            "but no registration in src/bench/examples "
+                            "produces it (renamed without updating the "
+                            "reference?)")
+
+        # DESIGN.md: backtick-quoted metric names.
+        design = self.root / "DESIGN.md"
+        if design.is_file():
+            text = design.read_text(encoding="utf-8", errors="replace")
+            for m in re.finditer(r"`([^`\n]+)`", text):
+                token = m.group(1)
+                if METRIC_REF_RE.fullmatch(token):
+                    lineno = text.count("\n", 0, m.start()) + 1
+                    check_ref(design, lineno, token, "DESIGN.md")
+
+        # tools/report.py: quoted metric names.
+        report_py = self.root / "tools" / "report.py"
+        if report_py.is_file():
+            text = report_py.read_text(encoding="utf-8", errors="replace")
+            for m in re.finditer(r"""["']([a-z0-9_.]+)["']""", text):
+                token = m.group(1)
+                if METRIC_REF_RE.fullmatch(token):
+                    lineno = text.count("\n", 0, m.start()) + 1
+                    check_ref(report_py, lineno, token, "tools/report.py")
+
+        self.check_baselines()
+
+    def check_baselines(self):
+        """Every committed baseline row must be backed by bench source."""
+        baseline_dir = self.root / "bench" / "baselines"
+        if not baseline_dir.is_dir():
+            return
+        src_corpus = None
+        for path in sorted(baseline_dir.glob("*.json")):
+            bench_src = self.root / "bench" / f"bench_{path.stem}.cpp"
+            if not bench_src.is_file():
+                self.report(path, 1, "telemetry-contract",
+                            f"orphaned baseline: no bench/bench_{path.stem}"
+                            ".cpp produces it")
+                continue
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as err:
+                self.report(path, 1, "telemetry-contract",
+                            f"unparseable baseline JSON: {err}")
+                continue
+            bench_text = bench_src.read_text(encoding="utf-8",
+                                             errors="replace")
+            for bench in doc.get("benchmarks", []):
+                name = bench.get("name", "")
+                for segment in name.split("/"):
+                    key = segment.split("=")[0]
+                    if not key or NUMERIC_SEGMENT_RE.fullmatch(key):
+                        continue
+                    if key in bench_text:
+                        continue
+                    if src_corpus is None:
+                        src_corpus = "\n".join(
+                            self.raw_by_file[p]
+                            for p in sorted(self.raw_by_file)
+                            if p.relative_to(self.root).parts[0] == "src")
+                    if key not in src_corpus:
+                        self.report(
+                            path, 1, "telemetry-contract",
+                            f'orphaned baseline row "{name}": segment '
+                            f'"{key}" occurs neither in '
+                            f"bench/bench_{path.stem}.cpp nor in src/ "
+                            "(renamed without refreshing the baseline?)")
+
+    # ---- rule: stale-suppression -----------------------------------------
+
+    def check_stale_suppressions(self):
+        lint = sperke_lint.Linter(self.root)
+        lint.run()
+        for path in lint.cxx_files():
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            rel = str(path.relative_to(self.root))
+            for lineno, line in enumerate(raw.splitlines(), start=1):
+                m = sperke_lint.ALLOW_RE.search(line)
+                if m:
+                    for rule in [r.strip() for r in m.group(1).split(",")]:
+                        if (rel, lineno, rule) not in lint.used_allows:
+                            self.report(
+                                path, lineno, "stale-suppression",
+                                f"sperke-lint: allow({rule}) no longer "
+                                "suppresses any finding — delete it")
+                parts = path.relative_to(self.root).parts
+                if parts[0] == "src" and SHARED_RE.search(line):
+                    if (rel, lineno) not in self.consumed_shared:
+                        self.report(
+                            path, lineno, "stale-suppression",
+                            "sperke-analyze: shared(...) no longer "
+                            "annotates a shared-state finding — delete it")
+
+    # ---- reports ---------------------------------------------------------
+
+    def dependency_dot(self):
+        lines = ["digraph sperke_layers {", "  rankdir=BT;",
+                 "  node [shape=box, fontname=\"monospace\"];"]
+        for mod in sorted(LAYERS):
+            lines.append(f"  {mod};")
+        for mod in sorted(self.module_edges):
+            for dep in sorted(self.module_edges[mod]):
+                style = ("" if dep in LAYERS.get(mod, set())
+                         else " [color=red, penwidth=2]")
+                lines.append(f"  {mod} -> {dep}{style};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def dependency_markdown(self):
+        lines = ["# Module dependency report (tools/sperke_analyze.py)",
+                 "",
+                 "Arrows read \"may include\"; *observed* lists the direct",
+                 "`#include` edges actually present in `src/`.",
+                 "",
+                 "| module | observed deps | allowed deps |",
+                 "|---|---|---|"]
+        for mod in sorted(LAYERS):
+            observed = ", ".join(sorted(self.module_edges.get(mod, set())))
+            allowed = ", ".join(sorted(LAYERS[mod]))
+            lines.append(f"| {mod} | {observed or '—'} | {allowed or '—'} |")
+        return "\n".join(lines) + "\n"
+
+    # ---- driver ----------------------------------------------------------
+
+    def run(self):
+        lint_helper = sperke_lint.Linter(self.root)
+        files = lint_helper.cxx_files()
+        self.raw_by_file = {}
+        self.blanked_by_file = {}
+        for path in files:
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            self.raw_by_file[path] = raw
+            self.blanked_by_file[path] = (
+                sperke_lint.blank_comments_and_strings(raw))
+
+        self.check_layer_dag_acyclic()
+        for path in files:
+            self.check_layering(path, self.raw_by_file[path],
+                                self.blanked_by_file[path])
+            self.check_shared_state(path, self.raw_by_file[path],
+                                    self.blanked_by_file[path])
+        self.check_telemetry_contract()
+        self.check_stale_suppressions()
+        self.findings.sort()
+        return self.findings, len(files)
+
+
+def self_test():
+    """Positive and negative cases per rule on a synthetic tree
+    (ctest analyze-selftest, mirroring the lint's harness)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+
+        def put(rel, text):
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+
+        # layering: a util -> core back-edge (closes a cycle, core already
+        # depends on util), an undeclared-module include, and legal
+        # downward/same-module includes.
+        put("src/util/bad_layer.h",
+            "#pragma once\n#include \"core/session.h\"\n")
+        put("src/core/ok_layer.h",
+            "#pragma once\n#include <vector>\n"
+            "#include \"util/check.h\"\n#include \"core/buffer.h\"\n")
+        put("src/net/bad_module.h",
+            "#pragma once\n#include \"vendor/zlib.h\"\n")
+
+        # shared-state: every flavor, annotated and not.
+        put("src/core/bad_static.cpp",
+            "namespace sperke::core {\n"
+            "int answer() {\n"
+            "  static int calls = 0;\n"
+            "  return ++calls;\n"
+            "}\n"
+            "const std::vector<std::string>& names() {\n"
+            "  static const std::vector<std::string> kNames = {\"a\"};\n"
+            "  return kNames;\n"
+            "}\n"
+            "}  // namespace sperke::core\n")
+        put("src/core/bad_tl.cpp",
+            "namespace sperke::core {\n"
+            "thread_local int scratch_size = 0;\n"
+            "}\n")
+        put("src/core/bad_global.cpp",
+            "namespace {\n"
+            "std::uint64_t g_total = 0;\n"
+            "}  // namespace\n")
+        put("src/geo/ok_shared.cpp",
+            "#include <array>\n"
+            "namespace sperke::geo {\n"
+            "constexpr double kPi = 3.14159;\n"
+            "const std::array<int, 2> kDims = {8, 12};\n"
+            "int lookup(int i) {\n"
+            "  static constexpr std::array<int, 2> kTable = {1, 2};\n"
+            "  // sperke-analyze: shared(per-thread scratch; never escapes)\n"
+            "  thread_local std::vector<int> scratch;\n"
+            "  scratch.clear();\n"
+            "  return kTable[i % 2] + kPi;\n"
+            "}\n"
+            "struct Grid {\n"
+            "  static int area(int w, int h);\n"
+            "  static constexpr int kCols = 12;\n"
+            "};\n"
+            "}  // namespace sperke::geo\n")
+
+        # telemetry-contract: one good and one orphaned DESIGN reference,
+        # one good and one orphaned baseline row.
+        put("src/obs/reg.cpp",
+            "void wire(MetricsRegistry& m, const std::string& policy) {\n"
+            "  m.counter(\"cdn.edge.hits\");\n"
+            "  m.counter(\"abr.\" + policy + \".plans\");\n"
+            "}\n")
+        put("DESIGN.md",
+            "Counters: `cdn.edge.hits`, `abr.<name>.plans` are exported;\n"
+            "`cdn.edge.bytes_served` was renamed away.\n"
+            "Fields such as `spec.shards` and files like `t.json` are\n"
+            "not metric names.\n")
+        put("bench/bench_widget.cpp",
+            "// rows: Widget/users=8/hit_rate\n"
+            "const char* kRow = \"Widget/hit_rate\";\n"
+            "const char* kUsers = \"users\";\n")
+        put("bench/baselines/widget.json", json.dumps({"benchmarks": [
+            {"name": "Widget/users=8/hit_rate", "real_time": 1.0},
+            {"name": "Widget/users=8/renamed_metric", "real_time": 2.0},
+        ]}))
+        put("bench/baselines/retired.json",
+            json.dumps({"benchmarks": [{"name": "Gone/x", "real_time": 1.0}]}))
+
+        # stale-suppression: one consumed allow (steady_clock in src/ is a
+        # wall-clock finding), one stale allow, one stale shared().
+        put("src/sim/ok_allow.cpp",
+            "void tick() {\n"
+            "  auto t = std::chrono::steady_clock::now();"
+            "  // sperke-lint: allow(wall-clock)\n"
+            "  (void)t;\n"
+            "}\n")
+        put("src/sim/stale_allow.cpp",
+            "int pure() {\n"
+            "  return 4;  // sperke-lint: allow(ambient-entropy)\n"
+            "}\n")
+        put("src/sim/stale_shared.cpp",
+            "int also_pure() {\n"
+            "  // sperke-analyze: shared(left behind after a refactor)\n"
+            "  return 5;\n"
+            "}\n")
+
+        analyzer = Analyzer(root)
+        findings, _ = analyzer.run()
+
+        expected = {
+            "layering": [
+                "src/net/bad_module.h:2:",
+                "src/util/bad_layer.h:2:",
+            ],
+            "shared-state": [
+                "src/core/bad_global.cpp:2:",
+                "src/core/bad_static.cpp:3:",
+                "src/core/bad_static.cpp:7:",
+                "src/core/bad_tl.cpp:2:",
+            ],
+            "telemetry-contract": [
+                "DESIGN.md:2:",
+                "bench/baselines/retired.json:1:",
+                "bench/baselines/widget.json:1:",
+            ],
+            "stale-suppression": [
+                "src/sim/stale_allow.cpp:2:",
+                "src/sim/stale_shared.cpp:2:",
+            ],
+        }
+        ok = True
+        for rule, want in expected.items():
+            got = sorted(f.split(" ")[0] for f in findings
+                         if f"[{rule}]" in f)
+            if got != want:
+                print(f"sperke_analyze: SELF-TEST FAIL — {rule} findings "
+                      f"{got} != {want}", file=sys.stderr)
+                ok = False
+        if not ok:
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        # The back-edge message must show the cycle it closes.
+        back_edge = [f for f in findings if "bad_layer" in f][0]
+        if "cycle" not in back_edge:
+            print("sperke_analyze: SELF-TEST FAIL — back-edge finding "
+                  f"lacks the cycle path: {back_edge}", file=sys.stderr)
+            return 1
+        # Reports render and carry the observed edges.
+        dot = analyzer.dependency_dot()
+        md = analyzer.dependency_markdown()
+        if "util -> core" not in dot or "color=red" not in dot:
+            print("sperke_analyze: SELF-TEST FAIL — DOT report misses the "
+                  "back-edge", file=sys.stderr)
+            return 1
+        if "| util | core |" not in md:
+            print("sperke_analyze: SELF-TEST FAIL — markdown report misses "
+                  "the observed util -> core edge", file=sys.stderr)
+            return 1
+    print("sperke_analyze: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer's own rule tests and exit")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write the observed module graph as DOT")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="write the module dependency table as markdown")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    analyzer = Analyzer(args.root)
+    findings, nfiles = analyzer.run()
+    if args.dot:
+        pathlib.Path(args.dot).write_text(analyzer.dependency_dot(),
+                                          encoding="utf-8")
+    if args.markdown:
+        pathlib.Path(args.markdown).write_text(analyzer.dependency_markdown(),
+                                               encoding="utf-8")
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nsperke_analyze: FAIL — {len(findings)} finding(s) "
+              f"across {nfiles} files", file=sys.stderr)
+        return 1
+    print(f"sperke_analyze: OK — {nfiles} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,8 +59,21 @@ Suppress a finding with a trailing or preceding-line comment::
 
     std::chrono::steady_clock::now();  // sperke-lint: allow(wall-clock)
 
+Suppressions are themselves audited: ``tools/sperke_analyze.py`` re-runs
+this lint and fails on any ``allow(<rule>)`` comment that no longer
+matches a finding (the ``stale-suppression`` rule), so suppressions
+cannot outlive the code they excuse. ``Linter.used_allows`` records the
+``(path, line, rule)`` of every comment that actually suppressed
+something, which is what that audit consumes.
+
+``--fix`` rewrites the mechanical ``format-basics`` findings in place
+(CRLF endings, tab characters, trailing whitespace, missing final
+newline) and is idempotent — a second pass changes nothing. Tabs are
+replaced with two spaces even inside string literals: the rule bans the
+raw character everywhere (``"\t"`` escapes are the idiom for tab data).
+
 Usage:
-    sperke_lint.py [--root DIR] [--list-rules] [--self-test]
+    sperke_lint.py [--root DIR] [--list-rules] [--self-test] [--fix]
 """
 
 import argparse
@@ -248,15 +261,20 @@ class Linter:
         self.root = pathlib.Path(root)
         self.findings = []
         self.unordered_names = set()
+        # (relative path, comment line, rule) of every allow() comment that
+        # suppressed at least one finding — consumed by sperke_analyze's
+        # stale-suppression audit.
+        self.used_allows = set()
 
     def report(self, path, lineno, rule, message, raw_lines):
         # sperke-lint: allow(<rule>) on the offending or preceding line.
+        rel = path.relative_to(self.root)
         for probe in (lineno, lineno - 1):
             if 1 <= probe <= len(raw_lines):
                 m = ALLOW_RE.search(raw_lines[probe - 1])
                 if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                    self.used_allows.add((str(rel), probe, rule))
                     return
-        rel = path.relative_to(self.root)
         self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
 
     def cxx_files(self):
@@ -497,6 +515,28 @@ class Linter:
         return self.findings, len(files)
 
 
+def fix_format_basics(root):
+    """Rewrite the mechanical format-basics findings in place (``--fix``).
+
+    CRLF → LF, tab → two spaces, trailing whitespace stripped, final
+    newline appended. Returns the repo-relative paths of changed files;
+    idempotent by construction (every rewrite is a fixed point).
+    """
+    linter = Linter(root)
+    changed = []
+    for path in linter.cxx_files():
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        text = raw.replace("\r\n", "\n").replace("\r", "\n")
+        text = text.replace("\t", "  ")
+        text = "\n".join(line.rstrip() for line in text.split("\n"))
+        if text and not text.endswith("\n"):
+            text += "\n"
+        if text != raw:
+            path.write_text(text, encoding="utf-8")
+            changed.append(str(path.relative_to(linter.root)))
+    return changed
+
+
 def self_test():
     """Exercise the factory rules on a synthetic tree (ctest lint-selftest).
 
@@ -559,6 +599,29 @@ def self_test():
                 for f in findings:
                     print(f"  {f}", file=sys.stderr)
                 return 1
+
+        # --fix: every mechanical format-basics finding is rewritten, the
+        # result is clean, and a second pass is a no-op (idempotence).
+        put("src/util/messy.cpp", "int a;\t\nint b; \r\nint c;")
+        changed = fix_format_basics(root)
+        if changed != ["src/util/messy.cpp"]:
+            print(f"sperke_lint: SELF-TEST FAIL — --fix changed {changed}, "
+                  "expected exactly src/util/messy.cpp", file=sys.stderr)
+            return 1
+        fixed = (root / "src/util/messy.cpp").read_text(encoding="utf-8")
+        if fixed != "int a;\nint b;\nint c;\n":
+            print("sperke_lint: SELF-TEST FAIL — --fix produced "
+                  f"{fixed!r}", file=sys.stderr)
+            return 1
+        if fix_format_basics(root) != []:
+            print("sperke_lint: SELF-TEST FAIL — --fix is not idempotent",
+                  file=sys.stderr)
+            return 1
+        refindings, _ = Linter(root).run()
+        if any("[format-basics]" in f and "messy" in f for f in refindings):
+            print("sperke_lint: SELF-TEST FAIL — format-basics findings "
+                  "survive --fix", file=sys.stderr)
+            return 1
     print("sperke_lint: self-test OK")
     return 0
 
@@ -571,6 +634,10 @@ def main():
                         help="print rule ids and exit")
     parser.add_argument("--self-test", action="store_true",
                         help="run the lint's own rule tests and exit")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite mechanical format-basics findings "
+                        "(CRLF, tabs, trailing whitespace, final newline) "
+                        "in place, then exit")
     args = parser.parse_args()
     if args.list_rules:
         for rule in RULES:
@@ -578,6 +645,12 @@ def main():
         return 0
     if args.self_test:
         return self_test()
+    if args.fix:
+        changed = fix_format_basics(args.root)
+        for rel in changed:
+            print(f"fixed {rel}")
+        print(f"sperke_lint: --fix rewrote {len(changed)} file(s)")
+        return 0
 
     linter = Linter(args.root)
     findings, nfiles = linter.run()

@@ -2,7 +2,10 @@
 # Run every correctness gate the repo has, in rough order of cost:
 #
 #   1. sperke_lint (determinism/style lint over src, tests, bench, tools)
+#      + sperke_analyze (layering DAG, shared-state audit, telemetry
+#      contract, stale suppressions — see DESIGN.md §16)
 #      + report.py --check (the HTML report generator's self-test)
+#      + bench_compare_test.py (the perf gate's own unit tests)
 #   2. clang-format / clang-tidy (skipped cleanly when the tools are absent)
 #   3. default preset:  build + full ctest suite, then the deterministic
 #      QoE gates (fault-recovery sweep + ABR arena league table) — these
@@ -50,8 +53,15 @@ step "sperke_lint"
 python3 tools/sperke_lint.py --self-test
 python3 tools/sperke_lint.py
 
+step "sperke_analyze"
+python3 tools/sperke_analyze.py --self-test
+python3 tools/sperke_analyze.py
+
 step "report.py self-check"
 python3 tools/report.py --check
+
+step "bench_compare unit tests"
+python3 tools/bench_compare_test.py
 
 step "clang-format (check only)"
 run_optional "format-check" tools/run_clang_format.sh
